@@ -1,0 +1,63 @@
+//! Ablation benches for the design choices the paper motivates:
+//!
+//! * the 360 s self-shutdown threshold (Figure 2);
+//! * the 5-minute coalescence window (Figures 4/5);
+//! * the heartbeat period (detection granularity vs. log volume —
+//!   the tuning discussed in the logger's companion paper [1]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symfail_bench::{bench_fleet, bench_params};
+use symfail_core::analysis::coalesce::CoalescenceAnalysis;
+use symfail_core::analysis::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use symfail_phone::fleet::FleetCampaign;
+use symfail_sim_core::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let fleet = bench_fleet(2005);
+    let shutdowns = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
+    let hl = merge_hl_events(&fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+
+    // Print the ablation artifacts once.
+    println!("--- self-shutdown threshold sweep ---");
+    for (th, n) in shutdowns.threshold_sweep(&[60, 120, 240, 360, 500, 1000, 3600]) {
+        println!("  threshold {th:>5} s -> {n} self-shutdowns");
+    }
+    println!("--- coalescence window sweep ---");
+    for (w, frac) in
+        CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000])
+    {
+        println!("  window {w:>6} s -> {:.1}% related", 100.0 * frac);
+    }
+    println!("--- heartbeat period vs log volume (30-day single phone) ---");
+    for period in [30u64, 120, 300, 900] {
+        let mut params = bench_params();
+        params.phones = 1;
+        params.campaign_days = 30;
+        params.heartbeat_period_secs = period;
+        let harvest = FleetCampaign::new(7, params).run();
+        let bytes = harvest[0].flashfs.bytes_written();
+        println!("  period {period:>4} s -> {bytes:>8} bytes of flash written");
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("threshold_sweep", |b| {
+        b.iter(|| shutdowns.threshold_sweep(&[60, 120, 240, 360, 500, 1000, 3600]))
+    });
+    g.bench_function("window_sweep", |b| {
+        b.iter(|| CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000]))
+    });
+    g.bench_function("campaign_30d_single_phone", |b| {
+        let mut params = bench_params();
+        params.phones = 1;
+        params.campaign_days = 30;
+        b.iter(|| FleetCampaign::new(7, params).run())
+    });
+    let _ = SimDuration::ZERO;
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

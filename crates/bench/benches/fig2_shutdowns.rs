@@ -1,0 +1,35 @@
+//! Figure 2 bench: shutdown-event extraction, the reboot-duration
+//! histogram and the 360 s self-shutdown classification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symfail_bench::{bench_analysis_config, bench_fleet};
+use symfail_core::analysis::report::StudyReport;
+use symfail_core::analysis::shutdown::{ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+
+fn bench(c: &mut Criterion) {
+    let fleet = bench_fleet(2005);
+    let report = StudyReport::analyze(&fleet, bench_analysis_config());
+    println!("{}", report.render_fig2());
+
+    let mut g = c.benchmark_group("fig2_shutdowns");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("extract_and_classify", |b| {
+        b.iter(|| ShutdownAnalysis::new(black_box(&fleet), SELF_SHUTDOWN_THRESHOLD))
+    });
+    let analysis = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
+    g.bench_function("duration_histogram_40_bins", |b| {
+        b.iter(|| analysis.duration_histogram(40_000.0, 40).unwrap())
+    });
+    g.bench_function("median_self_shutdown", |b| {
+        b.iter(|| analysis.median_self_shutdown_secs())
+    });
+    g.bench_function("threshold_sweep_7_points", |b| {
+        b.iter(|| analysis.threshold_sweep(black_box(&[60, 120, 240, 360, 500, 1000, 3600])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 bench: panic-cascade detection over the campaign logs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symfail_bench::{bench_analysis_config, bench_fleet};
+use symfail_core::analysis::bursts::{BurstAnalysis, DEFAULT_BURST_GAP};
+use symfail_core::analysis::report::StudyReport;
+use symfail_sim_core::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let fleet = bench_fleet(2005);
+    let report = StudyReport::analyze(&fleet, bench_analysis_config());
+    println!("{}", report.render_fig3());
+
+    let mut g = c.benchmark_group("fig3_bursts");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("detect_cascades", |b| {
+        b.iter(|| BurstAnalysis::new(black_box(&fleet), DEFAULT_BURST_GAP))
+    });
+    for gap_secs in [10u64, 60, 300] {
+        g.bench_function(format!("gap_{gap_secs}s"), |b| {
+            b.iter(|| BurstAnalysis::new(&fleet, SimDuration::from_secs(gap_secs)))
+        });
+    }
+    let analysis = BurstAnalysis::new(&fleet, DEFAULT_BURST_GAP);
+    g.bench_function("share_distribution", |b| {
+        b.iter(|| analysis.panic_share_by_cascade_size())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 5 bench: temporal coalescence of panics with high-level
+//! events, including the window sweep that justifies the 5-minute
+//! choice.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symfail_bench::{bench_analysis_config, bench_fleet};
+use symfail_core::analysis::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
+use symfail_core::analysis::report::StudyReport;
+use symfail_core::analysis::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use symfail_sim_core::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let fleet = bench_fleet(2005);
+    let report = StudyReport::analyze(&fleet, bench_analysis_config());
+    println!("{}", report.render_fig5());
+
+    let shutdowns = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
+    let hl = merge_hl_events(&fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+
+    let mut g = c.benchmark_group("fig5_coalescence");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("coalesce_5min_window", |b| {
+        b.iter(|| CoalescenceAnalysis::new(black_box(&fleet), &hl, COALESCENCE_WINDOW))
+    });
+    for w in [30u64, 300, 3600] {
+        g.bench_function(format!("window_{w}s"), |b| {
+            b.iter(|| CoalescenceAnalysis::new(&fleet, &hl, SimDuration::from_secs(w)))
+        });
+    }
+    g.bench_function("window_sweep_9_points", |b| {
+        b.iter(|| {
+            CoalescenceAnalysis::window_sweep(
+                &fleet,
+                &hl,
+                &[10, 30, 60, 120, 300, 600, 1800, 7200, 36_000],
+            )
+        })
+    });
+    let analysis = CoalescenceAnalysis::new(&fleet, &hl, COALESCENCE_WINDOW);
+    g.bench_function("category_breakdown", |b| b.iter(|| analysis.by_category()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 1 bench: forum corpus generation, free-text classification
+//! and contingency-table construction (the Section 4 pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use symfail_forum::classify::classify;
+use symfail_forum::corpus::CorpusGenerator;
+use symfail_forum::tables::ForumStudy;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once, so `cargo bench` output
+    // doubles as the reproduction record.
+    let corpus = CorpusGenerator::paper_sized(2005).generate();
+    let study = ForumStudy::classify(&corpus);
+    println!("{}", study.render_table1());
+
+    let mut g = c.benchmark_group("table1_forum");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(corpus.len() as u64));
+    g.bench_function("generate_corpus_533", |b| {
+        b.iter(|| CorpusGenerator::paper_sized(black_box(2005)).generate())
+    });
+    g.bench_function("classify_corpus_533", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|r| classify(black_box(&r.text)))
+                .filter(|c| c.failure.is_some())
+                .count()
+        })
+    });
+    g.bench_function("full_study_533", |b| {
+        b.iter(|| ForumStudy::classify(black_box(&corpus)))
+    });
+    g.bench_function("render_table1", |b| b.iter(|| study.render_table1()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

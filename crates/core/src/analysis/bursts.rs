@@ -1,0 +1,204 @@
+//! Panic cascade detection (Figure 3).
+//!
+//! A panic is the last operation an application performs before the
+//! kernel terminates it, so multiple panic events in short succession
+//! indicate **error propagation inside the operating system**: the
+//! observable consequence is the termination of multiple applications.
+//! The paper found that in 25% of cases a cascade of more than one
+//! panic event is recorded.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimDuration;
+use symfail_stats::CategoricalDist;
+
+use super::dataset::FleetDataset;
+use crate::records::PanicRecord;
+
+/// Default gap under which two subsequent panics on the same phone
+/// belong to one cascade.
+pub const DEFAULT_BURST_GAP: SimDuration = SimDuration::from_secs(60);
+
+/// A detected cascade: indices are positions into the per-phone panic
+/// list; sizes are what the Figure 3 distribution is built from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cascade {
+    /// The phone the cascade occurred on.
+    pub phone_id: u32,
+    /// Number of panics in the cascade.
+    pub size: usize,
+}
+
+/// The Figure 3 analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BurstAnalysis {
+    cascades: Vec<Cascade>,
+    total_panics: usize,
+}
+
+impl BurstAnalysis {
+    /// Groups each phone's time-ordered panics into cascades using the
+    /// given gap.
+    pub fn new(fleet: &FleetDataset, gap: SimDuration) -> Self {
+        let mut cascades = Vec::new();
+        let mut total = 0;
+        for phone in &fleet.phones {
+            let panics: Vec<&PanicRecord> = phone.panics();
+            total += panics.len();
+            let mut size = 0usize;
+            let mut last_at = None;
+            for p in &panics {
+                match last_at {
+                    Some(prev) if p.at.saturating_since(prev) <= gap => size += 1,
+                    _ => {
+                        if size > 0 {
+                            cascades.push(Cascade {
+                                phone_id: phone.phone_id,
+                                size,
+                            });
+                        }
+                        size = 1;
+                    }
+                }
+                last_at = Some(p.at);
+            }
+            if size > 0 {
+                cascades.push(Cascade {
+                    phone_id: phone.phone_id,
+                    size,
+                });
+            }
+        }
+        Self {
+            cascades,
+            total_panics: total,
+        }
+    }
+
+    /// The detected cascades.
+    pub fn cascades(&self) -> &[Cascade] {
+        &self.cascades
+    }
+
+    /// Total number of panics in the dataset.
+    pub fn total_panics(&self) -> usize {
+        self.total_panics
+    }
+
+    /// The Figure 3 series: fraction of *panics* (not cascades) that
+    /// belong to a cascade of each size. Label "1" holds the isolated
+    /// panics.
+    pub fn panic_share_by_cascade_size(&self) -> CategoricalDist {
+        let mut d = CategoricalDist::new();
+        for c in &self.cascades {
+            d.add_n(c.size.to_string(), c.size as u64);
+        }
+        d
+    }
+
+    /// Fraction of panics occurring in cascades of two or more — the
+    /// paper's 25% figure.
+    pub fn cascaded_fraction(&self) -> f64 {
+        if self.total_panics == 0 {
+            return 0.0;
+        }
+        let in_bursts: usize = self
+            .cascades
+            .iter()
+            .filter(|c| c.size >= 2)
+            .map(|c| c.size)
+            .sum();
+        in_bursts as f64 / self.total_panics as f64
+    }
+
+    /// Largest cascade observed.
+    pub fn max_cascade(&self) -> usize {
+        self.cascades.iter().map(|c| c.size).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataset::PhoneDataset;
+    use crate::records::{LogRecord, PanicRecord};
+    use symfail_sim_core::SimTime;
+    use symfail_symbian::panic::codes;
+    use symfail_symbian::Panic;
+
+    fn panic_at(secs: u64) -> LogRecord {
+        LogRecord::Panic(PanicRecord {
+            at: SimTime::from_secs(secs),
+            panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+            running_apps: Vec::new(),
+            activity: None,
+            battery: 50,
+        })
+    }
+
+    fn fleet_with(times: &[&[u64]]) -> FleetDataset {
+        FleetDataset {
+            phones: times
+                .iter()
+                .enumerate()
+                .map(|(i, ts)| PhoneDataset {
+                    phone_id: i as u32,
+                    records: ts.iter().map(|&t| panic_at(t)).collect(),
+                    beats: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn isolated_panics_form_singleton_cascades() {
+        let b = BurstAnalysis::new(&fleet_with(&[&[10, 500, 1000]]), DEFAULT_BURST_GAP);
+        assert_eq!(b.cascades().len(), 3);
+        assert!(b.cascades().iter().all(|c| c.size == 1));
+        assert_eq!(b.cascaded_fraction(), 0.0);
+        assert_eq!(b.max_cascade(), 1);
+    }
+
+    #[test]
+    fn close_panics_cascade() {
+        // 10,20,30 form one cascade of 3; 500 isolated.
+        let b = BurstAnalysis::new(&fleet_with(&[&[10, 20, 30, 500]]), DEFAULT_BURST_GAP);
+        let sizes: Vec<usize> = b.cascades().iter().map(|c| c.size).collect();
+        assert_eq!(sizes, vec![3, 1]);
+        assert_eq!(b.total_panics(), 4);
+        assert!((b.cascaded_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(b.max_cascade(), 3);
+    }
+
+    #[test]
+    fn gap_boundary_inclusive() {
+        let b = BurstAnalysis::new(&fleet_with(&[&[0, 60]]), DEFAULT_BURST_GAP);
+        assert_eq!(b.cascades().len(), 1);
+        let b = BurstAnalysis::new(&fleet_with(&[&[0, 61]]), DEFAULT_BURST_GAP);
+        assert_eq!(b.cascades().len(), 2);
+    }
+
+    #[test]
+    fn cascades_do_not_cross_phones() {
+        let b = BurstAnalysis::new(&fleet_with(&[&[0], &[10]]), DEFAULT_BURST_GAP);
+        assert_eq!(b.cascades().len(), 2);
+        assert_eq!(b.cascaded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn share_distribution_weights_by_panics() {
+        let b = BurstAnalysis::new(&fleet_with(&[&[0, 10, 1000]]), DEFAULT_BURST_GAP);
+        let d = b.panic_share_by_cascade_size();
+        assert_eq!(d.count("2"), 2, "two panics live in the size-2 cascade");
+        assert_eq!(d.count("1"), 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let b = BurstAnalysis::new(&FleetDataset::default(), DEFAULT_BURST_GAP);
+        assert_eq!(b.total_panics(), 0);
+        assert_eq!(b.cascaded_fraction(), 0.0);
+        assert_eq!(b.max_cascade(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Temporal coalescence of panics with high-level events (Figures 4
+//! and 5).
+//!
+//! When a panic is found in the log, the analysis searches for freeze
+//! and self-shutdown events within a predefined temporal window on the
+//! same phone. There can be panics unrelated to any HL event (the
+//! kernel merely terminated the offending application) and isolated HL
+//! events (whose cause produced no panic). The window must be chosen
+//! carefully: the paper observed the number of coalesced events grows
+//! up to five minutes, then plateaus until windows of hours start
+//! coalescing *uncorrelated* events — hence the five-minute window.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimDuration;
+use symfail_stats::CategoricalDist;
+
+use super::dataset::{FleetDataset, HlEvent, HlKind};
+use crate::records::PanicRecord;
+
+/// The paper's coalescence window.
+pub const COALESCENCE_WINDOW: SimDuration = SimDuration::from_mins(5);
+
+/// A panic together with its coalescence outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoalescedPanic {
+    /// Phone the panic occurred on.
+    pub phone_id: u32,
+    /// The panic record.
+    pub panic: PanicRecord,
+    /// The HL event it coalesced with, if any.
+    pub related: Option<HlKind>,
+}
+
+/// The Figure 5 analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoalescenceAnalysis {
+    window: SimDuration,
+    panics: Vec<CoalescedPanic>,
+    hl_total: usize,
+    hl_with_panic: usize,
+}
+
+impl CoalescenceAnalysis {
+    /// Coalesces each panic with the HL events of the same phone
+    /// within `window`. If several HL events fall in the window, the
+    /// closest wins.
+    pub fn new(fleet: &FleetDataset, hl_events: &[HlEvent], window: SimDuration) -> Self {
+        let mut panics = Vec::new();
+        for (phone_id, rec) in fleet.panics() {
+            let related = hl_events
+                .iter()
+                .filter(|e| e.phone_id == phone_id)
+                .filter_map(|e| {
+                    let gap = if e.at >= rec.at {
+                        e.at.saturating_since(rec.at)
+                    } else {
+                        rec.at.saturating_since(e.at)
+                    };
+                    (gap <= window).then_some((gap, e.kind))
+                })
+                .min_by_key(|(gap, _)| *gap)
+                .map(|(_, kind)| kind);
+            panics.push(CoalescedPanic {
+                phone_id,
+                panic: rec.clone(),
+                related,
+            });
+        }
+        // HL-side view: how many HL events have at least one panic in
+        // their window.
+        let hl_with_panic = hl_events
+            .iter()
+            .filter(|e| {
+                panics.iter().any(|p| {
+                    p.phone_id == e.phone_id && {
+                        let gap = if e.at >= p.panic.at {
+                            e.at.saturating_since(p.panic.at)
+                        } else {
+                            p.panic.at.saturating_since(e.at)
+                        };
+                        gap <= window
+                    }
+                })
+            })
+            .count();
+        Self {
+            window,
+            panics,
+            hl_total: hl_events.len(),
+            hl_with_panic,
+        }
+    }
+
+    /// The window used.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// All panics with their outcome.
+    pub fn panics(&self) -> &[CoalescedPanic] {
+        &self.panics
+    }
+
+    /// Fraction of panics related to an HL event — the paper's 51%.
+    pub fn related_fraction(&self) -> f64 {
+        if self.panics.is_empty() {
+            return 0.0;
+        }
+        let related = self.panics.iter().filter(|p| p.related.is_some()).count();
+        related as f64 / self.panics.len() as f64
+    }
+
+    /// Number of HL events in the analysis.
+    pub fn hl_total(&self) -> usize {
+        self.hl_total
+    }
+
+    /// HL events with at least one coalesced panic.
+    pub fn hl_with_panic(&self) -> usize {
+        self.hl_with_panic
+    }
+
+    /// Fraction of HL events that are isolated (no panic near them) —
+    /// the failures whose low-level cause left no panic trace.
+    pub fn isolated_hl_fraction(&self) -> f64 {
+        if self.hl_total == 0 {
+            return 0.0;
+        }
+        (self.hl_total - self.hl_with_panic) as f64 / self.hl_total as f64
+    }
+
+    /// Figure 5a: per panic category, how many panics related to an HL
+    /// event vs stayed isolated. Returns `(related, isolated)`
+    /// distributions keyed by category string.
+    pub fn by_category(&self) -> (CategoricalDist, CategoricalDist) {
+        let mut related = CategoricalDist::new();
+        let mut isolated = CategoricalDist::new();
+        for p in &self.panics {
+            let cat = p.panic.panic.code.category.as_str();
+            match p.related {
+                Some(_) => related.add(cat),
+                None => isolated.add(cat),
+            }
+        }
+        (related, isolated)
+    }
+
+    /// Figure 5b: per panic *code*, counts split by the HL kind the
+    /// panic coalesced with. Keys are `"<code>|freeze"` and
+    /// `"<code>|self-shutdown"`.
+    pub fn by_code_and_kind(&self) -> CategoricalDist {
+        let mut d = CategoricalDist::new();
+        for p in &self.panics {
+            if let Some(kind) = p.related {
+                d.add(format!("{}|{}", p.panic.panic.code, kind.as_str()));
+            }
+        }
+        d
+    }
+
+    /// The window-size sweep that justifies the five-minute choice:
+    /// `(window_secs, related_fraction)` for each candidate window.
+    pub fn window_sweep(
+        fleet: &FleetDataset,
+        hl_events: &[HlEvent],
+        windows_secs: &[u64],
+    ) -> Vec<(u64, f64)> {
+        windows_secs
+            .iter()
+            .map(|&w| {
+                let a = CoalescenceAnalysis::new(fleet, hl_events, SimDuration::from_secs(w));
+                (w, a.related_fraction())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataset::PhoneDataset;
+    use crate::records::LogRecord;
+    use symfail_sim_core::SimTime;
+    use symfail_symbian::panic::codes;
+    use symfail_symbian::{Panic, PanicCode};
+
+    fn panic_rec(secs: u64, code: PanicCode) -> LogRecord {
+        LogRecord::Panic(PanicRecord {
+            at: SimTime::from_secs(secs),
+            panic: Panic::new(code, "X", "r"),
+            running_apps: Vec::new(),
+            activity: None,
+            battery: 50,
+        })
+    }
+
+    fn hl(phone: u32, secs: u64, kind: HlKind) -> HlEvent {
+        HlEvent {
+            phone_id: phone,
+            at: SimTime::from_secs(secs),
+            kind,
+        }
+    }
+
+    fn fleet(panics: Vec<LogRecord>) -> FleetDataset {
+        FleetDataset {
+            phones: vec![PhoneDataset {
+                phone_id: 0,
+                records: panics,
+                beats: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn panic_relates_to_nearby_hl() {
+        let f = fleet(vec![panic_rec(100, codes::KERN_EXEC_3)]);
+        let events = [hl(0, 150, HlKind::Freeze)];
+        let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
+        assert_eq!(a.related_fraction(), 1.0);
+        assert_eq!(a.panics()[0].related, Some(HlKind::Freeze));
+        assert_eq!(a.hl_with_panic(), 1);
+        assert_eq!(a.isolated_hl_fraction(), 0.0);
+    }
+
+    #[test]
+    fn window_is_bidirectional_and_bounded() {
+        let f = fleet(vec![panic_rec(1000, codes::KERN_EXEC_3)]);
+        // HL event *before* the panic, inside the window.
+        let before = [hl(0, 800, HlKind::SelfShutdown)];
+        let a = CoalescenceAnalysis::new(&f, &before, COALESCENCE_WINDOW);
+        assert_eq!(a.related_fraction(), 1.0);
+        // Outside the window.
+        let far = [hl(0, 1000 + 301, HlKind::Freeze)];
+        let a = CoalescenceAnalysis::new(&f, &far, COALESCENCE_WINDOW);
+        assert_eq!(a.related_fraction(), 0.0);
+        assert_eq!(a.isolated_hl_fraction(), 1.0);
+    }
+
+    #[test]
+    fn closest_hl_wins() {
+        let f = fleet(vec![panic_rec(1000, codes::KERN_EXEC_3)]);
+        let events = [
+            hl(0, 1200, HlKind::Freeze),
+            hl(0, 1050, HlKind::SelfShutdown),
+        ];
+        let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
+        assert_eq!(a.panics()[0].related, Some(HlKind::SelfShutdown));
+    }
+
+    #[test]
+    fn other_phones_events_do_not_match() {
+        let f = fleet(vec![panic_rec(1000, codes::KERN_EXEC_3)]);
+        let events = [hl(9, 1000, HlKind::Freeze)];
+        let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
+        assert_eq!(a.related_fraction(), 0.0);
+    }
+
+    #[test]
+    fn category_split() {
+        let f = fleet(vec![
+            panic_rec(100, codes::KERN_EXEC_3),
+            panic_rec(5000, codes::EIKON_LISTBOX_5),
+        ]);
+        let events = [hl(0, 110, HlKind::Freeze)];
+        let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
+        let (related, isolated) = a.by_category();
+        assert_eq!(related.count("KERN-EXEC"), 1);
+        assert_eq!(isolated.count("EIKON-LISTBOX"), 1);
+        let bk = a.by_code_and_kind();
+        assert_eq!(bk.count("KERN-EXEC 3|freeze"), 1);
+        assert_eq!(bk.total(), 1);
+    }
+
+    #[test]
+    fn window_sweep_is_monotone_nondecreasing() {
+        let f = fleet(vec![
+            panic_rec(100, codes::KERN_EXEC_3),
+            panic_rec(10_000, codes::USER_11),
+        ]);
+        let events = [hl(0, 160, HlKind::Freeze), hl(0, 11_000, HlKind::Freeze)];
+        let sweep = CoalescenceAnalysis::window_sweep(&f, &events, &[30, 60, 300, 2000]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert_eq!(sweep.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = CoalescenceAnalysis::new(&FleetDataset::default(), &[], COALESCENCE_WINDOW);
+        assert_eq!(a.related_fraction(), 0.0);
+        assert_eq!(a.isolated_hl_fraction(), 0.0);
+        assert_eq!(a.hl_total(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! The measurement-based failure analysis methodology (Section 6).
+//!
+//! The pipeline consumes the raw flash files the logger wrote — it
+//! never sees simulator internals — and reproduces every analysis step
+//! of the paper:
+//!
+//! 1. [`dataset`] parses per-phone flash files into a
+//!    [`dataset::FleetDataset`];
+//! 2. [`shutdown`] builds the reboot-duration histogram and applies
+//!    the 360 s filter identifying self-shutdowns (Figure 2);
+//! 3. [`mtbf`] estimates powered-on time from the heartbeat stream and
+//!    derives MTBFr / MTBS;
+//! 4. [`bursts`] detects cascades of subsequent panics (Figure 3);
+//! 5. [`coalesce`] relates panics to high-level events within a
+//!    five-minute temporal window (Figures 4 and 5);
+//! 6. [`activity`] crosses panics with the user activity at panic time
+//!    (Table 3);
+//! 7. [`runapps`] crosses panics with the set of running applications
+//!    (Table 4, Figure 6);
+//! 8. [`report`] bundles everything into a printable study report and
+//!    compares it against the paper's numbers ([`targets`]).
+
+pub mod activity;
+pub mod baseline;
+pub mod bursts;
+pub mod coalesce;
+pub mod dataset;
+pub mod interarrival;
+pub mod mtbf;
+pub mod output_failures;
+pub mod report;
+pub mod runapps;
+pub mod severity;
+pub mod shutdown;
+pub mod targets;

@@ -1,0 +1,151 @@
+//! Mean time between failures estimation.
+//!
+//! The paper reports MTBFr (mean time between freezes) of 313 hours
+//! and MTBS (mean time between self-shutdowns) of 250 hours, in
+//! wall-clock hours averaged per phone — a freeze every ~13 days and a
+//! self-shutdown every ~10 days, i.e. a user-perceived failure about
+//! every 11 days.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimDuration;
+use symfail_stats::OnlineSummary;
+
+use super::dataset::FleetDataset;
+
+/// Heartbeat-gap ceiling used when reconstructing powered-on time from
+/// the beats stream (gaps longer than this mean off/frozen).
+pub const DEFAULT_UPTIME_GAP: SimDuration = SimDuration::from_mins(5);
+
+/// MTBF estimates for the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MtbfAnalysis {
+    /// Total powered-on observation time across the fleet, in hours.
+    pub total_hours: f64,
+    /// Number of freezes observed.
+    pub freezes: usize,
+    /// Number of self-shutdowns observed.
+    pub self_shutdowns: usize,
+    /// Mean time between freezes, hours (`None` with zero freezes).
+    pub mtbfr_hours: Option<f64>,
+    /// Mean time between self-shutdowns, hours.
+    pub mtbs_hours: Option<f64>,
+    /// Mean time between failures of either kind, hours.
+    pub mtbf_any_hours: Option<f64>,
+}
+
+impl MtbfAnalysis {
+    /// Estimates MTBFs from the fleet dataset. `self_shutdowns` is the
+    /// count produced by the Figure 2 classification (it is a
+    /// *derived* quantity, so it is passed in rather than recomputed).
+    pub fn new(fleet: &FleetDataset, self_shutdowns: usize, uptime_gap: SimDuration) -> Self {
+        let total_hours = fleet.powered_on_time(uptime_gap).as_hours_f64();
+        let freezes = fleet.freezes().len();
+        let div = |n: usize| (n > 0).then(|| total_hours / n as f64);
+        Self {
+            total_hours,
+            freezes,
+            self_shutdowns,
+            mtbfr_hours: div(freezes),
+            mtbs_hours: div(self_shutdowns),
+            mtbf_any_hours: div(freezes + self_shutdowns),
+        }
+    }
+
+    /// Mean days between user-perceived failures (freeze or
+    /// self-shutdown), assuming 24 h wall-clock days of the averaged
+    /// per-phone usage — the paper's "every 11 days" figure is the
+    /// average of the per-kind intervals.
+    pub fn days_between_failures(&self) -> Option<f64> {
+        match (self.mtbfr_hours, self.mtbs_hours) {
+            (Some(fr), Some(ss)) => Some((fr / 24.0 + ss / 24.0) / 2.0),
+            _ => None,
+        }
+    }
+
+    /// Per-phone failure-count dispersion: summary of (freezes +
+    /// self-shutdown candidates) per phone, to show the fleet is not
+    /// dominated by one bad device.
+    pub fn per_phone_failure_summary(fleet: &FleetDataset) -> OnlineSummary {
+        fleet
+            .phones
+            .iter()
+            .map(|p| {
+                let freezes = p.freezes().len();
+                let shutdowns = p
+                    .shutdown_events()
+                    .iter()
+                    .filter(|e| e.duration <= super::shutdown::SELF_SHUTDOWN_THRESHOLD)
+                    .count();
+                (freezes + shutdowns) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataset::PhoneDataset;
+    use crate::flashfs::FlashFs;
+    use crate::logger::{FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
+    use symfail_sim_core::SimTime;
+
+    /// One phone, ~2 hours powered, one freeze and one fast reboot.
+    fn fleet() -> FleetDataset {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        let ctx = PhoneContext::default();
+        lg.on_boot(&mut fs, SimTime::ZERO, &ctx);
+        let mut now = 0u64;
+        while now < 3600 {
+            now += 30;
+            lg.on_tick(&mut fs, SimTime::from_secs(now), &ctx);
+        }
+        lg.on_clean_shutdown(&mut fs, SimTime::from_secs(now + 5), ShutdownKind::Reboot);
+        // 80 s self-shutdown-like reboot
+        lg.on_boot(&mut fs, SimTime::from_secs(now + 85), &ctx);
+        let base = now + 85;
+        let mut t2 = base;
+        while t2 < base + 3600 {
+            t2 += 30;
+            lg.on_tick(&mut fs, SimTime::from_secs(t2), &ctx);
+        }
+        // freeze + battery pull + late boot
+        lg.on_boot(&mut fs, SimTime::from_secs(t2 + 7200), &ctx);
+        FleetDataset {
+            phones: vec![PhoneDataset::from_flashfs(0, &fs)],
+        }
+    }
+
+    #[test]
+    fn estimates_follow_counts() {
+        let f = fleet();
+        let m = MtbfAnalysis::new(&f, 1, DEFAULT_UPTIME_GAP);
+        assert_eq!(m.freezes, 1);
+        assert_eq!(m.self_shutdowns, 1);
+        let hours = m.total_hours;
+        assert!((1.9..=2.2).contains(&hours), "uptime {hours}h");
+        assert!((m.mtbfr_hours.unwrap() - hours).abs() < 1e-9);
+        assert!((m.mtbf_any_hours.unwrap() - hours / 2.0).abs() < 1e-9);
+        let days = m.days_between_failures().unwrap();
+        assert!((days - hours / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_failures_give_none() {
+        let m = MtbfAnalysis::new(&FleetDataset::default(), 0, DEFAULT_UPTIME_GAP);
+        assert!(m.mtbfr_hours.is_none());
+        assert!(m.mtbs_hours.is_none());
+        assert!(m.mtbf_any_hours.is_none());
+        assert!(m.days_between_failures().is_none());
+    }
+
+    #[test]
+    fn per_phone_summary_counts_both_kinds() {
+        let f = fleet();
+        let s = MtbfAnalysis::per_phone_failure_summary(&f);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Panic–running-applications relationship (Table 4, Figure 6).
+//!
+//! The Running Applications Detector lets the study relate each panic
+//! to the set of applications alive at panic time. Two findings come
+//! out of it: (i) often only **one** user application runs at panic
+//! time — concurrency does not necessarily breed panics (Figure 6) —
+//! and (ii) the Messages application is one of the main
+//! panic-associated applications, with the camera, Bluetooth browsing
+//! and the call log as further dependability bottlenecks (Table 4).
+
+use serde::{Deserialize, Serialize};
+
+use symfail_stats::{CategoricalDist, ContingencyTable};
+
+use super::coalesce::CoalescenceAnalysis;
+use super::dataset::{FleetDataset, HlKind};
+
+/// The Figure 6 / Table 4 analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunningAppsAnalysis {
+    concurrency: CategoricalDist,
+    table: ContingencyTable,
+    app_share: CategoricalDist,
+    total_panics: usize,
+}
+
+impl RunningAppsAnalysis {
+    /// Builds the concurrency distribution over *all* panics and the
+    /// Table 4 contingency over panics with their HL outcome.
+    ///
+    /// A panic with k running applications contributes one count to
+    /// concurrency bin k, and one count per application to the
+    /// contingency table (matching the paper's per-application
+    /// percentages).
+    pub fn new(fleet: &FleetDataset, coalescence: &CoalescenceAnalysis) -> Self {
+        let mut concurrency = CategoricalDist::new();
+        let mut total = 0;
+        for (_, p) in fleet.panics() {
+            concurrency.add(p.running_apps.len().to_string());
+            total += 1;
+        }
+        let mut table = ContingencyTable::new();
+        let mut app_share = CategoricalDist::new();
+        for p in coalescence.panics() {
+            let row = match p.related {
+                Some(HlKind::Freeze) => {
+                    format!("{} freeze", p.panic.panic.code.category.as_str())
+                }
+                Some(HlKind::SelfShutdown) => {
+                    format!("{} self-shutdown", p.panic.panic.code.category.as_str())
+                }
+                None => format!("{} (no HL event)", p.panic.panic.code.category.as_str()),
+            };
+            for app in &p.panic.running_apps {
+                table.add(row.clone(), app.clone());
+                app_share.add(app.clone());
+            }
+        }
+        Self {
+            concurrency,
+            table,
+            app_share,
+            total_panics: total,
+        }
+    }
+
+    /// Figure 6: distribution of the number of running applications at
+    /// panic time.
+    pub fn concurrency(&self) -> &CategoricalDist {
+        &self.concurrency
+    }
+
+    /// The modal number of running applications at panic time.
+    pub fn modal_concurrency(&self) -> Option<usize> {
+        self.concurrency
+            .ranked()
+            .first()
+            .and_then(|(label, _)| label.parse().ok())
+    }
+
+    /// Table 4: `(HL outcome + panic category) × application`
+    /// contingency.
+    pub fn table(&self) -> &ContingencyTable {
+        &self.table
+    }
+
+    /// Applications ranked by how often they were running at panic
+    /// time (the columns ordering of Table 4).
+    pub fn top_apps(&self, k: usize) -> Vec<(String, f64)> {
+        let total = self.total_panics.max(1) as f64;
+        self.app_share
+            .top_k(k)
+            .into_iter()
+            .map(|(app, n)| (app.to_string(), 100.0 * n as f64 / total))
+            .collect()
+    }
+
+    /// Total panics considered for the concurrency distribution.
+    pub fn total_panics(&self) -> usize {
+        self.total_panics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::coalesce::COALESCENCE_WINDOW;
+    use crate::analysis::dataset::{HlEvent, PhoneDataset};
+    use crate::records::{LogRecord, PanicRecord};
+    use symfail_sim_core::SimTime;
+    use symfail_symbian::panic::codes;
+    use symfail_symbian::Panic;
+
+    fn rec(secs: u64, apps: &[&str]) -> LogRecord {
+        LogRecord::Panic(PanicRecord {
+            at: SimTime::from_secs(secs),
+            panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+            running_apps: apps.iter().map(|s| s.to_string()).collect(),
+            activity: None,
+            battery: 50,
+        })
+    }
+
+    fn build(records: Vec<LogRecord>, hl_secs: &[u64]) -> RunningAppsAnalysis {
+        let fleet = FleetDataset {
+            phones: vec![PhoneDataset {
+                phone_id: 0,
+                records,
+                beats: Vec::new(),
+            }],
+        };
+        let events: Vec<HlEvent> = hl_secs
+            .iter()
+            .map(|&s| HlEvent {
+                phone_id: 0,
+                at: SimTime::from_secs(s),
+                kind: HlKind::Freeze,
+            })
+            .collect();
+        let co = CoalescenceAnalysis::new(&fleet, &events, COALESCENCE_WINDOW);
+        RunningAppsAnalysis::new(&fleet, &co)
+    }
+
+    #[test]
+    fn concurrency_distribution() {
+        let a = build(
+            vec![
+                rec(1, &["Messages"]),
+                rec(100, &["Messages", "Camera"]),
+                rec(200, &["Clock"]),
+            ],
+            &[],
+        );
+        assert_eq!(a.concurrency().count("1"), 2);
+        assert_eq!(a.concurrency().count("2"), 1);
+        assert_eq!(a.modal_concurrency(), Some(1));
+        assert_eq!(a.total_panics(), 3);
+    }
+
+    #[test]
+    fn table_rows_carry_hl_outcome() {
+        let a = build(vec![rec(100, &["Messages", "Log"])], &[110]);
+        let t = a.table();
+        assert_eq!(t.count("KERN-EXEC freeze", "Messages"), 1);
+        assert_eq!(t.count("KERN-EXEC freeze", "Log"), 1);
+        assert_eq!(t.count("KERN-EXEC (no HL event)", "Messages"), 0);
+    }
+
+    #[test]
+    fn isolated_panics_marked_no_hl() {
+        let a = build(vec![rec(100, &["Camera"])], &[]);
+        assert_eq!(a.table().count("KERN-EXEC (no HL event)", "Camera"), 1);
+    }
+
+    #[test]
+    fn top_apps_percentages() {
+        let a = build(
+            vec![
+                rec(1, &["Messages"]),
+                rec(1000, &["Messages"]),
+                rec(2000, &["Camera"]),
+                rec(3000, &[]),
+            ],
+            &[],
+        );
+        let top = a.top_apps(2);
+        assert_eq!(top[0].0, "Messages");
+        assert!((top[0].1 - 50.0).abs() < 1e-12);
+        assert!((top[1].1 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let a = build(Vec::new(), &[]);
+        assert_eq!(a.total_panics(), 0);
+        assert_eq!(a.modal_concurrency(), None);
+        assert!(a.top_apps(5).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Severity of the logger-detected failures, using the user-centric
+//! scale of Section 4.
+//!
+//! The forum study defines severity by the difficulty of the recovery
+//! action: *high* when service personnel are needed, *medium* for a
+//! reboot or battery removal, *low* when repeating or waiting is
+//! enough. The logger-detected failures map onto that scale directly:
+//! a **freeze** is recovered by pulling the battery and a
+//! **self-shutdown** recovers by the reboot that already happened —
+//! both medium severity, which is exactly why the paper calls phones
+//! that fail every ~11 days acceptable for everyday use but
+//! questionable for critical applications.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_stats::CategoricalDist;
+
+use super::dataset::{FleetDataset, HlKind};
+use super::shutdown::ShutdownAnalysis;
+
+/// Severity grade of one detected failure (user-recovery scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureSeverity {
+    /// Recovery needed the service center (not auto-detectable; the
+    /// logger never produces this grade — it exists for completeness
+    /// with the Section 4 scale).
+    High,
+    /// Recovery was a reboot or a battery pull.
+    Medium,
+    /// The failure recovered by itself.
+    Low,
+}
+
+impl FailureSeverity {
+    /// Grade of a detected high-level event: freezes cost the user a
+    /// battery pull, self-shutdowns a (self-)reboot — both medium.
+    pub fn of_hl(kind: HlKind) -> FailureSeverity {
+        match kind {
+            HlKind::Freeze | HlKind::SelfShutdown => FailureSeverity::Medium,
+        }
+    }
+
+    /// Label used in tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureSeverity::High => "high",
+            FailureSeverity::Medium => "medium",
+            FailureSeverity::Low => "low",
+        }
+    }
+}
+
+/// Severity summary of a campaign, including the *user burden*: how
+/// many disruptive recoveries (battery pulls, unwanted reboots) the
+/// fleet's users performed per phone-month.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeverityAnalysis {
+    distribution: CategoricalDist,
+    battery_pulls: usize,
+    unwanted_reboots: usize,
+    burden_per_phone_month: Option<f64>,
+}
+
+impl SeverityAnalysis {
+    /// Builds the summary. `total_hours` is the fleet's powered-on
+    /// observation time (from the MTBF analysis), used to normalize
+    /// the burden.
+    pub fn new(
+        fleet: &FleetDataset,
+        shutdowns: &ShutdownAnalysis,
+        total_hours: f64,
+    ) -> Self {
+        let battery_pulls = fleet.freezes().len();
+        let unwanted_reboots = shutdowns.self_shutdowns().len();
+        let mut distribution = CategoricalDist::new();
+        distribution.add_n(
+            FailureSeverity::Medium.as_str(),
+            (battery_pulls + unwanted_reboots) as u64,
+        );
+        let burden_per_phone_month = (total_hours > 0.0).then(|| {
+            (battery_pulls + unwanted_reboots) as f64 / (total_hours / (30.44 * 24.0))
+        });
+        Self {
+            distribution,
+            battery_pulls,
+            unwanted_reboots,
+            burden_per_phone_month,
+        }
+    }
+
+    /// Severity distribution of the detected failures.
+    pub fn distribution(&self) -> &CategoricalDist {
+        &self.distribution
+    }
+
+    /// Freezes, i.e. battery pulls the users performed.
+    pub fn battery_pulls(&self) -> usize {
+        self.battery_pulls
+    }
+
+    /// Self-shutdowns, i.e. reboots the users did not ask for.
+    pub fn unwanted_reboots(&self) -> usize {
+        self.unwanted_reboots
+    }
+
+    /// Disruptive recoveries per phone-month of powered-on use.
+    pub fn burden_per_phone_month(&self) -> Option<f64> {
+        self.burden_per_phone_month
+    }
+
+    /// Renders the summary.
+    pub fn render(&self) -> String {
+        format!(
+            "severity of detected failures (user-recovery scale): all medium\n\
+             \u{20} battery pulls (freezes)          : {}\n\
+             \u{20} unwanted reboots (self-shutdowns): {}\n\
+             \u{20} user burden                      : {} disruptive recoveries per phone-month\n",
+            self.battery_pulls,
+            self.unwanted_reboots,
+            self.burden_per_phone_month
+                .map(|b| format!("{b:.1}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataset::PhoneDataset;
+    use crate::analysis::shutdown::SELF_SHUTDOWN_THRESHOLD;
+    use crate::flashfs::FlashFs;
+    use crate::logger::{FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
+    use symfail_sim_core::SimTime;
+
+    fn fleet() -> FleetDataset {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        let ctx = PhoneContext::default();
+        lg.on_boot(&mut fs, SimTime::ZERO, &ctx);
+        // One self-shutdown...
+        lg.on_clean_shutdown(&mut fs, SimTime::from_secs(600), ShutdownKind::Reboot);
+        lg.on_boot(&mut fs, SimTime::from_secs(680), &ctx);
+        // ...and one freeze (battery pull).
+        lg.on_boot(&mut fs, SimTime::from_secs(5000), &ctx);
+        FleetDataset {
+            phones: vec![PhoneDataset::from_flashfs(0, &fs)],
+        }
+    }
+
+    #[test]
+    fn counts_and_grades() {
+        let f = fleet();
+        let sh = ShutdownAnalysis::new(&f, SELF_SHUTDOWN_THRESHOLD);
+        let s = SeverityAnalysis::new(&f, &sh, 730.0);
+        assert_eq!(s.battery_pulls(), 1);
+        assert_eq!(s.unwanted_reboots(), 1);
+        assert_eq!(s.distribution().count("medium"), 2);
+        assert_eq!(s.distribution().count("high"), 0);
+        // 730 h ≈ one phone-month: burden ≈ 2 per phone-month.
+        let b = s.burden_per_phone_month().unwrap();
+        assert!((b - 2.0).abs() < 0.05, "burden {b}");
+    }
+
+    #[test]
+    fn zero_hours_gives_no_burden() {
+        let f = fleet();
+        let sh = ShutdownAnalysis::new(&f, SELF_SHUTDOWN_THRESHOLD);
+        let s = SeverityAnalysis::new(&f, &sh, 0.0);
+        assert!(s.burden_per_phone_month().is_none());
+        assert!(s.render().contains("n/a"));
+    }
+
+    #[test]
+    fn hl_mapping_is_medium() {
+        assert_eq!(FailureSeverity::of_hl(HlKind::Freeze), FailureSeverity::Medium);
+        assert_eq!(
+            FailureSeverity::of_hl(HlKind::SelfShutdown),
+            FailureSeverity::Medium
+        );
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let f = fleet();
+        let sh = ShutdownAnalysis::new(&f, SELF_SHUTDOWN_THRESHOLD);
+        let s = SeverityAnalysis::new(&f, &sh, 730.0);
+        let out = s.render();
+        assert!(out.contains("battery pulls"));
+        assert!(out.contains("per phone-month"));
+    }
+}

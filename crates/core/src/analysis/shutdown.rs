@@ -1,0 +1,263 @@
+//! Self-shutdown identification (Figure 2).
+//!
+//! The heartbeat cannot distinguish a self-shutdown from a
+//! user-triggered shutdown — the generated event (`REBOOT`) is the
+//! same. The paper discriminates by examining the *reboot duration*:
+//! the distribution is bimodal, with a peak below 500 s (median
+//! ≈ 80 s) corresponding to self-shutdowns (the phone reboots itself
+//! and comes right back) and a second mode near 30 000 s (≈ 8 h 20 m,
+//! the night off-time). Shutdowns with duration ≤ 360 s are classified
+//! as self-shutdowns.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimDuration;
+use symfail_stats::{Ecdf, Histogram};
+
+use super::dataset::{FleetDataset, HlEvent, HlKind, ShutdownEvent};
+
+/// The paper's self-shutdown duration threshold.
+pub const SELF_SHUTDOWN_THRESHOLD: SimDuration = SimDuration::from_secs(360);
+
+/// Result of the Figure 2 analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShutdownAnalysis {
+    threshold: SimDuration,
+    events: Vec<ShutdownEvent>,
+    self_shutdowns: Vec<ShutdownEvent>,
+}
+
+impl ShutdownAnalysis {
+    /// Classifies the fleet's shutdown events with the given duration
+    /// threshold (use [`SELF_SHUTDOWN_THRESHOLD`] for the paper's
+    /// 360 s).
+    pub fn new(fleet: &FleetDataset, threshold: SimDuration) -> Self {
+        let events = fleet.shutdown_events();
+        let self_shutdowns = events
+            .iter()
+            .copied()
+            .filter(|e| e.duration <= threshold)
+            .collect();
+        Self {
+            threshold,
+            events,
+            self_shutdowns,
+        }
+    }
+
+    /// The threshold in effect.
+    pub fn threshold(&self) -> SimDuration {
+        self.threshold
+    }
+
+    /// Every measurable shutdown event (the 1778 of the paper).
+    pub fn all_events(&self) -> &[ShutdownEvent] {
+        &self.events
+    }
+
+    /// The events classified as self-shutdowns (the 471 of the paper).
+    pub fn self_shutdowns(&self) -> &[ShutdownEvent] {
+        &self.self_shutdowns
+    }
+
+    /// Self-shutdowns as high-level events for coalescence, timed at
+    /// the instant the phone went down.
+    pub fn self_shutdown_hl_events(&self) -> Vec<HlEvent> {
+        self.self_shutdowns
+            .iter()
+            .map(|e| HlEvent {
+                phone_id: e.phone_id,
+                at: e.off_at,
+                kind: HlKind::SelfShutdown,
+            })
+            .collect()
+    }
+
+    /// *All* shutdowns as HL events — used by the paper's robustness
+    /// check (including every shutdown only raises the
+    /// panic-relatedness from 51% to 55%).
+    pub fn all_shutdown_hl_events(&self) -> Vec<HlEvent> {
+        self.events
+            .iter()
+            .map(|e| HlEvent {
+                phone_id: e.phone_id,
+                at: e.off_at,
+                kind: HlKind::SelfShutdown,
+            })
+            .collect()
+    }
+
+    /// Fraction of shutdown events classified as self-shutdowns.
+    pub fn self_shutdown_fraction(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.self_shutdowns.len() as f64 / self.events.len() as f64
+    }
+
+    /// Median duration of the self-shutdowns (the ≈ 80 s of Fig. 2),
+    /// or `None` when there are none.
+    pub fn median_self_shutdown_secs(&self) -> Option<f64> {
+        let e = Ecdf::from_samples(
+            self.self_shutdowns
+                .iter()
+                .map(|e| e.duration.as_secs_f64()),
+        )
+        .ok()?;
+        Some(e.median())
+    }
+
+    /// The full reboot-duration histogram (the outer plot of Fig. 2):
+    /// `bins` bins covering durations up to `max_secs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction errors for degenerate
+    /// parameters.
+    pub fn duration_histogram(
+        &self,
+        max_secs: f64,
+        bins: usize,
+    ) -> Result<Histogram, symfail_stats::StatsError> {
+        let mut h = Histogram::with_bins(0.0, max_secs, bins)?;
+        for e in &self.events {
+            h.record(e.duration.as_secs_f64());
+        }
+        Ok(h)
+    }
+
+    /// The zoomed histogram of Fig. 2's inset (durations < 500 s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction errors.
+    pub fn zoomed_histogram(&self, bins: usize) -> Result<Histogram, symfail_stats::StatsError> {
+        let mut h = Histogram::with_bins(0.0, 500.0, bins)?;
+        for e in &self.events {
+            let s = e.duration.as_secs_f64();
+            if s < 500.0 {
+                h.record(s);
+            }
+        }
+        Ok(h)
+    }
+
+    /// Sweeps the classification threshold, returning
+    /// `(threshold_secs, self_shutdown_count)` pairs — the ablation of
+    /// the 360 s design choice.
+    pub fn threshold_sweep(&self, thresholds_secs: &[u64]) -> Vec<(u64, usize)> {
+        thresholds_secs
+            .iter()
+            .map(|&th| {
+                let d = SimDuration::from_secs(th);
+                let n = self.events.iter().filter(|e| e.duration <= d).count();
+                (th, n)
+            })
+            .collect()
+    }
+}
+
+/// Convenience: the instant a freeze or self-shutdown list places its
+/// events, merged and sorted per phone — used by coalescence.
+pub fn merge_hl_events(freezes: &[HlEvent], self_shutdowns: &[HlEvent]) -> Vec<HlEvent> {
+    let mut all: Vec<HlEvent> = freezes.iter().chain(self_shutdowns).copied().collect();
+    all.sort_by_key(|e| (e.phone_id, e.at));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataset::PhoneDataset;
+    use crate::flashfs::FlashFs;
+    use crate::logger::{FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
+    use symfail_sim_core::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// A phone with three reboots: 80 s (self), 90 s (self), 30000 s
+    /// (night).
+    fn fleet() -> FleetDataset {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        let ctx = PhoneContext::default();
+        let mut now = 0;
+        lg.on_boot(&mut fs, t(now), &ctx);
+        for off in [80u64, 90, 30_000] {
+            now += 600;
+            lg.on_clean_shutdown(&mut fs, t(now), ShutdownKind::Reboot);
+            now += off;
+            lg.on_boot(&mut fs, t(now), &ctx);
+        }
+        FleetDataset {
+            phones: vec![PhoneDataset::from_flashfs(1, &fs)],
+        }
+    }
+
+    #[test]
+    fn classification_by_threshold() {
+        let a = ShutdownAnalysis::new(&fleet(), SELF_SHUTDOWN_THRESHOLD);
+        assert_eq!(a.all_events().len(), 3);
+        assert_eq!(a.self_shutdowns().len(), 2);
+        assert!((a.self_shutdown_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.threshold(), SELF_SHUTDOWN_THRESHOLD);
+    }
+
+    #[test]
+    fn median_of_self_shutdowns() {
+        let a = ShutdownAnalysis::new(&fleet(), SELF_SHUTDOWN_THRESHOLD);
+        assert_eq!(a.median_self_shutdown_secs(), Some(85.0));
+    }
+
+    #[test]
+    fn empty_fleet_degenerates_gracefully() {
+        let a = ShutdownAnalysis::new(&FleetDataset::default(), SELF_SHUTDOWN_THRESHOLD);
+        assert_eq!(a.self_shutdown_fraction(), 0.0);
+        assert!(a.median_self_shutdown_secs().is_none());
+    }
+
+    #[test]
+    fn histograms_partition_events() {
+        let a = ShutdownAnalysis::new(&fleet(), SELF_SHUTDOWN_THRESHOLD);
+        let h = a.duration_histogram(40_000.0, 80).unwrap();
+        assert_eq!(h.total(), 3);
+        let z = a.zoomed_histogram(50).unwrap();
+        assert_eq!(z.total(), 2, "only sub-500 s durations in the inset");
+    }
+
+    #[test]
+    fn hl_event_views() {
+        let a = ShutdownAnalysis::new(&fleet(), SELF_SHUTDOWN_THRESHOLD);
+        assert_eq!(a.self_shutdown_hl_events().len(), 2);
+        assert_eq!(a.all_shutdown_hl_events().len(), 3);
+        for e in a.self_shutdown_hl_events() {
+            assert_eq!(e.kind, HlKind::SelfShutdown);
+        }
+    }
+
+    #[test]
+    fn threshold_sweep_monotone() {
+        let a = ShutdownAnalysis::new(&fleet(), SELF_SHUTDOWN_THRESHOLD);
+        let sweep = a.threshold_sweep(&[60, 85, 360, 40_000]);
+        assert_eq!(sweep, vec![(60, 0), (85, 1), (360, 2), (40_000, 3)]);
+    }
+
+    #[test]
+    fn merge_hl_events_sorts() {
+        let f = [HlEvent {
+            phone_id: 2,
+            at: t(10),
+            kind: HlKind::Freeze,
+        }];
+        let s = [HlEvent {
+            phone_id: 1,
+            at: t(99),
+            kind: HlKind::SelfShutdown,
+        }];
+        let merged = merge_hl_events(&f, &s);
+        assert_eq!(merged[0].phone_id, 1);
+        assert_eq!(merged[1].phone_id, 2);
+    }
+}

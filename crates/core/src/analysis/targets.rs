@@ -1,0 +1,148 @@
+//! The paper's published numbers, used as reproduction targets.
+//!
+//! Table 2's percentages are all integer multiples of 1/396, so the
+//! study observed exactly 396 panics; the reconstructed counts below
+//! reproduce the printed percentages exactly (see DESIGN.md §3 for the
+//! arithmetic).
+
+use symfail_symbian::panic::codes;
+use symfail_symbian::PanicCode;
+
+/// Number of phones in the deployment.
+pub const PHONES: usize = 25;
+/// Length of the campaign in months.
+pub const CAMPAIGN_MONTHS: u32 = 14;
+/// Total panics recorded (Table 2 denominator).
+pub const TOTAL_PANICS: usize = 396;
+/// Freezes reported by the logger.
+pub const FREEZES: usize = 360;
+/// Self-shutdowns after the 360 s filter.
+pub const SELF_SHUTDOWNS: usize = 471;
+/// All recorded shutdown events (Figure 2 histogram population).
+pub const SHUTDOWN_EVENTS: usize = 1778;
+/// Mean time between freezes, hours.
+pub const MTBFR_HOURS: f64 = 313.0;
+/// Mean time between self-shutdowns, hours.
+pub const MTBS_HOURS: f64 = 250.0;
+/// Median self-shutdown duration, seconds (Figure 2 inset peak).
+pub const MEDIAN_SELF_SHUTDOWN_SECS: f64 = 80.0;
+/// The second mode of Figure 2: night off-time, seconds (~8 h 20 m).
+pub const NIGHT_OFF_SECS: f64 = 30_000.0;
+/// Self-shutdown classification threshold, seconds.
+pub const SELF_SHUTDOWN_THRESHOLD_SECS: u64 = 360;
+/// Fraction of panics related to an HL event with the 5-minute window.
+pub const RELATED_PANIC_FRACTION: f64 = 0.51;
+/// The same fraction when *all* shutdown events are included.
+pub const RELATED_PANIC_FRACTION_ALL_SHUTDOWNS: f64 = 0.55;
+/// Fraction of panics occurring in cascades of two or more (Figure 3).
+pub const CASCADED_PANIC_FRACTION: f64 = 0.25;
+/// Fraction of HL-related panics during real-time activity (Table 3).
+pub const REAL_TIME_ACTIVITY_FRACTION: f64 = 0.45;
+/// Table 3 row totals, percent of HL-related panics.
+pub const ACTIVITY_VOICE_CALL_PCT: f64 = 38.64;
+/// Table 3 message row total.
+pub const ACTIVITY_MESSAGE_PCT: f64 = 6.62;
+/// Table 3 unspecified row total.
+pub const ACTIVITY_UNSPECIFIED_PCT: f64 = 54.74;
+/// Modal number of running applications at panic time (Figure 6).
+pub const MODAL_RUNNING_APPS: usize = 1;
+/// Share of panics with the Messages application running (Table 4 top
+/// column).
+pub const MESSAGES_APP_SHARE_PCT: f64 = 8.18;
+
+/// Table 2: `(panic code, count, percent)` for all twenty codes.
+pub const PANIC_DISTRIBUTION: [(PanicCode, u64, f64); 20] = [
+    (codes::KERN_EXEC_3, 223, 56.31),
+    (codes::E32USER_CBASE_69, 40, 10.10),
+    (codes::KERN_EXEC_0, 25, 6.31),
+    (codes::MSGS_CLIENT_3, 25, 6.31),
+    (codes::USER_11, 23, 5.81),
+    (codes::E32USER_CBASE_33, 22, 5.56),
+    (codes::VIEWSRV_11, 10, 2.53),
+    (codes::USER_10, 6, 1.52),
+    (codes::E32USER_CBASE_46, 3, 0.76),
+    (codes::E32USER_CBASE_92, 3, 0.76),
+    (codes::KERN_SVR_70, 3, 0.76),
+    (codes::EIKON_LISTBOX_5, 3, 0.76),
+    (codes::E32USER_CBASE_91, 2, 0.51),
+    (codes::KERN_EXEC_15, 2, 0.51),
+    (codes::E32USER_CBASE_47, 1, 0.25),
+    (codes::KERN_SVR_0, 1, 0.25),
+    (codes::EIKON_LISTBOX_3, 1, 0.25),
+    (codes::EIKCOCTL_70, 1, 0.25),
+    (codes::PHONE_APP_2, 1, 0.25),
+    (codes::MMF_AUDIO_CLIENT_4, 1, 0.25),
+];
+
+/// Panic categories the paper observed never manifesting as HL events.
+pub const NEVER_HL_CATEGORIES: [&str; 4] =
+    ["EIKON-LISTBOX", "EIKCOCTL", "MMFAudioClient", "KERN-SVR"];
+
+/// Panic categories that always cause a self-shutdown (core
+/// applications the kernel reboots the phone for).
+pub const ALWAYS_SELF_SHUTDOWN_CATEGORIES: [&str; 2] = ["Phone.app", "MSGS Client"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_distribution_sums_to_total() {
+        let sum: u64 = PANIC_DISTRIBUTION.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(sum as usize, TOTAL_PANICS);
+    }
+
+    #[test]
+    fn percentages_match_counts() {
+        for (code, count, pct) in PANIC_DISTRIBUTION {
+            let computed = 100.0 * count as f64 / TOTAL_PANICS as f64;
+            assert!(
+                (computed - pct).abs() < 0.005,
+                "{code}: {count}/396 = {computed:.4} vs printed {pct}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let sum: f64 = PANIC_DISTRIBUTION.iter().map(|(_, _, p)| p).sum();
+        assert!((sum - 100.0).abs() < 0.05, "sum {sum}");
+    }
+
+    #[test]
+    fn abstract_level_claims_hold() {
+        // "memory access violation errors (56%)"
+        let ke3 = PANIC_DISTRIBUTION
+            .iter()
+            .find(|(c, _, _)| *c == codes::KERN_EXEC_3)
+            .unwrap()
+            .2;
+        assert!((ke3 - 56.31).abs() < 1e-9);
+        // "heap management problems (18%)" = E32USER-CBase total
+        let heap: f64 = PANIC_DISTRIBUTION
+            .iter()
+            .filter(|(c, _, _)| c.category.as_str() == "E32USER-CBase")
+            .map(|(_, _, p)| p)
+            .sum();
+        assert!((heap - 17.94).abs() < 0.05, "heap {heap}");
+    }
+
+    #[test]
+    fn activity_rows_sum_to_hundred() {
+        let sum = ACTIVITY_VOICE_CALL_PCT + ACTIVITY_MESSAGE_PCT + ACTIVITY_UNSPECIFIED_PCT;
+        assert!((sum - 100.0).abs() < 0.1, "sum {sum}");
+        // ~45% real-time
+        let rt = (ACTIVITY_VOICE_CALL_PCT + ACTIVITY_MESSAGE_PCT) / 100.0;
+        assert!((rt - REAL_TIME_ACTIVITY_FRACTION).abs() < 0.01);
+    }
+
+    #[test]
+    fn every_taxonomy_code_has_a_target() {
+        for (code, _) in codes::ALL {
+            assert!(
+                PANIC_DISTRIBUTION.iter().any(|(c, _, _)| *c == code),
+                "missing target for {code}"
+            );
+        }
+    }
+}

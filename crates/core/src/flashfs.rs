@@ -1,0 +1,169 @@
+//! A simulated persistent flash filesystem.
+//!
+//! The logger's files must survive reboots, kernel panics and battery
+//! pulls — on the real phones they lived on internal flash. The model
+//! is line-oriented (every logger record is one line) and tracks write
+//! amplification so the heartbeat-period ablation can report the log
+//! volume cost of faster detection.
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An in-memory, reboot-persistent, line-oriented filesystem.
+///
+/// # Example
+///
+/// ```
+/// use symfail_core::flashfs::FlashFs;
+///
+/// let mut fs = FlashFs::new();
+/// fs.append_line("beats", "0|ALIVE");
+/// fs.append_line("beats", "30000|ALIVE");
+/// assert_eq!(fs.read_lines("beats").count(), 2);
+/// assert_eq!(fs.last_line("beats"), Some("30000|ALIVE"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlashFs {
+    files: BTreeMap<String, BytesMut>,
+    bytes_written: u64,
+}
+
+impl FlashFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one line to `file`, creating it if needed. The newline
+    /// is added by the filesystem; embedded newlines in `line` are
+    /// rejected by debug assertion (records are single lines by
+    /// construction).
+    pub fn append_line(&mut self, file: &str, line: &str) {
+        debug_assert!(!line.contains('\n'), "records must be single lines");
+        let buf = self.files.entry(file.to_string()).or_default();
+        buf.put(line.as_bytes());
+        buf.put_u8(b'\n');
+        self.bytes_written += line.len() as u64 + 1;
+    }
+
+    /// Iterator over the lines of `file` (empty for a missing file).
+    pub fn read_lines(&self, file: &str) -> impl Iterator<Item = &str> {
+        self.files
+            .get(file)
+            .map(|b| std::str::from_utf8(b).expect("flashfs content is UTF-8"))
+            .unwrap_or("")
+            .lines()
+    }
+
+    /// The last line of `file`, if the file exists and is non-empty.
+    pub fn last_line(&self, file: &str) -> Option<&str> {
+        self.read_lines(file).last()
+    }
+
+    /// Raw content of a file as bytes.
+    pub fn read_bytes(&self, file: &str) -> Option<Bytes> {
+        self.files.get(file).map(|b| Bytes::copy_from_slice(b))
+    }
+
+    /// True when the file exists.
+    pub fn exists(&self, file: &str) -> bool {
+        self.files.contains_key(file)
+    }
+
+    /// Removes a file; returns true if it existed.
+    pub fn remove(&mut self, file: &str) -> bool {
+        self.files.remove(file).is_some()
+    }
+
+    /// Truncates a file to zero length, keeping it in the directory.
+    pub fn truncate(&mut self, file: &str) {
+        if let Some(buf) = self.files.get_mut(file) {
+            buf.clear();
+        }
+    }
+
+    /// Names of all files, sorted.
+    pub fn file_names(&self) -> Vec<&str> {
+        self.files.keys().map(String::as_str).collect()
+    }
+
+    /// Size of a file in bytes (0 when missing).
+    pub fn size_of(&self, file: &str) -> u64 {
+        self.files.get(file).map(|b| b.len() as u64).unwrap_or(0)
+    }
+
+    /// Total bytes written over the filesystem's lifetime (the flash
+    /// wear / log-volume metric; truncation does not reduce it).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total current size across files.
+    pub fn total_size(&self) -> u64 {
+        self.files.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read() {
+        let mut fs = FlashFs::new();
+        fs.append_line("log", "a");
+        fs.append_line("log", "b");
+        let lines: Vec<&str> = fs.read_lines("log").collect();
+        assert_eq!(lines, vec!["a", "b"]);
+        assert_eq!(fs.last_line("log"), Some("b"));
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let fs = FlashFs::new();
+        assert_eq!(fs.read_lines("nope").count(), 0);
+        assert_eq!(fs.last_line("nope"), None);
+        assert!(!fs.exists("nope"));
+        assert_eq!(fs.size_of("nope"), 0);
+    }
+
+    #[test]
+    fn truncate_keeps_file_and_wear_counter() {
+        let mut fs = FlashFs::new();
+        fs.append_line("beats", "0|ALIVE");
+        let wear = fs.bytes_written();
+        fs.truncate("beats");
+        assert!(fs.exists("beats"));
+        assert_eq!(fs.read_lines("beats").count(), 0);
+        assert_eq!(fs.bytes_written(), wear, "wear counter survives truncation");
+    }
+
+    #[test]
+    fn remove() {
+        let mut fs = FlashFs::new();
+        fs.append_line("x", "1");
+        assert!(fs.remove("x"));
+        assert!(!fs.remove("x"));
+        assert!(!fs.exists("x"));
+    }
+
+    #[test]
+    fn sizes_and_names() {
+        let mut fs = FlashFs::new();
+        fs.append_line("b", "22");
+        fs.append_line("a", "1");
+        assert_eq!(fs.file_names(), vec!["a", "b"]);
+        assert_eq!(fs.size_of("b"), 3);
+        assert_eq!(fs.total_size(), 5);
+        assert_eq!(fs.bytes_written(), 5);
+    }
+
+    #[test]
+    fn read_bytes_round_trip() {
+        let mut fs = FlashFs::new();
+        fs.append_line("f", "hello");
+        assert_eq!(fs.read_bytes("f").unwrap().as_ref(), b"hello\n");
+        assert!(fs.read_bytes("missing").is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! The Log Engine active object.
+//!
+//! Collects the smart phone activity (calls, messages, data sessions)
+//! from the Database Log Server and stores it into the `activity`
+//! file.
+
+use symfail_sim_core::SimTime;
+use symfail_symbian::servers::logdb::ActivityKind;
+
+use crate::flashfs::FlashFs;
+
+use super::files;
+
+/// The activity mirror.
+#[derive(Debug, Clone, Default)]
+pub struct LogEngine {
+    records: u64,
+}
+
+impl LogEngine {
+    /// Creates the active object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one activity line: `<start_ms>|<end_ms>|<code>`.
+    pub fn record(&mut self, fs: &mut FlashFs, start: SimTime, end: SimTime, kind: ActivityKind) {
+        let code = match kind {
+            ActivityKind::VoiceCall => 'V',
+            ActivityKind::Message => 'M',
+            ActivityKind::DataSession => 'D',
+        };
+        fs.append_line(
+            files::ACTIVITY,
+            &format!("{}|{}|{code}", start.as_millis(), end.as_millis()),
+        );
+        self.records += 1;
+    }
+
+    /// Number of activity records written.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Parses every activity record from the file.
+    pub fn parse_all(fs: &FlashFs) -> Vec<(SimTime, SimTime, ActivityKind)> {
+        fs.read_lines(files::ACTIVITY)
+            .filter_map(|line| {
+                let mut it = line.split('|');
+                let start = SimTime::from_millis(it.next()?.parse().ok()?);
+                let end = SimTime::from_millis(it.next()?.parse().ok()?);
+                let kind = match it.next()? {
+                    "V" => ActivityKind::VoiceCall,
+                    "M" => ActivityKind::Message,
+                    "D" => ActivityKind::DataSession,
+                    _ => return None,
+                };
+                Some((start, end, kind))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_parse() {
+        let mut fs = FlashFs::new();
+        let mut le = LogEngine::new();
+        le.record(&mut fs, SimTime::from_secs(1), SimTime::from_secs(2), ActivityKind::VoiceCall);
+        le.record(&mut fs, SimTime::from_secs(3), SimTime::from_secs(4), ActivityKind::DataSession);
+        assert_eq!(le.records(), 2);
+        let all = LogEngine::parse_all(&fs);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].2, ActivityKind::VoiceCall);
+        assert_eq!(all[1].2, ActivityKind::DataSession);
+    }
+}

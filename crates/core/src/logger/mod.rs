@@ -1,0 +1,365 @@
+//! The failure data logger (Figure 1 of the paper).
+//!
+//! The logger is a daemon application that starts at phone start-up
+//! and executes in the background. It is composed of active objects:
+//!
+//! * [`HeartbeatAo`] — detects freezes and self-shutdowns by writing
+//!   periodic `ALIVE` events and a final `REBOOT`/`MAOFF`/`LOWBT`
+//!   event on clean shutdowns;
+//! * [`RunningAppsDetector`] — periodically snapshots the running
+//!   application list (from the Application Architecture Server) into
+//!   the `runapp` file;
+//! * [`LogEngine`] — collects phone activity (calls, messages) from
+//!   the Database Log Server into the `activity` file;
+//! * [`PowerManager`] — records battery status from the System Agent
+//!   Server into the `power` file, so low-battery shutdowns can be
+//!   told apart from failures;
+//! * [`PanicDetector`] — receives panic notifications (the `RDebug`
+//!   hook of the Kernel Server), consolidates the other AOs' data into
+//!   the single consolidated log file, and at boot inspects the last
+//!   heartbeat to classify what ended the previous session.
+//!
+//! [`FailureLogger`] wires the five together behind the narrow hook
+//! API the device simulator drives.
+
+mod dexc;
+mod heartbeat;
+mod logengine;
+mod panicdet;
+mod power;
+mod runapps;
+mod user_reports;
+
+pub use dexc::{DExcLogger, DEXC_FILE};
+pub use heartbeat::HeartbeatAo;
+pub use logengine::LogEngine;
+pub use panicdet::PanicDetector;
+pub use power::PowerManager;
+pub use runapps::RunningAppsDetector;
+pub use user_reports::{UserReportChannel, UserReportKind, UREPORT_FILE};
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::{SimDuration, SimTime};
+use symfail_symbian::servers::logdb::ActivityKind;
+use symfail_symbian::Panic;
+
+use crate::flashfs::FlashFs;
+use crate::records::{BootRecord, HeartbeatEvent, LogRecord};
+
+/// Flash file names used by the logger.
+pub mod files {
+    /// Heartbeat events.
+    pub const BEATS: &str = "beats";
+    /// Running-application snapshots.
+    pub const RUNAPP: &str = "runapp";
+    /// Phone activity records.
+    pub const ACTIVITY: &str = "activity";
+    /// Battery status samples.
+    pub const POWER: &str = "power";
+    /// The consolidated log file.
+    pub const LOG: &str = "log";
+}
+
+/// Tuning knobs of the logger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoggerConfig {
+    /// Heartbeat period (paper's deployment used tens of seconds; the
+    /// trade-off is studied in the heartbeat ablation bench).
+    pub heartbeat_period: SimDuration,
+    /// Snapshot the running apps / power files every N heartbeats.
+    pub snapshot_every: u32,
+}
+
+impl Default for LoggerConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_period: SimDuration::from_secs(30),
+            snapshot_every: 10,
+        }
+    }
+}
+
+/// The phone-state snapshot the logger's active objects sample. The
+/// embedding simulator fills it from the Application Architecture
+/// Server, the Database Log Server and the System Agent Server.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhoneContext {
+    /// Applications currently running (excluding the logger daemon).
+    pub running_apps: Vec<String>,
+    /// Activity in progress, if any.
+    pub activity: Option<ActivityKind>,
+    /// Battery level in percent.
+    pub battery_percent: u8,
+    /// True when the System Agent reports the battery critically low.
+    pub battery_low: bool,
+}
+
+/// How a clean shutdown was initiated (drives the final heartbeat
+/// event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShutdownKind {
+    /// Power-off or reboot via the power button, or a kernel-initiated
+    /// reboot: indistinguishable in the beats file, exactly as in the
+    /// paper (the reboot-duration analysis separates them later).
+    Reboot,
+    /// The user turned the logger application off.
+    ManualOff,
+    /// Shutdown forced by a drained battery.
+    LowBattery,
+}
+
+/// The failure data logger daemon.
+///
+/// # Example
+///
+/// ```
+/// use symfail_core::flashfs::FlashFs;
+/// use symfail_core::logger::{FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
+/// use symfail_sim_core::SimTime;
+///
+/// let mut fs = FlashFs::new();
+/// let mut logger = FailureLogger::new(LoggerConfig::default());
+/// let ctx = PhoneContext::default();
+/// logger.on_boot(&mut fs, SimTime::ZERO, &ctx);
+/// logger.on_tick(&mut fs, SimTime::from_secs(30), &ctx);
+/// logger.on_clean_shutdown(&mut fs, SimTime::from_secs(60), ShutdownKind::Reboot);
+/// // Next boot classifies the previous session:
+/// logger.on_boot(&mut fs, SimTime::from_secs(142), &ctx);
+/// let boots = logger.boot_records(&fs);
+/// assert_eq!(boots.len(), 2);
+/// assert_eq!(boots[1].off_duration.unwrap().as_secs(), 82);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureLogger {
+    config: LoggerConfig,
+    heartbeat: HeartbeatAo,
+    runapps: RunningAppsDetector,
+    logengine: LogEngine,
+    power: PowerManager,
+    panicdet: PanicDetector,
+    ticks_since_snapshot: u32,
+}
+
+impl FailureLogger {
+    /// Creates a logger with the given configuration.
+    pub fn new(config: LoggerConfig) -> Self {
+        Self {
+            config,
+            heartbeat: HeartbeatAo::new(),
+            runapps: RunningAppsDetector::new(),
+            logengine: LogEngine::new(),
+            power: PowerManager::new(),
+            panicdet: PanicDetector::new(),
+            ticks_since_snapshot: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> LoggerConfig {
+        self.config
+    }
+
+    /// Called when the phone (and thus the logger daemon) starts. The
+    /// Panic Detector inspects the last heartbeat to classify how the
+    /// previous session ended, then writes a boot record; the
+    /// heartbeat resumes.
+    pub fn on_boot(&mut self, fs: &mut FlashFs, now: SimTime, ctx: &PhoneContext) {
+        self.panicdet.on_boot(fs, now);
+        self.heartbeat.beat(fs, now);
+        self.snapshot(fs, now, ctx);
+        self.ticks_since_snapshot = 0;
+    }
+
+    /// Periodic heartbeat tick; also drives the lower-frequency
+    /// snapshots of the auxiliary files.
+    pub fn on_tick(&mut self, fs: &mut FlashFs, now: SimTime, ctx: &PhoneContext) {
+        self.heartbeat.beat(fs, now);
+        self.ticks_since_snapshot += 1;
+        if self.ticks_since_snapshot >= self.config.snapshot_every {
+            self.snapshot(fs, now, ctx);
+            self.ticks_since_snapshot = 0;
+        }
+    }
+
+    /// Called when the Database Log Server records a completed
+    /// activity; the Log Engine mirrors it into the activity file.
+    pub fn on_activity(
+        &mut self,
+        fs: &mut FlashFs,
+        start: SimTime,
+        end: SimTime,
+        kind: ActivityKind,
+    ) {
+        self.logengine.record(fs, start, end, kind);
+    }
+
+    /// Called when the kernel notifies a panic (the `RDebug` hook).
+    /// The Panic Detector consolidates the context into the log file.
+    pub fn on_panic(&mut self, fs: &mut FlashFs, now: SimTime, panic: &Panic, ctx: &PhoneContext) {
+        self.panicdet.on_panic(fs, now, panic, ctx);
+    }
+
+    /// Called during a clean shutdown: the OS lets applications finish
+    /// their work, which is sufficient for the Heartbeat to record the
+    /// final event. A battery pull never reaches this hook.
+    pub fn on_clean_shutdown(&mut self, fs: &mut FlashFs, now: SimTime, kind: ShutdownKind) {
+        let event = match kind {
+            ShutdownKind::Reboot => HeartbeatEvent::Reboot,
+            ShutdownKind::ManualOff => HeartbeatEvent::ManualOff,
+            ShutdownKind::LowBattery => HeartbeatEvent::LowBattery,
+        };
+        self.heartbeat.final_event(fs, now, event);
+    }
+
+    fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, ctx: &PhoneContext) {
+        self.runapps.snapshot(fs, now, &ctx.running_apps);
+        self.power.snapshot(fs, now, ctx.battery_percent, ctx.battery_low);
+    }
+
+    /// Parses the consolidated log file back into records — the
+    /// harvesting step of the study.
+    pub fn log_records(&self, fs: &FlashFs) -> Vec<LogRecord> {
+        fs.read_lines(files::LOG)
+            .filter_map(|line| LogRecord::decode(line).ok())
+            .collect()
+    }
+
+    /// The boot records only.
+    pub fn boot_records(&self, fs: &FlashFs) -> Vec<BootRecord> {
+        self.log_records(fs)
+            .into_iter()
+            .filter_map(|r| match r {
+                LogRecord::Boot(b) => Some(b),
+                LogRecord::Panic(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symfail_symbian::panic::codes;
+
+    fn ctx() -> PhoneContext {
+        PhoneContext {
+            running_apps: vec!["Messages".into()],
+            activity: Some(ActivityKind::Message),
+            battery_percent: 80,
+            battery_low: false,
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_boot_writes_boot_record_and_alive() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        let boots = lg.boot_records(&fs);
+        assert_eq!(boots.len(), 1);
+        assert!(!boots[0].freeze_detected, "first boot is not a freeze");
+        assert!(boots[0].off_duration.is_none());
+        assert_eq!(fs.last_line(files::BEATS), Some("0|ALIVE"));
+    }
+
+    #[test]
+    fn clean_reboot_yields_off_duration() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        lg.on_tick(&mut fs, t(30), &ctx());
+        lg.on_clean_shutdown(&mut fs, t(45), ShutdownKind::Reboot);
+        lg.on_boot(&mut fs, t(125), &ctx());
+        let boots = lg.boot_records(&fs);
+        assert_eq!(boots.len(), 2);
+        let b = boots[1];
+        assert!(!b.freeze_detected);
+        assert_eq!(b.off_duration, Some(SimDuration::from_secs(80)));
+        assert_eq!(b.last_event, HeartbeatEvent::Reboot);
+    }
+
+    #[test]
+    fn battery_pull_after_freeze_detected() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        lg.on_tick(&mut fs, t(30), &ctx());
+        // Phone freezes: no clean shutdown; the user pulls the battery
+        // and boots again later.
+        lg.on_boot(&mut fs, t(600), &ctx());
+        let b = lg.boot_records(&fs)[1];
+        assert!(b.freeze_detected);
+        assert_eq!(b.last_event, HeartbeatEvent::Alive);
+        assert_eq!(b.last_event_at, t(30));
+        assert!(b.off_duration.is_none());
+    }
+
+    #[test]
+    fn low_battery_and_manual_off_classified() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        lg.on_clean_shutdown(&mut fs, t(10), ShutdownKind::LowBattery);
+        lg.on_boot(&mut fs, t(100), &ctx());
+        lg.on_clean_shutdown(&mut fs, t(200), ShutdownKind::ManualOff);
+        lg.on_boot(&mut fs, t(300), &ctx());
+        let boots = lg.boot_records(&fs);
+        assert_eq!(boots[1].last_event, HeartbeatEvent::LowBattery);
+        assert!(!boots[1].freeze_detected);
+        assert_eq!(boots[2].last_event, HeartbeatEvent::ManualOff);
+    }
+
+    #[test]
+    fn panic_consolidates_context() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        let p = Panic::new(codes::KERN_EXEC_3, "Messages", "dereferenced NULL");
+        lg.on_panic(&mut fs, t(33), &p, &ctx());
+        let recs = lg.log_records(&fs);
+        let panic_rec = recs
+            .iter()
+            .find_map(|r| match r {
+                LogRecord::Panic(p) => Some(p.clone()),
+                _ => None,
+            })
+            .expect("panic record present");
+        assert_eq!(panic_rec.panic, p);
+        assert_eq!(panic_rec.running_apps, vec!["Messages".to_string()]);
+        assert_eq!(panic_rec.activity, Some(ActivityKind::Message));
+        assert_eq!(panic_rec.battery, 80);
+    }
+
+    #[test]
+    fn snapshots_written_at_configured_cadence() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig {
+            heartbeat_period: SimDuration::from_secs(30),
+            snapshot_every: 2,
+        });
+        lg.on_boot(&mut fs, t(0), &ctx()); // snapshot #1
+        for i in 1..=4 {
+            lg.on_tick(&mut fs, t(30 * i), &ctx());
+        }
+        // boot snapshot + ticks 2 and 4
+        assert_eq!(fs.read_lines(files::RUNAPP).count(), 3);
+        assert_eq!(fs.read_lines(files::POWER).count(), 3);
+        assert_eq!(fs.read_lines(files::BEATS).count(), 5);
+    }
+
+    #[test]
+    fn activity_mirrored() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        lg.on_boot(&mut fs, t(0), &ctx());
+        lg.on_activity(&mut fs, t(10), t(70), ActivityKind::VoiceCall);
+        assert_eq!(fs.read_lines(files::ACTIVITY).count(), 1);
+        let line = fs.last_line(files::ACTIVITY).unwrap();
+        assert!(line.contains('V'), "{line}");
+    }
+}

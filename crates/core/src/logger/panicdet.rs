@@ -1,0 +1,155 @@
+//! The Panic Detector active object.
+//!
+//! Collects panic events as they are notified (via the `RDebug`
+//! services of the Kernel Server) and consolidates the data produced
+//! by the other active objects into the single consolidated log file.
+//! It also runs the boot-time heartbeat check: when the logger starts,
+//! it inspects the last event in the `beats` file —
+//!
+//! * `ALIVE` ⇒ the phone was shut down by pulling out the battery,
+//!   which (per the paper) means the phone was **frozen**: pulling the
+//!   battery is the only reasonable user recovery for a freeze;
+//! * `REBOOT` / `LOWBT` / `MAOFF` ⇒ a clean shutdown whose duration
+//!   (phone off-time) is measurable and recorded for the Figure 2
+//!   self-shutdown identification.
+
+use symfail_sim_core::SimTime;
+use symfail_symbian::Panic;
+
+use crate::flashfs::FlashFs;
+use crate::records::{decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord};
+
+use super::{files, PhoneContext};
+
+/// The panic collector and boot-time classifier.
+#[derive(Debug, Clone, Default)]
+pub struct PanicDetector {
+    panics_recorded: u64,
+}
+
+impl PanicDetector {
+    /// Creates the active object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of panic records written.
+    pub fn panics_recorded(&self) -> u64 {
+        self.panics_recorded
+    }
+
+    /// Consolidates a notified panic with the context sampled from the
+    /// other active objects, and appends it to the log file.
+    pub fn on_panic(
+        &mut self,
+        fs: &mut FlashFs,
+        now: SimTime,
+        panic: &Panic,
+        ctx: &PhoneContext,
+    ) {
+        let record = LogRecord::Panic(PanicRecord {
+            at: now,
+            panic: panic.clone(),
+            running_apps: ctx.running_apps.clone(),
+            activity: ctx.activity,
+            battery: ctx.battery_percent,
+        });
+        fs.append_line(files::LOG, &record.encode());
+        self.panics_recorded += 1;
+    }
+
+    /// The boot-time heartbeat check. Writes a [`BootRecord`]
+    /// classifying how the previous session ended.
+    pub fn on_boot(&mut self, fs: &mut FlashFs, now: SimTime) {
+        let last_beat = fs
+            .last_line(files::BEATS)
+            .and_then(|line| decode_beat(line).ok());
+        let record = match last_beat {
+            None => BootRecord {
+                // Very first boot: nothing to classify.
+                boot_at: now,
+                last_event: HeartbeatEvent::Reboot,
+                last_event_at: now,
+                off_duration: None,
+                freeze_detected: false,
+            },
+            Some((at, HeartbeatEvent::Alive)) => BootRecord {
+                boot_at: now,
+                last_event: HeartbeatEvent::Alive,
+                last_event_at: at,
+                off_duration: None,
+                freeze_detected: true,
+            },
+            Some((at, event)) => BootRecord {
+                boot_at: now,
+                last_event: event,
+                last_event_at: at,
+                off_duration: Some(now.saturating_since(at)),
+                freeze_detected: false,
+            },
+        };
+        fs.append_line(files::LOG, &LogRecord::Boot(record).encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::encode_beat;
+    use symfail_symbian::panic::codes;
+
+    #[test]
+    fn boot_with_no_beats_is_first_boot() {
+        let mut fs = FlashFs::new();
+        let mut pd = PanicDetector::new();
+        pd.on_boot(&mut fs, SimTime::from_secs(1));
+        let rec = LogRecord::decode(fs.last_line(files::LOG).unwrap()).unwrap();
+        match rec {
+            LogRecord::Boot(b) => {
+                assert!(!b.freeze_detected);
+                assert!(b.off_duration.is_none());
+            }
+            _ => panic!("expected boot record"),
+        }
+    }
+
+    #[test]
+    fn boot_after_alive_flags_freeze() {
+        let mut fs = FlashFs::new();
+        fs.append_line(files::BEATS, &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Alive));
+        let mut pd = PanicDetector::new();
+        pd.on_boot(&mut fs, SimTime::from_secs(400));
+        match LogRecord::decode(fs.last_line(files::LOG).unwrap()).unwrap() {
+            LogRecord::Boot(b) => {
+                assert!(b.freeze_detected);
+                assert_eq!(b.last_event_at, SimTime::from_secs(100));
+            }
+            _ => panic!("expected boot record"),
+        }
+    }
+
+    #[test]
+    fn boot_after_reboot_measures_off_duration() {
+        let mut fs = FlashFs::new();
+        fs.append_line(files::BEATS, &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Reboot));
+        let mut pd = PanicDetector::new();
+        pd.on_boot(&mut fs, SimTime::from_secs(182));
+        match LogRecord::decode(fs.last_line(files::LOG).unwrap()).unwrap() {
+            LogRecord::Boot(b) => {
+                assert!(!b.freeze_detected);
+                assert_eq!(b.off_duration.unwrap().as_secs(), 82);
+            }
+            _ => panic!("expected boot record"),
+        }
+    }
+
+    #[test]
+    fn panic_recording_counts() {
+        let mut fs = FlashFs::new();
+        let mut pd = PanicDetector::new();
+        let p = Panic::new(codes::VIEWSRV_11, "Clock", "monopolized");
+        pd.on_panic(&mut fs, SimTime::from_secs(5), &p, &PhoneContext::default());
+        assert_eq!(pd.panics_recorded(), 1);
+        assert!(fs.last_line(files::LOG).unwrap().starts_with("P|5000|ViewSrv~11|Clock"));
+    }
+}

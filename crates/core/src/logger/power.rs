@@ -1,0 +1,76 @@
+//! The Power Manager active object.
+//!
+//! Records battery status (gathered from the System Agent Server)
+//! into the `power` file, enabling the analysis to differentiate
+//! self-shutdowns due to failures from those due to a drained
+//! battery.
+
+use symfail_sim_core::SimTime;
+
+use crate::flashfs::FlashFs;
+
+use super::files;
+
+/// The battery-status sampler.
+#[derive(Debug, Clone, Default)]
+pub struct PowerManager {
+    samples: u64,
+}
+
+impl PowerManager {
+    /// Creates the active object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one sample line: `<ms>|<percent>|<LOW or OK>`.
+    pub fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, percent: u8, low: bool) {
+        fs.append_line(
+            files::POWER,
+            &format!("{}|{}|{}", now.as_millis(), percent, if low { "LOW" } else { "OK" }),
+        );
+        self.samples += 1;
+    }
+
+    /// Number of samples written.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Parses the most recent battery sample.
+    pub fn latest(fs: &FlashFs) -> Option<(SimTime, u8, bool)> {
+        let line = fs.last_line(files::POWER)?;
+        let mut it = line.split('|');
+        let at = SimTime::from_millis(it.next()?.parse().ok()?);
+        let pct: u8 = it.next()?.parse().ok()?;
+        let low = match it.next()? {
+            "LOW" => true,
+            "OK" => false,
+            _ => return None,
+        };
+        Some((at, pct, low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trip() {
+        let mut fs = FlashFs::new();
+        let mut pm = PowerManager::new();
+        pm.snapshot(&mut fs, SimTime::from_secs(9), 42, false);
+        pm.snapshot(&mut fs, SimTime::from_secs(10), 4, true);
+        assert_eq!(pm.samples(), 2);
+        let (at, pct, low) = PowerManager::latest(&fs).unwrap();
+        assert_eq!(at, SimTime::from_secs(10));
+        assert_eq!(pct, 4);
+        assert!(low);
+    }
+
+    #[test]
+    fn latest_on_empty_is_none() {
+        assert!(PowerManager::latest(&FlashFs::new()).is_none());
+    }
+}

@@ -1,0 +1,388 @@
+//! The logger's on-flash record model and its line codec.
+//!
+//! Every record is one text line; the codec is written by the logger
+//! and parsed back by the analysis pipeline, so the reproduction
+//! exercises a genuine serialize → persist → parse → analyze path, as
+//! the original study did when harvesting log files off the phones.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::{SimDuration, SimTime};
+use symfail_symbian::servers::logdb::ActivityKind;
+use symfail_symbian::{Panic, PanicCode};
+
+/// Events the Heartbeat active object writes to the `beats` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeartbeatEvent {
+    /// Periodic liveness beat during normal execution.
+    Alive,
+    /// A clean shutdown is in progress (user- or kernel-initiated).
+    Reboot,
+    /// The user deliberately turned the logger off (Manual OFF).
+    ManualOff,
+    /// The shutdown was caused by a drained battery (LOW BaTtery).
+    LowBattery,
+}
+
+impl HeartbeatEvent {
+    /// The token written to the beats file (paper's nomenclature).
+    pub fn token(self) -> &'static str {
+        match self {
+            HeartbeatEvent::Alive => "ALIVE",
+            HeartbeatEvent::Reboot => "REBOOT",
+            HeartbeatEvent::ManualOff => "MAOFF",
+            HeartbeatEvent::LowBattery => "LOWBT",
+        }
+    }
+
+    /// Parses a beats-file token.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ALIVE" => Some(HeartbeatEvent::Alive),
+            "REBOOT" => Some(HeartbeatEvent::Reboot),
+            "MAOFF" => Some(HeartbeatEvent::ManualOff),
+            "LOWBT" => Some(HeartbeatEvent::LowBattery),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HeartbeatEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Compact single-char code for an activity kind in the codec.
+fn activity_code(kind: ActivityKind) -> char {
+    match kind {
+        ActivityKind::VoiceCall => 'V',
+        ActivityKind::Message => 'M',
+        ActivityKind::DataSession => 'D',
+    }
+}
+
+fn activity_from_code(c: &str) -> Option<Option<ActivityKind>> {
+    match c {
+        "V" => Some(Some(ActivityKind::VoiceCall)),
+        "M" => Some(Some(ActivityKind::Message)),
+        "D" => Some(Some(ActivityKind::DataSession)),
+        "-" => Some(None),
+        _ => None,
+    }
+}
+
+/// A panic entry in the consolidated log file: the panic itself plus
+/// the context the Panic Detector gathered from the other active
+/// objects at detection time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanicRecord {
+    /// When the panic was notified.
+    pub at: SimTime,
+    /// The panic (code, raising component, reason).
+    pub panic: Panic,
+    /// Applications running at panic time (from the Running
+    /// Applications Detector).
+    pub running_apps: Vec<String>,
+    /// Phone activity at panic time (from the Log Engine), if any.
+    pub activity: Option<ActivityKind>,
+    /// Battery level at panic time (from the Power Manager).
+    pub battery: u8,
+}
+
+/// A boot entry: written by the Panic Detector when the logger starts
+/// and reconstructs what happened across the off period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootRecord {
+    /// When the phone (and logger) came back up.
+    pub boot_at: SimTime,
+    /// The last event found in the beats file.
+    pub last_event: HeartbeatEvent,
+    /// When that event was written.
+    pub last_event_at: SimTime,
+    /// Reboot duration (time the phone was off), when measurable —
+    /// i.e. when the previous shutdown was clean. A battery pull after
+    /// a freeze leaves only the last ALIVE beat, so the off duration
+    /// is not exactly known and the freeze flag is set instead.
+    pub off_duration: Option<SimDuration>,
+    /// True when the boot-time heartbeat check inferred a freeze
+    /// (last event was ALIVE: the phone never shut down cleanly).
+    pub freeze_detected: bool,
+}
+
+/// One record of the consolidated log file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A panic with its context.
+    Panic(PanicRecord),
+    /// A boot-time reconstruction record.
+    Boot(BootRecord),
+}
+
+impl LogRecord {
+    /// Timestamp of the record.
+    pub fn at(&self) -> SimTime {
+        match self {
+            LogRecord::Panic(p) => p.at,
+            LogRecord::Boot(b) => b.boot_at,
+        }
+    }
+
+    /// Encodes the record as one log-file line.
+    pub fn encode(&self) -> String {
+        match self {
+            LogRecord::Panic(p) => {
+                debug_assert!(!p.panic.reason.contains('|'));
+                format!(
+                    "P|{}|{}~{}|{}|{}|{}|{}|{}",
+                    p.at.as_millis(),
+                    p.panic.code.category.as_str(),
+                    p.panic.code.panic_type,
+                    p.panic.raised_by,
+                    p.activity.map(activity_code).unwrap_or('-'),
+                    p.battery,
+                    p.running_apps.join(","),
+                    p.panic.reason,
+                )
+            }
+            LogRecord::Boot(b) => format!(
+                "B|{}|{}|{}|{}|{}",
+                b.boot_at.as_millis(),
+                b.last_event.token(),
+                b.last_event_at.as_millis(),
+                b.off_duration
+                    .map(|d| d.as_millis().to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                u8::from(b.freeze_detected),
+            ),
+        }
+    }
+
+    /// Decodes a log-file line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordParseError`] describing the malformed field.
+    pub fn decode(line: &str) -> Result<LogRecord, RecordParseError> {
+        let err = |what: &str| RecordParseError {
+            line: line.to_string(),
+            what: what.to_string(),
+        };
+        let mut parts = line.splitn(8, '|');
+        match parts.next() {
+            Some("P") => {
+                let at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("timestamp"))?;
+                let code_str = parts.next().ok_or_else(|| err("panic code"))?;
+                let (cat, ty) = code_str.split_once('~').ok_or_else(|| err("panic code"))?;
+                let code = PanicCode::parse(&format!("{cat} {ty}")).ok_or_else(|| err("panic code"))?;
+                let raised_by = parts.next().ok_or_else(|| err("raised_by"))?.to_string();
+                let activity = parts
+                    .next()
+                    .and_then(activity_from_code)
+                    .ok_or_else(|| err("activity"))?;
+                let battery = parts
+                    .next()
+                    .and_then(|s| s.parse::<u8>().ok())
+                    .ok_or_else(|| err("battery"))?;
+                let apps_field = parts.next().ok_or_else(|| err("running apps"))?;
+                let running_apps: Vec<String> = if apps_field.is_empty() {
+                    Vec::new()
+                } else {
+                    apps_field.split(',').map(str::to_string).collect()
+                };
+                let reason = parts.next().ok_or_else(|| err("reason"))?.to_string();
+                Ok(LogRecord::Panic(PanicRecord {
+                    at: SimTime::from_millis(at),
+                    panic: Panic::new(code, raised_by, reason),
+                    running_apps,
+                    activity,
+                    battery,
+                }))
+            }
+            Some("B") => {
+                let boot_at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("boot timestamp"))?;
+                let last_event = parts
+                    .next()
+                    .and_then(HeartbeatEvent::parse)
+                    .ok_or_else(|| err("last event"))?;
+                let last_event_at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("last event timestamp"))?;
+                let off_field = parts.next().ok_or_else(|| err("off duration"))?;
+                let off_duration = match off_field {
+                    "-" => None,
+                    ms => Some(SimDuration::from_millis(
+                        ms.parse::<u64>().map_err(|_| err("off duration"))?,
+                    )),
+                };
+                let freeze = match parts.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => return Err(err("freeze flag")),
+                };
+                Ok(LogRecord::Boot(BootRecord {
+                    boot_at: SimTime::from_millis(boot_at),
+                    last_event,
+                    last_event_at: SimTime::from_millis(last_event_at),
+                    off_duration,
+                    freeze_detected: freeze,
+                }))
+            }
+            _ => Err(err("record tag")),
+        }
+    }
+}
+
+/// A malformed log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordParseError {
+    /// The offending line.
+    pub line: String,
+    /// Which field failed to parse.
+    pub what: String,
+}
+
+impl fmt::Display for RecordParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {} in log line {:?}", self.what, self.line)
+    }
+}
+
+impl std::error::Error for RecordParseError {}
+
+/// Encodes a beats-file line.
+pub fn encode_beat(at: SimTime, event: HeartbeatEvent) -> String {
+    format!("{}|{}", at.as_millis(), event.token())
+}
+
+/// Decodes a beats-file line.
+///
+/// # Errors
+///
+/// Returns a [`RecordParseError`] on malformed input.
+pub fn decode_beat(line: &str) -> Result<(SimTime, HeartbeatEvent), RecordParseError> {
+    let err = |what: &str| RecordParseError {
+        line: line.to_string(),
+        what: what.to_string(),
+    };
+    let (ms, token) = line.split_once('|').ok_or_else(|| err("beat"))?;
+    let at = ms.parse::<u64>().map_err(|_| err("beat timestamp"))?;
+    let event = HeartbeatEvent::parse(token).ok_or_else(|| err("beat event"))?;
+    Ok((SimTime::from_millis(at), event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symfail_symbian::panic::codes;
+
+    fn sample_panic() -> LogRecord {
+        LogRecord::Panic(PanicRecord {
+            at: SimTime::from_millis(123456),
+            panic: Panic::new(codes::KERN_EXEC_3, "Camera", "dereferenced NULL"),
+            running_apps: vec!["Camera".into(), "Log".into()],
+            activity: Some(ActivityKind::VoiceCall),
+            battery: 67,
+        })
+    }
+
+    #[test]
+    fn panic_record_round_trip() {
+        let rec = sample_panic();
+        let line = rec.encode();
+        assert_eq!(LogRecord::decode(&line).unwrap(), rec);
+        assert!(line.starts_with("P|123456|KERN-EXEC~3|Camera|V|67|Camera,Log|"));
+    }
+
+    #[test]
+    fn panic_record_without_context() {
+        let rec = LogRecord::Panic(PanicRecord {
+            at: SimTime::ZERO,
+            panic: Panic::new(codes::USER_11, "descriptor", "overflow"),
+            running_apps: Vec::new(),
+            activity: None,
+            battery: 0,
+        });
+        let round = LogRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(round, rec);
+        if let LogRecord::Panic(p) = round {
+            assert!(p.running_apps.is_empty());
+            assert!(p.activity.is_none());
+        }
+    }
+
+    #[test]
+    fn boot_record_round_trip() {
+        for (off, freeze) in [(Some(SimDuration::from_secs(82)), false), (None, true)] {
+            let rec = LogRecord::Boot(BootRecord {
+                boot_at: SimTime::from_secs(1000),
+                last_event: if freeze {
+                    HeartbeatEvent::Alive
+                } else {
+                    HeartbeatEvent::Reboot
+                },
+                last_event_at: SimTime::from_secs(900),
+                off_duration: off,
+                freeze_detected: freeze,
+            });
+            assert_eq!(LogRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "X|1|2",
+            "P|notanumber|KERN-EXEC~3|a|-|5||r",
+            "P|1|KERN-EXEC-3|a|-|5||r",
+            "P|1|KERN-EXEC~3|a|Q|5||r",
+            "P|1|KERN-EXEC~3|a|-|300||r",
+            "B|1|WHAT|2|-|0",
+            "B|1|ALIVE|2|-|7",
+            "B|1|ALIVE|2|xx|1",
+        ] {
+            assert!(LogRecord::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn at_accessor() {
+        assert_eq!(sample_panic().at(), SimTime::from_millis(123456));
+    }
+
+    #[test]
+    fn beat_codec_round_trip() {
+        for ev in [
+            HeartbeatEvent::Alive,
+            HeartbeatEvent::Reboot,
+            HeartbeatEvent::ManualOff,
+            HeartbeatEvent::LowBattery,
+        ] {
+            let line = encode_beat(SimTime::from_secs(42), ev);
+            let (t, e) = decode_beat(&line).unwrap();
+            assert_eq!(t, SimTime::from_secs(42));
+            assert_eq!(e, ev);
+        }
+        assert!(decode_beat("garbage").is_err());
+        assert!(decode_beat("12|NOPE").is_err());
+        assert!(decode_beat("x|ALIVE").is_err());
+    }
+
+    #[test]
+    fn heartbeat_tokens_match_paper() {
+        assert_eq!(HeartbeatEvent::Alive.token(), "ALIVE");
+        assert_eq!(HeartbeatEvent::Reboot.token(), "REBOOT");
+        assert_eq!(HeartbeatEvent::ManualOff.token(), "MAOFF");
+        assert_eq!(HeartbeatEvent::LowBattery.token(), "LOWBT");
+    }
+}

@@ -1,0 +1,376 @@
+//! Synthetic web-forum corpus generation.
+//!
+//! The paper's raw data — posts harvested from howardforums.com,
+//! cellphoneforums.net, phonescoop.com and mobiledia.com between
+//! January 2003 and March 2006 — was never published. This generator
+//! produces a corpus with the same shape: 533 posts, of which 466
+//! describe classifiable failures whose joint (failure type × recovery
+//! action) counts equal the reconstruction of Table 1, 22.3% of posts
+//! concerning smart phones, and activity mentions at the reported
+//! rates (13% voice call, 5.4% texting, 3.6% Bluetooth, 2.4% images).
+//!
+//! Each post is rendered from templated free text with randomized
+//! fillers, so the classifier genuinely parses language rather than
+//! pattern-matching a fixed string.
+#![allow(clippy::explicit_auto_deref)] // `*rng.choose(&[..])` needs the deref for inference
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimRng;
+
+use crate::classify::{FailureType, Recovery, ReportedActivity};
+
+/// The exact Table 1 cell counts (failure type × recovery action)
+/// reconstructed from the paper's percentages at 1/466 resolution.
+/// Column order: reboot, battery removal, wait, repeat, service,
+/// unreported.
+pub const TABLE1_COUNTS: [(FailureType, [u32; 6]); 5] = [
+    (FailureType::Freeze, [11, 42, 20, 0, 17, 28]),
+    (FailureType::SelfShutdown, [0, 10, 2, 0, 31, 36]),
+    (FailureType::OutputFailure, [41, 2, 3, 27, 32, 64]),
+    (FailureType::InputFailure, [3, 1, 0, 3, 3, 4]),
+    (FailureType::UnstableBehavior, [8, 1, 1, 3, 32, 41]),
+];
+
+/// Number of classifiable failure entries.
+pub const FAILURE_ENTRIES: u32 = 466;
+/// Total posts in the corpus (failures + noise posts).
+pub const TOTAL_REPORTS: u32 = 533;
+/// Smart-phone share of the posts (the paper's 22.3%).
+pub const SMART_PHONE_SHARE: f64 = 0.223;
+/// Activity-mention counts among the failure entries: voice call 13%,
+/// texting 5.4%, Bluetooth 3.6%, images 2.4% of reports.
+pub const ACTIVITY_COUNTS: [(ReportedActivity, u32); 4] = [
+    (ReportedActivity::VoiceCall, 61),
+    (ReportedActivity::TextMessage, 25),
+    (ReportedActivity::Bluetooth, 17),
+    (ReportedActivity::Images, 11),
+];
+
+/// One post as harvested from a forum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForumReport {
+    /// Sequential identifier.
+    pub id: u32,
+    /// Which forum the post came from.
+    pub forum: &'static str,
+    /// Phone vendor.
+    pub vendor: &'static str,
+    /// Whether the device is a smart phone (determined from the model,
+    /// as the paper's authors did).
+    pub smart_phone: bool,
+    /// Months since January 2003 (0..=38, through March 2006).
+    pub month: u32,
+    /// The free-format post text — all the classifier may look at.
+    pub text: String,
+    /// Generator-internal ground truth, used only to validate the
+    /// classifier.
+    pub truth: GroundTruth,
+}
+
+/// The hidden labels a post was generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The failure type, `None` for noise posts.
+    pub failure: Option<FailureType>,
+    /// The recovery action described.
+    pub recovery: Recovery,
+    /// The activity mentioned, if any.
+    pub activity: Option<ReportedActivity>,
+}
+
+const FORUMS: [&str; 4] = [
+    "howardforums.com",
+    "cellphoneforums.net",
+    "phonescoop.com",
+    "mobiledia.com",
+];
+
+const VENDORS: [&str; 11] = [
+    "Motorola",
+    "Nokia",
+    "Samsung",
+    "Sony-Ericsson",
+    "LG",
+    "Kyocera",
+    "Audiovox",
+    "HP",
+    "Blackberry",
+    "Handspring",
+    "Danger",
+];
+
+const OPENINGS: [&str; 6] = [
+    "so my phone has this issue:",
+    "anyone else seeing this?",
+    "got this handset three months ago and",
+    "since the last days",
+    "strange problem here,",
+    "need help,",
+];
+
+const CLOSINGS: [&str; 5] = [
+    "any ideas appreciated.",
+    "really annoying.",
+    "is this a known problem?",
+    "thinking of switching brands.",
+    "thanks in advance.",
+];
+
+fn failure_phrase(f: FailureType, rng: &mut SimRng) -> &'static str {
+    match f {
+        FailureType::Freeze => *rng.choose(&[
+            "the phone freezes and the screen stays solid",
+            "it locks up completely and ignores everything",
+            "the display gets frozen mid-operation",
+            "it ends up completely stuck showing the same screen",
+        ]),
+        FailureType::SelfShutdown => *rng.choose(&[
+            "the phone turns itself off without warning",
+            "it shuts down by itself in my pocket",
+            "the handset powers off on its own randomly",
+            "it switched itself off twice today",
+        ]),
+        FailureType::UnstableBehavior => *rng.choose(&[
+            "the backlight keeps flashing and menus open by themselves",
+            "apps start by themselves with no input",
+            "i get random wallpaper disappearing, totally erratic",
+            "ghost keypresses and erratic menu jumps",
+        ]),
+        FailureType::OutputFailure => *rng.choose(&[
+            "the charge indicator is wrong half the time",
+            "event reminders go off at the wrong time",
+            "the ring volume is different from what i set",
+            "the display shows garbage characters in messages",
+            "the speaker comes out distorted on every ring",
+        ]),
+        FailureType::InputFailure => *rng.choose(&[
+            "the soft keys do not work at all",
+            "the keypad stopped responding though the screen updates",
+            "some buttons have no effect anymore",
+            "half the keys do nothing, presses are ignored",
+        ]),
+    }
+}
+
+fn recovery_phrase(r: Recovery, rng: &mut SimRng) -> &'static str {
+    match r {
+        Recovery::Reboot => *rng.choose(&[
+            "after a reboot it behaves again",
+            "power cycling fixes it for a day",
+            "a restart solves it until next time",
+            "turning it off and on brings it back",
+        ]),
+        Recovery::RemoveBattery => *rng.choose(&[
+            "i have to take the battery out to get it back",
+            "only a battery pull helps",
+            "removing the battery is the only cure",
+        ]),
+        Recovery::Wait => *rng.choose(&[
+            "it comes back after a while without doing anything",
+            "waiting a few minutes is enough",
+            "if i wait long enough it recovers",
+        ]),
+        Recovery::Repeat => *rng.choose(&[
+            "trying again works every time",
+            "the second attempt works fine",
+            "if i repeat the action it goes through",
+        ]),
+        Recovery::ServicePhone => *rng.choose(&[
+            "the service center did a master reset",
+            "they applied a firmware update at the shop",
+            "i sent it in and they replaced the unit",
+            "the repair shop reflashed it",
+        ]),
+        Recovery::Unreported => "",
+    }
+}
+
+fn activity_phrase(a: ReportedActivity, rng: &mut SimRng) -> &'static str {
+    match a {
+        ReportedActivity::VoiceCall => *rng.choose(&[
+            "it always happens during a call",
+            "usually while talking to someone",
+            "it hit me mid-call twice",
+        ]),
+        ReportedActivity::TextMessage => *rng.choose(&[
+            "mostly when writing a text message",
+            "it happens while texting",
+            "right after sending an sms",
+        ]),
+        ReportedActivity::Bluetooth => *rng.choose(&[
+            "whenever bluetooth is on",
+            "while browsing files over bluetooth",
+        ]),
+        ReportedActivity::Images => *rng.choose(&[
+            "when viewing pictures",
+            "while editing an image",
+            "inside the photo gallery",
+        ]),
+    }
+}
+
+const NOISE_POSTS: [&str; 8] = [
+    "what case do you recommend for this model?",
+    "is the camera better than on the previous generation?",
+    "selling mine, barely used, box included.",
+    "how do i change the ringtone to an mp3?",
+    "battery life seems fine to me, two days easily.",
+    "which color did you all get?",
+    "can i use this handset in europe?",
+    "the new firmware changelog looks interesting.",
+];
+
+/// Configurable corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    rng: SimRng,
+    noise_posts: u32,
+}
+
+impl CorpusGenerator {
+    /// A generator producing the paper-sized corpus (533 posts).
+    pub fn paper_sized(seed: u64) -> Self {
+        Self {
+            rng: SimRng::seed_from(seed).fork("forum", 0),
+            noise_posts: TOTAL_REPORTS - FAILURE_ENTRIES,
+        }
+    }
+
+    /// Generates the corpus. Deterministic in the seed.
+    pub fn generate(mut self) -> Vec<ForumReport> {
+        // Build the exact multiset of (failure, recovery) labels.
+        let mut labels: Vec<(Option<FailureType>, Recovery)> = Vec::new();
+        for (failure, row) in TABLE1_COUNTS {
+            for (col, &count) in row.iter().enumerate() {
+                for _ in 0..count {
+                    labels.push((Some(failure), Recovery::ALL[col]));
+                }
+            }
+        }
+        for _ in 0..self.noise_posts {
+            labels.push((None, Recovery::Unreported));
+        }
+        // Exact activity quota, assigned to failure entries only.
+        let mut activities: Vec<Option<ReportedActivity>> = Vec::new();
+        for (activity, count) in ACTIVITY_COUNTS {
+            for _ in 0..count {
+                activities.push(Some(activity));
+            }
+        }
+        activities.resize(FAILURE_ENTRIES as usize, None);
+        shuffle(&mut labels, &mut self.rng);
+        shuffle(&mut activities, &mut self.rng);
+        let mut activity_slots = activities.into_iter();
+        let mut reports = Vec::with_capacity(labels.len());
+        for (id, (failure, recovery)) in labels.into_iter().enumerate() {
+            let activity = match failure {
+                Some(_) => activity_slots.next().flatten(),
+                None => None,
+            };
+            let text = match failure {
+                Some(f) => {
+                    let mut parts: Vec<&str> = vec![*self.rng.choose(&OPENINGS)];
+                    parts.push(failure_phrase(f, &mut self.rng));
+                    if let Some(a) = activity {
+                        parts.push(activity_phrase(a, &mut self.rng));
+                    }
+                    let rec = recovery_phrase(recovery, &mut self.rng);
+                    if !rec.is_empty() {
+                        parts.push(rec);
+                    }
+                    parts.push(*self.rng.choose(&CLOSINGS));
+                    parts.join(" ")
+                }
+                None => (*self.rng.choose(&NOISE_POSTS)).to_string(),
+            };
+            reports.push(ForumReport {
+                id: id as u32,
+                forum: *self.rng.choose(&FORUMS),
+                vendor: *self.rng.choose(&VENDORS),
+                smart_phone: self.rng.chance(SMART_PHONE_SHARE),
+                month: (self.rng.next_u64() % 39) as u32,
+                text,
+                truth: GroundTruth {
+                    failure,
+                    recovery,
+                    activity,
+                },
+            });
+        }
+        reports
+    }
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut SimRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_sum_to_failure_entries() {
+        let sum: u32 = TABLE1_COUNTS
+            .iter()
+            .flat_map(|(_, row)| row.iter())
+            .sum();
+        assert_eq!(sum, FAILURE_ENTRIES);
+    }
+
+    #[test]
+    fn corpus_has_paper_shape() {
+        let corpus = CorpusGenerator::paper_sized(1).generate();
+        assert_eq!(corpus.len(), TOTAL_REPORTS as usize);
+        let failures = corpus.iter().filter(|r| r.truth.failure.is_some()).count();
+        assert_eq!(failures, FAILURE_ENTRIES as usize);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusGenerator::paper_sized(9).generate();
+        let b = CorpusGenerator::paper_sized(9).generate();
+        assert_eq!(a, b);
+        let c = CorpusGenerator::paper_sized(10).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn activity_quota_exact() {
+        let corpus = CorpusGenerator::paper_sized(3).generate();
+        for (activity, count) in ACTIVITY_COUNTS {
+            let n = corpus
+                .iter()
+                .filter(|r| r.truth.activity == Some(activity))
+                .count();
+            assert_eq!(n, count as usize, "{activity:?}");
+        }
+    }
+
+    #[test]
+    fn smart_phone_share_near_target() {
+        let corpus = CorpusGenerator::paper_sized(5).generate();
+        let share = corpus.iter().filter(|r| r.smart_phone).count() as f64
+            / corpus.len() as f64;
+        assert!((share - SMART_PHONE_SHARE).abs() < 0.06, "share {share}");
+    }
+
+    #[test]
+    fn months_within_study_window() {
+        let corpus = CorpusGenerator::paper_sized(7).generate();
+        assert!(corpus.iter().all(|r| r.month <= 38));
+    }
+
+    #[test]
+    fn noise_posts_have_no_failure_text() {
+        let corpus = CorpusGenerator::paper_sized(11).generate();
+        for r in corpus.iter().filter(|r| r.truth.failure.is_none()) {
+            assert_eq!(r.truth.recovery, Recovery::Unreported);
+            assert!(NOISE_POSTS.contains(&r.text.as_str()));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Firmware: the Symbian OS version a phone runs.
+//!
+//! The study's phones ran "Symbian OS versions 6.1 to 8.0 or version
+//! 9.0", with version 8.0 — the most popular on the market when the
+//! analysis started — in the majority. Firmware matters to the fault
+//! model because older releases carry more residual faults (the paper:
+//! time-to-market pressure compromises testing, and reliability fixes
+//! ship as firmware updates installed by service centers).
+
+use serde::{Deserialize, Serialize};
+
+/// A Symbian OS release deployed in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SymbianVersion {
+    /// Symbian OS 6.1 (2001-era devices).
+    V6_1,
+    /// Symbian OS 7.0.
+    V7_0,
+    /// Symbian OS 8.0 — the fleet majority.
+    V8_0,
+    /// Symbian OS 9.0 — the newest devices in the study.
+    V9_0,
+}
+
+impl SymbianVersion {
+    /// All versions, oldest first.
+    pub const ALL: [SymbianVersion; 4] = [
+        SymbianVersion::V6_1,
+        SymbianVersion::V7_0,
+        SymbianVersion::V8_0,
+        SymbianVersion::V9_0,
+    ];
+
+    /// Display label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SymbianVersion::V6_1 => "Symbian 6.1",
+            SymbianVersion::V7_0 => "Symbian 7.0",
+            SymbianVersion::V8_0 => "Symbian 8.0",
+            SymbianVersion::V9_0 => "Symbian 9.0",
+        }
+    }
+
+    /// Fleet share of each version (majority on 8.0, as in the paper).
+    pub fn fleet_share(self) -> f64 {
+        match self {
+            SymbianVersion::V6_1 => 0.16,
+            SymbianVersion::V7_0 => 0.16,
+            SymbianVersion::V8_0 => 0.60,
+            SymbianVersion::V9_0 => 0.08,
+        }
+    }
+
+    /// Residual-fault multiplier applied to the phone's episode
+    /// probabilities: older firmware is buggier, newer firmware
+    /// benefits from accumulated fixes. The shares and multipliers are
+    /// chosen so the fleet-weighted mean is ≈ 1.0 — firmware shifts
+    /// *which phones* fail more, without moving the fleet totals the
+    /// calibration pins.
+    pub fn fault_multiplier(self) -> f64 {
+        match self {
+            SymbianVersion::V6_1 => 1.25,
+            SymbianVersion::V7_0 => 1.10,
+            SymbianVersion::V8_0 => 0.95,
+            SymbianVersion::V9_0 => 0.80,
+        }
+    }
+
+    /// Stratified assignment for phone `id` of `fleet` phones: the
+    /// version quotas are honoured exactly (up to rounding) and spread
+    /// across the fleet with a fixed coprime permutation, so the mix
+    /// does not depend on the seed.
+    pub fn assign(id: u32, fleet: u32) -> SymbianVersion {
+        let n = fleet.max(1) as u64;
+        let slot = ((id as u64 * 13 + 7) % n) as f64 + 0.5;
+        let pos = slot / n as f64;
+        let mut acc = 0.0;
+        for v in SymbianVersion::ALL {
+            acc += v.fleet_share();
+            if pos < acc {
+                return v;
+            }
+        }
+        SymbianVersion::V9_0
+    }
+}
+
+impl std::fmt::Display for SymbianVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let sum: f64 = SymbianVersion::ALL.iter().map(|v| v.fleet_share()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_weighted_multiplier_is_near_one() {
+        let mean: f64 = SymbianVersion::ALL
+            .iter()
+            .map(|v| v.fleet_share() * v.fault_multiplier())
+            .sum();
+        assert!((mean - 1.0).abs() < 0.02, "mean multiplier {mean}");
+    }
+
+    #[test]
+    fn assignment_respects_quotas() {
+        let fleet = 25;
+        let mut counts = std::collections::BTreeMap::new();
+        for id in 0..fleet {
+            *counts.entry(SymbianVersion::assign(id, fleet)).or_insert(0) += 1;
+        }
+        // Majority on 8.0, every version represented at 25 phones.
+        assert!(counts[&SymbianVersion::V8_0] >= 13);
+        assert!(counts.len() == 4, "all versions present: {counts:?}");
+        // Quotas honoured within rounding.
+        for v in SymbianVersion::ALL {
+            let expected = v.fleet_share() * fleet as f64;
+            let got = *counts.get(&v).unwrap_or(&0) as f64;
+            assert!(
+                (got - expected).abs() <= 1.0,
+                "{v}: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        for fleet in [1u32, 2, 5, 25, 100] {
+            for id in 0..fleet {
+                assert_eq!(
+                    SymbianVersion::assign(id, fleet),
+                    SymbianVersion::assign(id, fleet)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SymbianVersion::V6_1 < SymbianVersion::V8_0);
+        assert!(SymbianVersion::V8_0 < SymbianVersion::V9_0);
+    }
+
+    #[test]
+    fn newer_firmware_is_less_buggy() {
+        let mut last = f64::INFINITY;
+        for v in SymbianVersion::ALL {
+            assert!(v.fault_multiplier() < last);
+            last = v.fault_multiplier();
+        }
+    }
+}

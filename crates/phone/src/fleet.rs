@@ -1,0 +1,253 @@
+//! The fleet campaign: 25 phones over 14 months.
+//!
+//! Phones enroll staggered over the first months (the deployment
+//! started in September 2005 and grew), and some drop out before the
+//! end (reflashed firmware, replaced devices, departing participants)
+//! — this is what makes the fleet's total powered-on observation time
+//! land near the paper's ≈115 k phone-hours rather than the naive
+//! 25 × 14 months.
+//!
+//! Phones are fully independent (each owns a forked RNG stream), so
+//! the campaign can run them on worker threads without perturbing
+//! determinism: the harvest is identical to the sequential run.
+
+use crossbeam::thread;
+
+use symfail_core::flashfs::FlashFs;
+use symfail_sim_core::SimRng;
+
+use crate::calibration::CalibrationParams;
+use crate::device::{Phone, PhoneStats};
+use crate::firmware::SymbianVersion;
+
+/// The result of running one phone through the campaign.
+#[derive(Debug)]
+pub struct PhoneHarvest {
+    /// The phone's identifier.
+    pub phone_id: u32,
+    /// First campaign day the phone participated.
+    pub enrolled_day: u64,
+    /// Day the phone left the study.
+    pub retired_day: u64,
+    /// The Symbian OS release the phone ran.
+    pub firmware: SymbianVersion,
+    /// The flash filesystem collected from the phone.
+    pub flashfs: FlashFs,
+    /// Simulator ground truth (for validation only).
+    pub stats: PhoneStats,
+}
+
+/// A configured fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetCampaign {
+    seed: u64,
+    params: CalibrationParams,
+}
+
+impl FleetCampaign {
+    /// Creates a campaign with a root seed and calibration parameters.
+    pub fn new(seed: u64, params: CalibrationParams) -> Self {
+        Self { seed, params }
+    }
+
+    /// The calibration parameters in use.
+    pub fn params(&self) -> &CalibrationParams {
+        &self.params
+    }
+
+    /// Enrollment/retirement window for one phone: stratified over the
+    /// fleet (phone *i* enrolls in the *i*-th slice of the enrollment
+    /// window, and drops out in a permuted slice of the attrition
+    /// window) with per-phone jitter. Stratification keeps the fleet's
+    /// total observation time stable across seeds — the paper reports
+    /// one concrete fleet, not an ensemble — while each phone's exact
+    /// dates remain random.
+    fn window(&self, id: u32, rng: &mut SimRng) -> (u64, u64) {
+        let p = &self.params;
+        let n = p.phones.max(1) as u64;
+        let strat = |spread: u64, slot: u64, rng: &mut SimRng| {
+            if spread == 0 {
+                return 0;
+            }
+            let slice = (spread / n).max(1);
+            (slot * spread / n + rng.next_u64() % slice).min(spread)
+        };
+        let enrolled = strat(p.enrollment_spread_days as u64, id as u64, rng);
+        // A fixed coprime permutation decorrelates the dropout slice
+        // from the enrollment slice.
+        let perm = (id as u64 * 7 + 3) % n;
+        let dropout = strat(p.attrition_spread_days as u64, perm, rng);
+        let retired = (p.campaign_days as u64).saturating_sub(dropout);
+        (enrolled, retired.max(enrolled + 1))
+    }
+
+    /// Whether phone `id` belongs to the stratified nightly-shutdown
+    /// quota (⌈fraction · fleet⌉ phones, spread by a fixed coprime
+    /// permutation).
+    fn is_nightly(&self, id: u32) -> bool {
+        let n = self.params.phones.max(1) as u64;
+        let perm = (id as u64 * 11 + 5) % n;
+        (((perm as f64) + 0.5) / (n as f64)) < self.params.nightly_shutdown_fraction
+    }
+
+    fn run_phone(&self, id: u32) -> PhoneHarvest {
+        let mut rng = SimRng::seed_from(self.seed).fork("phone", id as u64);
+        let (enrolled_day, retired_day) = self.window(id, &mut rng);
+        let profile = crate::user::UserProfile::sample_with_nightly(
+            &self.params,
+            &mut rng,
+            self.is_nightly(id),
+        );
+        let mut phone = Phone::with_profile(id, self.params, profile, rng.fork("device", 0));
+        let firmware = SymbianVersion::assign(id, self.params.phones);
+        phone.set_firmware(firmware);
+        for day in enrolled_day..retired_day {
+            phone.simulate_day(day);
+        }
+        PhoneHarvest {
+            phone_id: id,
+            enrolled_day,
+            retired_day,
+            firmware,
+            flashfs: phone.flashfs().clone(),
+            stats: phone.stats(),
+        }
+    }
+
+    /// Runs every phone sequentially. Deterministic in the seed.
+    pub fn run(&self) -> Vec<PhoneHarvest> {
+        (0..self.params.phones).map(|id| self.run_phone(id)).collect()
+    }
+
+    /// Runs phones across `workers` threads. The harvest is identical
+    /// to [`Self::run`] (phones are independent); only wall-clock time
+    /// changes.
+    pub fn run_parallel(&self, workers: usize) -> Vec<PhoneHarvest> {
+        let workers = workers.max(1);
+        let ids: Vec<u32> = (0..self.params.phones).collect();
+        let chunk = ids.len().div_ceil(workers);
+        if chunk == 0 {
+            return Vec::new();
+        }
+        let mut harvests: Vec<PhoneHarvest> = thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|chunk_ids| {
+                    let campaign = self;
+                    scope.spawn(move |_| {
+                        chunk_ids
+                            .iter()
+                            .map(|&id| campaign.run_phone(id))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("phone worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+        harvests.sort_by_key(|h| h.phone_id);
+        harvests
+    }
+}
+
+/// Per-firmware panic counts across a harvest, for the version
+/// breakdown of `repro --exp extensions`.
+pub fn panics_by_firmware(harvest: &[PhoneHarvest]) -> Vec<(SymbianVersion, u64, u64)> {
+    SymbianVersion::ALL
+        .iter()
+        .map(|&v| {
+            let phones = harvest.iter().filter(|h| h.firmware == v).count() as u64;
+            let panics = harvest
+                .iter()
+                .filter(|h| h.firmware == v)
+                .map(|h| h.stats.panics)
+                .sum();
+            (v, phones, panics)
+        })
+        .collect()
+}
+
+/// Aggregate ground-truth counters across a harvest (validation only).
+pub fn total_stats(harvest: &[PhoneHarvest]) -> PhoneStats {
+    let mut total = PhoneStats::default();
+    for h in harvest {
+        total.panics += h.stats.panics;
+        total.freezes += h.stats.freezes;
+        total.self_shutdowns += h.stats.self_shutdowns;
+        total.user_shutdowns += h.stats.user_shutdowns;
+        total.lowbt_shutdowns += h.stats.lowbt_shutdowns;
+        total.calls += h.stats.calls;
+        total.messages += h.stats.messages;
+        total.output_failures += h.stats.output_failures;
+        total.user_reports += h.stats.user_reports;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> CalibrationParams {
+        CalibrationParams {
+            phones: 3,
+            campaign_days: 20,
+            enrollment_spread_days: 5,
+            attrition_spread_days: 5,
+            ..CalibrationParams::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let c = FleetCampaign::new(11, tiny_params());
+        let a = c.run();
+        let b = c.run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(
+                x.flashfs.read_bytes("log"),
+                y.flashfs.read_bytes("log")
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let c = FleetCampaign::new(13, tiny_params());
+        let seq = c.run();
+        let par = c.run_parallel(3);
+        assert_eq!(seq.len(), par.len());
+        for (x, y) in seq.iter().zip(&par) {
+            assert_eq!(x.phone_id, y.phone_id);
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(
+                x.flashfs.read_bytes("beats"),
+                y.flashfs.read_bytes("beats")
+            );
+        }
+    }
+
+    #[test]
+    fn enrollment_windows_within_campaign() {
+        let c = FleetCampaign::new(17, tiny_params());
+        for h in c.run() {
+            assert!(h.enrolled_day < h.retired_day);
+            assert!(h.retired_day <= tiny_params().campaign_days as u64);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let c = FleetCampaign::new(19, tiny_params());
+        let harvest = c.run();
+        let total = total_stats(&harvest);
+        let manual: u64 = harvest.iter().map(|h| h.stats.calls).sum();
+        assert_eq!(total.calls, manual);
+        assert!(total.calls > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The discrete-event queue.
+//!
+//! A min-heap ordered by `(time, sequence number)`. The sequence
+//! number makes ties deterministic: two events scheduled for the same
+//! instant pop in the order they were scheduled, regardless of heap
+//! internals. Events can be cancelled by [`EventId`]; cancellation is
+//! implemented with tombstones so it is O(log n) amortized.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (at, seq).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Example
+///
+/// ```
+/// use symfail_sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let id = q.schedule(SimTime::from_secs(10), "to-cancel");
+/// q.schedule(SimTime::from_secs(10), "kept");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "kept")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers that are scheduled and neither fired nor
+    /// cancelled. Entries in the heap but not in this set are
+    /// tombstones to be skipped.
+    live: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the current
+    /// simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at `at`, returning a cancellation handle.
+    ///
+    /// Scheduling in the past is clamped to the current clock so that
+    /// time never flows backwards (this can legitimately happen when a
+    /// model computes "zero delay" follow-ups).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry {
+            at: at.max(self.now),
+            seq,
+            event,
+        });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event
+    /// had not already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.live.remove(&entry.seq) {
+                continue; // tombstone of a cancelled event
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if !self.live.contains(&entry.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Drops every queued event (the clock is untouched).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), "c");
+        q.schedule(SimTime::from_secs(10), "a");
+        q.schedule(SimTime::from_secs(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_clamps_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(100), "late");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(100));
+        assert_eq!(q.now(), SimTime::from_secs(100));
+        // Scheduling in the past clamps to now.
+        q.schedule(SimTime::from_secs(1), "clamped");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(b), "cancel after fire reports false");
+        assert!(!q.cancel(EventId(999)), "unknown id reports false");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "first");
+        let (t, _) = q.pop().unwrap();
+        // Follow-up event at the same instant fires after existing ties.
+        q.schedule(t, "followup-1");
+        q.schedule(t + SimDuration::from_secs(1), "later");
+        q.schedule(t, "followup-2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["followup-1", "followup-2", "later"]);
+    }
+}

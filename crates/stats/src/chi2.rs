@@ -1,0 +1,95 @@
+//! Chi-square tail probabilities (for the contingency-table
+//! independence tests).
+//!
+//! Uses the Wilson–Hilferty cube-root normal approximation, which is
+//! accurate to a few 10⁻³ for the degrees of freedom these tables
+//! produce — plenty for a shape-level reproduction.
+
+use crate::StatsError;
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (7.1.26), |error| < 1.5e-7.
+pub fn normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Survival function `P(X > stat)` for a chi-square distribution with
+/// `df` degrees of freedom (Wilson–Hilferty).
+///
+/// # Errors
+///
+/// Returns [`StatsError::ZeroBins`] when `df == 0` and
+/// [`StatsError::InvalidRange`] for a negative or non-finite
+/// statistic.
+pub fn chi_square_survival(stat: f64, df: u32) -> Result<f64, StatsError> {
+    if df == 0 {
+        return Err(StatsError::ZeroBins);
+    }
+    if !stat.is_finite() || stat < 0.0 {
+        return Err(StatsError::InvalidRange { lo: stat, hi: stat });
+    }
+    if stat == 0.0 {
+        return Ok(1.0);
+    }
+    let k = df as f64;
+    let c = 2.0 / (9.0 * k);
+    let z = ((stat / k).powf(1.0 / 3.0) - (1.0 - c)) / c.sqrt();
+    Ok((1.0 - normal_cdf(z)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_reference_points() {
+        // Critical values: P(X > x) = 0.05 at x = 3.841 (df 1),
+        // 11.070 (df 5), 18.307 (df 10).
+        for (df, crit) in [(1u32, 3.841), (5, 11.070), (10, 18.307)] {
+            let p = chi_square_survival(crit, df).unwrap();
+            assert!((p - 0.05).abs() < 0.01, "df {df}: p {p}");
+        }
+        // And P(X > df) is sizeable (the mean of the distribution).
+        let p = chi_square_survival(5.0, 5).unwrap();
+        assert!((0.3..0.6).contains(&p), "p {p}");
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(chi_square_survival(0.0, 3).unwrap(), 1.0);
+        assert!(chi_square_survival(1e9, 3).unwrap() < 1e-9);
+        assert!(matches!(chi_square_survival(1.0, 0), Err(StatsError::ZeroBins)));
+        assert!(chi_square_survival(-1.0, 3).is_err());
+        assert!(chi_square_survival(f64::NAN, 3).is_err());
+    }
+
+    #[test]
+    fn survival_is_monotone_decreasing() {
+        let mut last = 1.0;
+        for i in 0..40 {
+            let p = chi_square_survival(i as f64, 4).unwrap();
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Two-dimensional labelled contingency tables.
+//!
+//! Table 1 (failure type × recovery action), Table 3 (panic category ×
+//! user activity) and Table 4 (panic × running application) are all
+//! instances of this structure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AsciiTable, CellAlign, StatsError};
+
+/// A count table over `(row label, column label)` pairs with
+/// percentage-of-grand-total views and margins.
+///
+/// # Example
+///
+/// ```
+/// use symfail_stats::ContingencyTable;
+///
+/// let mut t = ContingencyTable::new();
+/// t.add("freeze", "battery removal");
+/// t.add("freeze", "reboot");
+/// t.add("output failure", "repeat");
+/// assert_eq!(t.grand_total(), 3);
+/// assert_eq!(t.row_total("freeze"), 2);
+/// assert!((t.percent("freeze", "reboot").unwrap() - 33.33).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ContingencyTable {
+    cells: BTreeMap<(String, String), u64>,
+}
+
+impl ContingencyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the `(row, col)` cell by one.
+    pub fn add(&mut self, row: impl Into<String>, col: impl Into<String>) {
+        self.add_n(row, col, 1);
+    }
+
+    /// Increments the `(row, col)` cell by `n`.
+    pub fn add_n(&mut self, row: impl Into<String>, col: impl Into<String>, n: u64) {
+        *self.cells.entry((row.into(), col.into())).or_insert(0) += n;
+    }
+
+    /// Count in a cell (0 when absent).
+    pub fn count(&self, row: &str, col: &str) -> u64 {
+        self.cells
+            .get(&(row.to_string(), col.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum over a whole row.
+    pub fn row_total(&self, row: &str) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((r, _), _)| r == row)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Sum over a whole column.
+    pub fn col_total(&self, col: &str) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((_, c), _)| c == col)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Sum over every cell.
+    pub fn grand_total(&self) -> u64 {
+        self.cells.values().sum()
+    }
+
+    /// Percentage of the grand total in a cell, `None` when the table
+    /// is empty.
+    pub fn percent(&self, row: &str, col: &str) -> Option<f64> {
+        let total = self.grand_total();
+        (total > 0).then(|| 100.0 * self.count(row, col) as f64 / total as f64)
+    }
+
+    /// Percentage of the grand total in a whole row.
+    pub fn row_percent(&self, row: &str) -> Option<f64> {
+        let total = self.grand_total();
+        (total > 0).then(|| 100.0 * self.row_total(row) as f64 / total as f64)
+    }
+
+    /// Percentage of the grand total in a whole column.
+    pub fn col_percent(&self, col: &str) -> Option<f64> {
+        let total = self.grand_total();
+        (total > 0).then(|| 100.0 * self.col_total(col) as f64 / total as f64)
+    }
+
+    /// Distinct row labels in sorted order.
+    pub fn rows(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (r, _) in self.cells.keys() {
+            if out.last() != Some(&r.as_str()) && !out.contains(&r.as_str()) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Distinct column labels in sorted order.
+    pub fn cols(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.cells.keys().map(|(_, c)| c.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterator over the populated cells in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.cells.iter().map(|((r, c), &v)| (r.as_str(), c.as_str(), v))
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &ContingencyTable) {
+        for (r, c, v) in other.iter() {
+            self.add_n(r, c, v);
+        }
+    }
+
+    /// Pearson chi-square statistic of independence between rows and
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyData`] if the table is empty or degenerate
+    /// (a single row or column).
+    pub fn chi_square_independence(&self) -> Result<f64, StatsError> {
+        let total = self.grand_total();
+        let rows = self.rows();
+        let cols = self.cols();
+        if total == 0 || rows.len() < 2 || cols.len() < 2 {
+            return Err(StatsError::EmptyData);
+        }
+        let mut stat = 0.0;
+        for r in &rows {
+            let rt = self.row_total(r) as f64;
+            for c in &cols {
+                let ct = self.col_total(c) as f64;
+                let expected = rt * ct / total as f64;
+                if expected > 0.0 {
+                    let diff = self.count(r, c) as f64 - expected;
+                    stat += diff * diff / expected;
+                }
+            }
+        }
+        Ok(stat)
+    }
+
+    /// Renders the table as percentages of the grand total with row
+    /// and column margins, in the style of the paper's Table 1. Column
+    /// order can be pinned with `col_order` (unknown labels appended).
+    pub fn render_percent(&self, title: &str, col_order: &[&str]) -> String {
+        let mut cols: Vec<&str> = col_order
+            .iter()
+            .copied()
+            .filter(|c| self.cols().contains(c))
+            .collect();
+        for c in self.cols() {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        let mut header: Vec<String> = vec![String::new()];
+        header.extend(cols.iter().map(|c| c.to_string()));
+        header.push("total".to_string());
+        let mut table = AsciiTable::new(header);
+        table.set_align(0, CellAlign::Left);
+        for r in self.rows() {
+            let mut cells = vec![r.to_string()];
+            for c in &cols {
+                cells.push(format!("{:.2}", self.percent(r, c).unwrap_or(0.0)));
+            }
+            cells.push(format!("{:.2}", self.row_percent(r).unwrap_or(0.0)));
+            table.add_row(cells);
+        }
+        let mut foot = vec!["total".to_string()];
+        for c in &cols {
+            foot.push(format!("{:.2}", self.col_percent(c).unwrap_or(0.0)));
+        }
+        foot.push("100.00".to_string());
+        table.add_row(foot);
+        format!("{title}\n{}", table.render())
+    }
+}
+
+impl Extend<(String, String)> for ContingencyTable {
+    fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
+        for (r, c) in iter {
+            self.add(r, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContingencyTable {
+        let mut t = ContingencyTable::new();
+        t.add_n("freeze", "battery", 42);
+        t.add_n("freeze", "reboot", 11);
+        t.add_n("output", "reboot", 41);
+        t.add_n("output", "repeat", 27);
+        t
+    }
+
+    #[test]
+    fn totals_and_margins() {
+        let t = sample();
+        assert_eq!(t.grand_total(), 121);
+        assert_eq!(t.row_total("freeze"), 53);
+        assert_eq!(t.col_total("reboot"), 52);
+        assert_eq!(t.count("nope", "reboot"), 0);
+    }
+
+    #[test]
+    fn percents() {
+        let t = sample();
+        let p = t.percent("freeze", "battery").unwrap();
+        assert!((p - 100.0 * 42.0 / 121.0).abs() < 1e-12);
+        assert_eq!(ContingencyTable::new().percent("a", "b"), None);
+    }
+
+    #[test]
+    fn label_enumeration_sorted_and_deduped() {
+        let t = sample();
+        assert_eq!(t.rows(), vec!["freeze", "output"]);
+        assert_eq!(t.cols(), vec!["battery", "reboot", "repeat"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.grand_total(), 242);
+        assert_eq!(a.count("freeze", "battery"), 84);
+    }
+
+    #[test]
+    fn chi_square_independent_table_is_zero() {
+        let mut t = ContingencyTable::new();
+        // perfectly independent 2x2: margins 50/50 both ways
+        t.add_n("a", "x", 25);
+        t.add_n("a", "y", 25);
+        t.add_n("b", "x", 25);
+        t.add_n("b", "y", 25);
+        assert!(t.chi_square_independence().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_dependent_is_positive() {
+        let mut t = ContingencyTable::new();
+        t.add_n("a", "x", 50);
+        t.add_n("b", "y", 50);
+        assert!(t.chi_square_independence().unwrap() > 10.0);
+    }
+
+    #[test]
+    fn chi_square_degenerate_errors() {
+        let mut t = ContingencyTable::new();
+        t.add_n("only", "x", 3);
+        t.add_n("only", "y", 4);
+        assert!(t.chi_square_independence().is_err());
+        assert!(ContingencyTable::new().chi_square_independence().is_err());
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_total() {
+        let t = sample();
+        let s = t.render_percent("Table X", &["reboot", "battery"]);
+        assert!(s.contains("Table X"));
+        assert!(s.contains("freeze"));
+        assert!(s.contains("repeat"));
+        assert!(s.contains("100.00"));
+        // pinned column order respected: reboot appears before battery
+        let reboot = s.find("reboot").unwrap();
+        let battery = s.find("battery").unwrap();
+        assert!(reboot < battery);
+    }
+}

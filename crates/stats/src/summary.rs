@@ -1,0 +1,233 @@
+//! Scalar summary statistics (mean, variance, confidence intervals).
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Streaming mean/variance accumulator using Welford's algorithm, so
+/// per-phone statistics can be folded without keeping raw samples.
+///
+/// # Example
+///
+/// ```
+/// use symfail_stats::OnlineSummary;
+///
+/// let mut s = OnlineSummary::new();
+/// for v in [10.0, 12.0, 14.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), Some(12.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineSummary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance, `None` with fewer than two samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &OnlineSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freezes into an immutable [`Summary`].
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyData`] when nothing was recorded.
+    pub fn finish(&self) -> Result<Summary, StatsError> {
+        if self.count == 0 {
+            return Err(StatsError::EmptyData);
+        }
+        Ok(Summary {
+            count: self.count,
+            mean: self.mean,
+            stddev: self.stddev().unwrap_or(0.0),
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
+
+impl Extend<f64> for OnlineSummary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineSummary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Immutable summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Normal-approximation confidence interval for the mean at the
+    /// given z value (1.96 for 95%). Returns `(lo, hi)`.
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.stddev / (self.count as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = OnlineSummary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert!(s.finish().is_err());
+    }
+
+    #[test]
+    fn single_value() {
+        let s: OnlineSummary = [7.0].into_iter().collect();
+        assert_eq!(s.mean(), Some(7.0));
+        assert_eq!(s.variance(), None);
+        let f = s.finish().unwrap();
+        assert_eq!(f.stddev, 0.0);
+        assert_eq!(f.min, 7.0);
+        assert_eq!(f.max, 7.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineSummary = data.into_iter().collect();
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Two-pass variance: sum((x-5)^2)/(n-1) = 32/7
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.5, -1.0, 0.0];
+        let whole: OnlineSummary = data.into_iter().collect();
+        let mut a: OnlineSummary = data[..3].iter().copied().collect();
+        let b: OnlineSummary = data[3..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineSummary = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineSummary::new());
+        assert_eq!(a, before);
+        let mut e = OnlineSummary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        let mut few = OnlineSummary::new();
+        let mut many = OnlineSummary::new();
+        for i in 0..10 {
+            few.record((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            many.record((i % 3) as f64);
+        }
+        let (flo, fhi) = few.finish().unwrap().mean_ci(1.96);
+        let (mlo, mhi) = many.finish().unwrap().mean_ci(1.96);
+        assert!(mhi - mlo < fhi - flo);
+    }
+}

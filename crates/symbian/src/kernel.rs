@@ -1,0 +1,242 @@
+//! The micro-kernel facade: one coherent OS instance.
+//!
+//! The individual mechanism modules (`heap`, `descriptor`,
+//! `object_index`, …) are deliberately free-standing so each failing
+//! code path is testable in isolation. [`Kernel`] composes them the
+//! way the running OS does: a process table where each process owns a
+//! heap, a memory map, a cleanup stack and kernel handles; a shared
+//! object index; and the panic routing described in Section 2 — a
+//! panic is delivered to the kernel, which terminates the offending
+//! process and reclaims everything it owned.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cleanup::CleanupStack;
+use crate::exec::MemoryMap;
+use crate::heap::Heap;
+use crate::object_index::ObjectIndex;
+use crate::panic::Panic;
+
+/// Identifier of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// The raw process number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One process's resources.
+#[derive(Debug)]
+pub struct Process {
+    name: String,
+    /// The process heap (public: user code allocates directly on it).
+    pub heap: Heap,
+    /// The process memory map.
+    pub memory: MemoryMap,
+    /// The per-thread cleanup stack (one representative thread).
+    pub cleanup: CleanupStack,
+    alive: bool,
+}
+
+impl Process {
+    /// The process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True until the kernel terminates the process.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+/// The kernel: process table, shared object index, panic history.
+///
+/// # Example
+///
+/// ```
+/// use symfail_symbian::kernel::Kernel;
+/// use symfail_symbian::panic::codes;
+/// use symfail_symbian::Panic;
+///
+/// let mut kernel = Kernel::new();
+/// let pid = kernel.spawn_process("Messages", 64 * 1024);
+/// let cell = kernel.process_mut(pid).unwrap().heap.alloc("Messages", 128)?;
+/// assert!(kernel.process(pid).unwrap().heap.is_live(cell));
+///
+/// // A panic is delivered: the kernel terminates the process and
+/// // reclaims its resources.
+/// kernel.deliver_panic(pid, Panic::new(codes::KERN_EXEC_3, "Messages", "null"));
+/// assert!(!kernel.process(pid).unwrap().is_alive());
+/// assert_eq!(kernel.process(pid).unwrap().heap.used(), 0);
+/// # Ok::<(), symfail_symbian::LeaveCode>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Kernel {
+    processes: BTreeMap<u32, Process>,
+    /// The kernel object index shared by every process (public: the
+    /// IPC and handle paths operate on it directly).
+    pub objects: ObjectIndex,
+    next_pid: u32,
+    panic_log: Vec<(ProcessId, Panic)>,
+}
+
+impl Kernel {
+    /// Boots an empty kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a process with the given heap capacity. The process
+    /// gets a default memory map with a data and a code region (NULL
+    /// stays unmapped).
+    pub fn spawn_process(&mut self, name: &str, heap_capacity: u64) -> ProcessId {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let mut memory = MemoryMap::new(name);
+        memory.map_region(0x1_0000, 0x10_000, true, false);
+        memory.map_region(0x10_0000, 0x10_000, false, true);
+        self.processes.insert(
+            pid,
+            Process {
+                name: name.to_string(),
+                heap: Heap::with_capacity(heap_capacity),
+                memory,
+                cleanup: CleanupStack::new(),
+                alive: true,
+            },
+        );
+        ProcessId(pid)
+    }
+
+    /// Borrow of a process.
+    pub fn process(&self, pid: ProcessId) -> Option<&Process> {
+        self.processes.get(&pid.0)
+    }
+
+    /// Mutable borrow of a process; `None` once terminated (a dead
+    /// process's resources are gone).
+    pub fn process_mut(&mut self, pid: ProcessId) -> Option<&mut Process> {
+        self.processes.get_mut(&pid.0).filter(|p| p.alive)
+    }
+
+    /// Looks a process up by name.
+    pub fn find_process(&self, name: &str) -> Option<ProcessId> {
+        self.processes
+            .iter()
+            .find(|(_, p)| p.name == name && p.alive)
+            .map(|(&pid, _)| ProcessId(pid))
+    }
+
+    /// Number of live processes.
+    pub fn live_processes(&self) -> usize {
+        self.processes.values().filter(|p| p.alive).count()
+    }
+
+    /// Delivers a panic raised by (or on behalf of) `pid`: the kernel
+    /// records it, terminates the process and reclaims its heap cells
+    /// and kernel objects — the recovery action of Section 2.
+    pub fn deliver_panic(&mut self, pid: ProcessId, panic: Panic) {
+        self.panic_log.push((pid, panic));
+        self.terminate(pid);
+    }
+
+    /// Terminates a process, reclaiming everything it owns. Idempotent.
+    pub fn terminate(&mut self, pid: ProcessId) {
+        let Some(p) = self.processes.get_mut(&pid.0) else {
+            return;
+        };
+        if !p.alive {
+            return;
+        }
+        p.alive = false;
+        let name = p.name.clone();
+        p.heap.reclaim_owner(&name);
+        self.objects.reclaim_owner(&name);
+    }
+
+    /// The panics delivered so far, in order.
+    pub fn panic_log(&self) -> &[(ProcessId, Panic)] {
+        &self.panic_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Access;
+    use crate::object_index::ObjectKind;
+    use crate::panic::codes;
+
+    #[test]
+    fn spawn_and_lookup() {
+        let mut k = Kernel::new();
+        let a = k.spawn_process("Messages", 1024);
+        let b = k.spawn_process("Camera", 1024);
+        assert_ne!(a, b);
+        assert_eq!(k.live_processes(), 2);
+        assert_eq!(k.find_process("Camera"), Some(b));
+        assert_eq!(k.find_process("Nope"), None);
+        assert_eq!(k.process(a).unwrap().name(), "Messages");
+    }
+
+    #[test]
+    fn default_memory_map_faults_on_null() {
+        let mut k = Kernel::new();
+        let pid = k.spawn_process("App", 1024);
+        let p = k.process(pid).unwrap();
+        assert!(p.memory.check(0, Access::Read).is_err());
+        assert!(p.memory.check(0x1_0000, Access::Write).is_ok());
+        assert!(p.memory.check(0x10_0000, Access::Execute).is_ok());
+    }
+
+    #[test]
+    fn panic_terminates_and_reclaims() {
+        let mut k = Kernel::new();
+        let pid = k.spawn_process("Messages", 4096);
+        let _cell = k
+            .process_mut(pid)
+            .unwrap()
+            .heap
+            .alloc("Messages", 100)
+            .unwrap();
+        let handle = k.objects.open("Messages", ObjectKind::Session);
+        k.deliver_panic(pid, Panic::new(codes::USER_11, "Messages", "overflow"));
+        assert!(!k.process(pid).unwrap().is_alive());
+        assert!(k.process_mut(pid).is_none(), "dead process not mutable");
+        assert_eq!(k.process(pid).unwrap().heap.used(), 0, "heap reclaimed");
+        assert!(k.objects.kind_of(handle).is_err(), "handles reclaimed");
+        assert_eq!(k.panic_log().len(), 1);
+        assert_eq!(k.live_processes(), 0);
+    }
+
+    #[test]
+    fn terminate_is_idempotent_and_scoped() {
+        let mut k = Kernel::new();
+        let a = k.spawn_process("A", 1024);
+        let b = k.spawn_process("B", 1024);
+        k.process_mut(b).unwrap().heap.alloc("B", 10).unwrap();
+        k.terminate(a);
+        k.terminate(a);
+        assert_eq!(k.live_processes(), 1);
+        assert_eq!(k.process(b).unwrap().heap.used(), 10, "other process untouched");
+        k.terminate(ProcessId(999)); // unknown pid is a no-op
+    }
+
+    #[test]
+    fn respawning_a_core_application() {
+        // The kernel reboots the phone for core apps; after "reboot"
+        // the embedding sim spawns a fresh process with the same name.
+        let mut k = Kernel::new();
+        let old = k.spawn_process("Phone.app", 1024);
+        k.deliver_panic(old, Panic::new(codes::PHONE_APP_2, "Phone.app", "collision"));
+        let new = k.spawn_process("Phone.app", 1024);
+        assert_ne!(old, new);
+        assert_eq!(k.find_process("Phone.app"), Some(new));
+    }
+}

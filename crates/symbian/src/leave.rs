@@ -1,0 +1,132 @@
+//! Symbian "leave" codes — the recoverable-error side of the OS.
+//!
+//! A *leave* is Symbian's exception mechanism: a function that cannot
+//! complete "leaves" with a negative error code, unwinding to the
+//! nearest trap harness, which frees everything registered on the
+//! cleanup stack in the meantime. A leave is recoverable; a leave with
+//! **no trap handler installed** is not, and escalates to the
+//! `E32USER-CBase 69` panic (see [`crate::cleanup`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The standard system-wide error codes used by leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LeaveCode {
+    /// `KErrNotFound` (-1): the requested item could not be found.
+    NotFound,
+    /// `KErrGeneral` (-2): an unspecified error.
+    General,
+    /// `KErrCancel` (-3): the operation was cancelled.
+    Cancel,
+    /// `KErrNoMemory` (-4): heap allocation failed.
+    NoMemory,
+    /// `KErrNotSupported` (-5): the operation is not supported.
+    NotSupported,
+    /// `KErrArgument` (-6): an argument was out of range.
+    Argument,
+    /// `KErrOverflow` (-9): a value was too large.
+    Overflow,
+    /// `KErrBadHandle` (-8): a handle was invalid.
+    BadHandle,
+    /// `KErrInUse` (-14): the resource is already in use.
+    InUse,
+    /// `KErrServerBusy` (-16): the server has too many outstanding requests.
+    ServerBusy,
+    /// `KErrCommsLineFail` (-29): the communication line failed.
+    CommsLineFail,
+    /// `KErrTimedOut` (-33): the operation timed out.
+    TimedOut,
+    /// `KErrDisconnected` (-36): the endpoint disconnected.
+    Disconnected,
+    /// `KErrCorrupt` (-20): stored data is corrupt.
+    Corrupt,
+}
+
+impl LeaveCode {
+    /// The numeric value of the code, matching the Symbian constants.
+    pub const fn as_i32(self) -> i32 {
+        match self {
+            LeaveCode::NotFound => -1,
+            LeaveCode::General => -2,
+            LeaveCode::Cancel => -3,
+            LeaveCode::NoMemory => -4,
+            LeaveCode::NotSupported => -5,
+            LeaveCode::Argument => -6,
+            LeaveCode::BadHandle => -8,
+            LeaveCode::Overflow => -9,
+            LeaveCode::InUse => -14,
+            LeaveCode::ServerBusy => -16,
+            LeaveCode::Corrupt => -20,
+            LeaveCode::CommsLineFail => -29,
+            LeaveCode::TimedOut => -33,
+            LeaveCode::Disconnected => -36,
+        }
+    }
+
+    /// The Symbian constant name, e.g. `KErrNoMemory`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LeaveCode::NotFound => "KErrNotFound",
+            LeaveCode::General => "KErrGeneral",
+            LeaveCode::Cancel => "KErrCancel",
+            LeaveCode::NoMemory => "KErrNoMemory",
+            LeaveCode::NotSupported => "KErrNotSupported",
+            LeaveCode::Argument => "KErrArgument",
+            LeaveCode::BadHandle => "KErrBadHandle",
+            LeaveCode::Overflow => "KErrOverflow",
+            LeaveCode::InUse => "KErrInUse",
+            LeaveCode::ServerBusy => "KErrServerBusy",
+            LeaveCode::Corrupt => "KErrCorrupt",
+            LeaveCode::CommsLineFail => "KErrCommsLineFail",
+            LeaveCode::TimedOut => "KErrTimedOut",
+            LeaveCode::Disconnected => "KErrDisconnected",
+        }
+    }
+}
+
+impl fmt::Display for LeaveCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.as_i32())
+    }
+}
+
+impl std::error::Error for LeaveCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_negative_and_distinct() {
+        let all = [
+            LeaveCode::NotFound,
+            LeaveCode::General,
+            LeaveCode::Cancel,
+            LeaveCode::NoMemory,
+            LeaveCode::NotSupported,
+            LeaveCode::Argument,
+            LeaveCode::BadHandle,
+            LeaveCode::Overflow,
+            LeaveCode::InUse,
+            LeaveCode::ServerBusy,
+            LeaveCode::Corrupt,
+            LeaveCode::CommsLineFail,
+            LeaveCode::TimedOut,
+            LeaveCode::Disconnected,
+        ];
+        let mut values: Vec<i32> = all.iter().map(|c| c.as_i32()).collect();
+        assert!(values.iter().all(|&v| v < 0));
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), all.len());
+    }
+
+    #[test]
+    fn well_known_values() {
+        assert_eq!(LeaveCode::NotFound.as_i32(), -1);
+        assert_eq!(LeaveCode::NoMemory.as_i32(), -4);
+        assert_eq!(LeaveCode::NoMemory.to_string(), "KErrNoMemory (-4)");
+    }
+}

@@ -1,0 +1,112 @@
+//! The Application Architecture Server.
+//!
+//! Tracks which applications are currently running; the failure
+//! logger's Running Applications Detector polls this server and stores
+//! the list in the `runapp` file, which is how the study could relate
+//! panics to the set of applications alive at panic time (Table 4,
+//! Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+/// The Application Architecture Server: the registry of running
+/// applications.
+///
+/// # Example
+///
+/// ```
+/// use symfail_symbian::servers::applist::AppArchServer;
+///
+/// let mut apps = AppArchServer::new();
+/// apps.notify_started("Messages");
+/// apps.notify_started("Camera");
+/// assert_eq!(apps.running(), vec!["Camera".to_string(), "Messages".to_string()]);
+/// apps.notify_exited("Camera");
+/// assert_eq!(apps.count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppArchServer {
+    running: Vec<String>,
+}
+
+impl AppArchServer {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an application start. Starting an already-running
+    /// application is a no-op (it comes to the foreground instead).
+    pub fn notify_started(&mut self, app: &str) {
+        if !self.running.iter().any(|a| a == app) {
+            self.running.push(app.to_string());
+            self.running.sort();
+        }
+    }
+
+    /// Registers an application exit (normal quit or kernel
+    /// termination after a panic). Returns true if the app was
+    /// running.
+    pub fn notify_exited(&mut self, app: &str) -> bool {
+        let before = self.running.len();
+        self.running.retain(|a| a != app);
+        self.running.len() != before
+    }
+
+    /// True when the application is currently running.
+    pub fn is_running(&self, app: &str) -> bool {
+        self.running.iter().any(|a| a == app)
+    }
+
+    /// Sorted snapshot of the running applications.
+    pub fn running(&self) -> Vec<String> {
+        self.running.clone()
+    }
+
+    /// Number of running applications.
+    pub fn count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Clears the registry (device reboot).
+    pub fn reset(&mut self) {
+        self.running.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_exit_lifecycle() {
+        let mut s = AppArchServer::new();
+        s.notify_started("Clock");
+        s.notify_started("Messages");
+        s.notify_started("Clock"); // duplicate start ignored
+        assert_eq!(s.count(), 2);
+        assert!(s.is_running("Clock"));
+        assert!(s.notify_exited("Clock"));
+        assert!(!s.notify_exited("Clock"));
+        assert!(!s.is_running("Clock"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut s = AppArchServer::new();
+        for app in ["TomTom", "Camera", "Messages"] {
+            s.notify_started(app);
+        }
+        assert_eq!(
+            s.running(),
+            vec!["Camera".to_string(), "Messages".to_string(), "TomTom".to_string()]
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = AppArchServer::new();
+        s.notify_started("x");
+        s.reset();
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! `flogger` — Symbian's built-in file logger server, with the quirk
+//! that motivated the paper's custom logger.
+//!
+//! The Symbian OS provides a server application (`flogger`) that lets
+//! system/application modules log text. But to *access* the data
+//! logged by a module, a directory with a well-defined, system-specific
+//! name must already exist on the device — and the names of these
+//! directories were **not made publicly available to developers**:
+//! manufacturers used them during development and testing. The paper
+//! cites exactly this limitation as a reason logging facilities on
+//! smart phones were "limited and not fully exploited", motivating the
+//! from-scratch failure data logger this repository reproduces.
+//!
+//! The model captures that behaviour: writes to a log whose directory
+//! has not been created are silently dropped, exactly like the real
+//! server.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// The `flogger` server.
+///
+/// # Example
+///
+/// ```
+/// use symfail_symbian::servers::flogger::Flogger;
+///
+/// let mut flogger = Flogger::new();
+/// // The module logs — but nobody created its magic directory:
+/// flogger.write("Xdir", "radio", "signal lost");
+/// assert_eq!(flogger.read("Xdir", "radio").len(), 0);
+///
+/// // A developer who knows the undocumented name can enable it:
+/// flogger.create_log_dir("Xdir");
+/// flogger.write("Xdir", "radio", "signal lost again");
+/// assert_eq!(flogger.read("Xdir", "radio"), vec!["signal lost again"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flogger {
+    enabled_dirs: BTreeSet<String>,
+    logs: BTreeMap<(String, String), Vec<String>>,
+    dropped: u64,
+}
+
+impl Flogger {
+    /// Creates the server with no log directories enabled — the state
+    /// of every consumer phone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the well-known (but undocumented) directory enabling a
+    /// module's logging.
+    pub fn create_log_dir(&mut self, dir: &str) {
+        self.enabled_dirs.insert(dir.to_string());
+    }
+
+    /// True when a directory has been created.
+    pub fn is_enabled(&self, dir: &str) -> bool {
+        self.enabled_dirs.contains(dir)
+    }
+
+    /// Writes one line to `dir/file`. Silently dropped when the
+    /// directory does not exist — the real server behaves the same
+    /// way, which is why third parties could not harvest these logs.
+    /// Returns whether the line was persisted.
+    pub fn write(&mut self, dir: &str, file: &str, line: &str) -> bool {
+        if !self.enabled_dirs.contains(dir) {
+            self.dropped += 1;
+            return false;
+        }
+        self.logs
+            .entry((dir.to_string(), file.to_string()))
+            .or_default()
+            .push(line.to_string());
+        true
+    }
+
+    /// Reads the lines of `dir/file` (empty when never enabled).
+    pub fn read(&self, dir: &str, file: &str) -> Vec<&str> {
+        self.logs
+            .get(&(dir.to_string(), file.to_string()))
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Lines silently dropped because their directory was missing —
+    /// the tell-tale of the undocumented-directory design.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_without_directory_are_dropped() {
+        let mut f = Flogger::new();
+        assert!(!f.write("SecretDir", "net", "hello"));
+        assert!(!f.write("SecretDir", "net", "again"));
+        assert_eq!(f.dropped(), 2);
+        assert!(f.read("SecretDir", "net").is_empty());
+        assert!(!f.is_enabled("SecretDir"));
+    }
+
+    #[test]
+    fn enabling_the_directory_persists_subsequent_writes() {
+        let mut f = Flogger::new();
+        f.write("Xdir", "radio", "lost before enabling");
+        f.create_log_dir("Xdir");
+        assert!(f.is_enabled("Xdir"));
+        assert!(f.write("Xdir", "radio", "kept"));
+        assert_eq!(f.read("Xdir", "radio"), vec!["kept"]);
+        assert_eq!(f.dropped(), 1, "pre-enable line stays lost");
+    }
+
+    #[test]
+    fn directories_are_independent() {
+        let mut f = Flogger::new();
+        f.create_log_dir("A");
+        assert!(f.write("A", "x", "1"));
+        assert!(!f.write("B", "x", "2"));
+        assert_eq!(f.read("A", "x").len(), 1);
+        assert!(f.read("B", "x").is_empty());
+    }
+
+    #[test]
+    fn files_within_a_directory_are_separate() {
+        let mut f = Flogger::new();
+        f.create_log_dir("A");
+        f.write("A", "one", "a");
+        f.write("A", "two", "b");
+        assert_eq!(f.read("A", "one"), vec!["a"]);
+        assert_eq!(f.read("A", "two"), vec!["b"]);
+    }
+}

@@ -1,0 +1,196 @@
+//! The Database Log Server.
+//!
+//! Records the phone's activity events — the voice calls and text
+//! messages that are the only activities registered on Symbian's log
+//! database, as the paper notes for Table 3. The failure logger's Log
+//! Engine reads this server to store the activity context of each
+//! failure.
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::{SimDuration, SimTime};
+
+/// A loggable phone activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// An incoming or outgoing voice call.
+    VoiceCall,
+    /// Creating, sending or receiving a text message.
+    Message,
+    /// Web/WAP browsing data session.
+    DataSession,
+}
+
+impl ActivityKind {
+    /// The label used in tables (matching the paper's Table 3 rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ActivityKind::VoiceCall => "voice call",
+            ActivityKind::Message => "message",
+            ActivityKind::DataSession => "data session",
+        }
+    }
+
+    /// True for the activities the paper classifies as real-time
+    /// tasks.
+    pub fn is_real_time(self) -> bool {
+        matches!(self, ActivityKind::VoiceCall | ActivityKind::Message)
+    }
+}
+
+/// One record in the log database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityRecord {
+    /// When the activity started.
+    pub start: SimTime,
+    /// When it ended.
+    pub end: SimTime,
+    /// What it was.
+    pub kind: ActivityKind,
+}
+
+impl ActivityRecord {
+    /// True when the activity was in progress at `t` (inclusive
+    /// bounds: the study's logger samples coarsely).
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.start <= t && t <= self.end
+    }
+}
+
+/// The Database Log Server.
+///
+/// # Example
+///
+/// ```
+/// use symfail_sim_core::{SimDuration, SimTime};
+/// use symfail_symbian::servers::logdb::{ActivityKind, LogDbServer};
+///
+/// let mut db = LogDbServer::with_retention(SimDuration::from_days(30));
+/// db.record(SimTime::from_secs(10), SimTime::from_secs(70), ActivityKind::VoiceCall);
+/// assert_eq!(db.activity_at(SimTime::from_secs(30)), Some(ActivityKind::VoiceCall));
+/// assert_eq!(db.activity_at(SimTime::from_secs(200)), None);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogDbServer {
+    retention: SimDuration,
+    records: Vec<ActivityRecord>,
+}
+
+impl LogDbServer {
+    /// Creates a log database that retains records for `retention`
+    /// (old records are pruned as new ones arrive, like the bounded
+    /// log of a real device).
+    pub fn with_retention(retention: SimDuration) -> Self {
+        Self {
+            retention,
+            records: Vec::new(),
+        }
+    }
+
+    /// Records an activity spanning `[start, end]`.
+    pub fn record(&mut self, start: SimTime, end: SimTime, kind: ActivityKind) {
+        self.records.push(ActivityRecord {
+            start,
+            end: end.max(start),
+            kind,
+        });
+        let cutoff = end.saturating_since(SimTime::ZERO);
+        let horizon = cutoff.saturating_sub(self.retention);
+        self.records
+            .retain(|r| r.end.saturating_since(SimTime::ZERO) >= horizon);
+    }
+
+    /// The activity in progress at `t`, if any (the most recently
+    /// started one wins if several overlap).
+    pub fn activity_at(&self, t: SimTime) -> Option<ActivityKind> {
+        self.records
+            .iter()
+            .filter(|r| r.covers(t))
+            .max_by_key(|r| r.start)
+            .map(|r| r.kind)
+    }
+
+    /// All records overlapping `[from, to]`.
+    pub fn records_between(&self, from: SimTime, to: SimTime) -> Vec<ActivityRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.start <= to && r.end >= from)
+            .copied()
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> LogDbServer {
+        LogDbServer::with_retention(SimDuration::from_days(7))
+    }
+
+    #[test]
+    fn activity_lookup() {
+        let mut d = db();
+        d.record(
+            SimTime::from_secs(100),
+            SimTime::from_secs(160),
+            ActivityKind::VoiceCall,
+        );
+        assert_eq!(d.activity_at(SimTime::from_secs(100)), Some(ActivityKind::VoiceCall));
+        assert_eq!(d.activity_at(SimTime::from_secs(160)), Some(ActivityKind::VoiceCall));
+        assert_eq!(d.activity_at(SimTime::from_secs(161)), None);
+        assert_eq!(d.activity_at(SimTime::from_secs(99)), None);
+    }
+
+    #[test]
+    fn overlapping_activities_latest_start_wins() {
+        let mut d = db();
+        d.record(SimTime::from_secs(0), SimTime::from_secs(100), ActivityKind::DataSession);
+        d.record(SimTime::from_secs(50), SimTime::from_secs(80), ActivityKind::Message);
+        assert_eq!(d.activity_at(SimTime::from_secs(60)), Some(ActivityKind::Message));
+        assert_eq!(d.activity_at(SimTime::from_secs(90)), Some(ActivityKind::DataSession));
+    }
+
+    #[test]
+    fn retention_prunes_old_records() {
+        let mut d = LogDbServer::with_retention(SimDuration::from_secs(100));
+        d.record(SimTime::from_secs(0), SimTime::from_secs(10), ActivityKind::Message);
+        d.record(SimTime::from_secs(500), SimTime::from_secs(510), ActivityKind::Message);
+        assert_eq!(d.len(), 1, "old record pruned");
+    }
+
+    #[test]
+    fn records_between() {
+        let mut d = db();
+        d.record(SimTime::from_secs(10), SimTime::from_secs(20), ActivityKind::Message);
+        d.record(SimTime::from_secs(30), SimTime::from_secs(40), ActivityKind::VoiceCall);
+        let hits = d.records_between(SimTime::from_secs(15), SimTime::from_secs(35));
+        assert_eq!(hits.len(), 2);
+        let none = d.records_between(SimTime::from_secs(21), SimTime::from_secs(29));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn end_clamped_to_start() {
+        let mut d = db();
+        d.record(SimTime::from_secs(50), SimTime::from_secs(10), ActivityKind::Message);
+        assert!(d.activity_at(SimTime::from_secs(50)).is_some());
+    }
+
+    #[test]
+    fn real_time_classification() {
+        assert!(ActivityKind::VoiceCall.is_real_time());
+        assert!(ActivityKind::Message.is_real_time());
+        assert!(!ActivityKind::DataSession.is_real_time());
+    }
+}

@@ -1,0 +1,114 @@
+//! The System Agent Server — the source of battery status.
+//!
+//! The failure logger's Power Manager queries this server so that a
+//! shutdown caused by a drained battery (a `LOWBT` heartbeat event)
+//! can be told apart from a self-shutdown caused by a failure.
+
+use serde::{Deserialize, Serialize};
+
+/// Battery charging state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChargeState {
+    /// Discharging on battery.
+    OnBattery,
+    /// Connected to a charger.
+    Charging,
+}
+
+/// The System Agent Server's view of the power supply.
+///
+/// # Example
+///
+/// ```
+/// use symfail_symbian::servers::sysagent::{ChargeState, SystemAgent};
+///
+/// let mut agent = SystemAgent::new(100);
+/// agent.set_level(3);
+/// assert!(agent.is_low());
+/// agent.set_charge_state(ChargeState::Charging);
+/// assert!(!agent.is_low(), "a charging battery is never low");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemAgent {
+    level_percent: u8,
+    state: ChargeState,
+    low_threshold: u8,
+}
+
+impl SystemAgent {
+    /// Default threshold below which the battery is reported low.
+    pub const DEFAULT_LOW_THRESHOLD: u8 = 5;
+
+    /// Creates an agent with the given initial battery level (0–100).
+    pub fn new(level_percent: u8) -> Self {
+        Self {
+            level_percent: level_percent.min(100),
+            state: ChargeState::OnBattery,
+            low_threshold: Self::DEFAULT_LOW_THRESHOLD,
+        }
+    }
+
+    /// Current battery level in percent.
+    pub fn level(&self) -> u8 {
+        self.level_percent
+    }
+
+    /// Sets the battery level (clamped to 100).
+    pub fn set_level(&mut self, percent: u8) {
+        self.level_percent = percent.min(100);
+    }
+
+    /// Current charge state.
+    pub fn charge_state(&self) -> ChargeState {
+        self.state
+    }
+
+    /// Sets the charge state.
+    pub fn set_charge_state(&mut self, state: ChargeState) {
+        self.state = state;
+    }
+
+    /// Sets the low-battery threshold.
+    pub fn set_low_threshold(&mut self, percent: u8) {
+        self.low_threshold = percent.min(100);
+    }
+
+    /// True when the phone is about to shut down for lack of power.
+    pub fn is_low(&self) -> bool {
+        self.state == ChargeState::OnBattery && self.level_percent <= self.low_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_clamped() {
+        let mut a = SystemAgent::new(150);
+        assert_eq!(a.level(), 100);
+        a.set_level(200);
+        assert_eq!(a.level(), 100);
+    }
+
+    #[test]
+    fn low_battery_detection() {
+        let mut a = SystemAgent::new(50);
+        assert!(!a.is_low());
+        a.set_level(5);
+        assert!(a.is_low());
+        a.set_level(6);
+        assert!(!a.is_low());
+        a.set_low_threshold(10);
+        assert!(a.is_low());
+    }
+
+    #[test]
+    fn charging_is_never_low() {
+        let mut a = SystemAgent::new(0);
+        assert!(a.is_low());
+        a.set_charge_state(ChargeState::Charging);
+        assert!(!a.is_low());
+        assert_eq!(a.charge_state(), ChargeState::Charging);
+    }
+}

@@ -1,0 +1,293 @@
+//! The lower level of Symbian's two-level multitasking: preemptive,
+//! priority-based, time-sharing thread scheduling.
+//!
+//! The paper's interference finding — panics cluster while the user
+//! performs *real-time* activities such as voice calls — is rooted in
+//! this layer: real-time (high-priority) threads preempt interactive
+//! ones, and the model exposes how much CPU each class obtains so the
+//! fault injector can couple fault activation to preemption pressure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use symfail_sim_core::SimDuration;
+
+/// Identifier of a thread.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ThreadId(u32);
+
+/// Scheduling class of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ThreadClass {
+    /// Interactive, time-shared work (UI applications).
+    Interactive,
+    /// System servers.
+    Server,
+    /// Hard real-time work (telephony signalling, audio).
+    RealTime,
+}
+
+impl ThreadClass {
+    /// Base priority of the class (higher runs first).
+    pub fn base_priority(self) -> i32 {
+        match self {
+            ThreadClass::Interactive => 10,
+            ThreadClass::Server => 20,
+            ThreadClass::RealTime => 30,
+        }
+    }
+}
+
+/// Run state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Ready,
+    /// Blocked on a request.
+    Waiting,
+    /// Terminated (by exit or by a panic).
+    Dead,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ThreadRecord {
+    name: String,
+    class: ThreadClass,
+    priority: i32,
+    state: ThreadState,
+    cpu: SimDuration,
+}
+
+/// A preemptive priority scheduler over simulated threads.
+///
+/// # Example
+///
+/// ```
+/// use symfail_sim_core::SimDuration;
+/// use symfail_symbian::threads::{ThreadClass, ThreadScheduler};
+///
+/// let mut ts = ThreadScheduler::new(SimDuration::from_millis(50));
+/// let ui = ts.spawn("Messages", ThreadClass::Interactive);
+/// let call = ts.spawn("Telephony", ThreadClass::RealTime);
+/// assert_eq!(ts.pick_next(), Some(call)); // real-time preempts
+/// ts.account(call, SimDuration::from_millis(50));
+/// let _ = ui;
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadScheduler {
+    quantum: SimDuration,
+    threads: BTreeMap<u32, ThreadRecord>,
+    next_id: u32,
+    last_picked: Option<u32>,
+}
+
+impl ThreadScheduler {
+    /// Creates a scheduler with the given time-slice quantum.
+    pub fn new(quantum: SimDuration) -> Self {
+        Self {
+            quantum,
+            threads: BTreeMap::new(),
+            next_id: 0,
+            last_picked: None,
+        }
+    }
+
+    /// The time-slice quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Creates a ready thread of the given class.
+    pub fn spawn(&mut self, name: &str, class: ThreadClass) -> ThreadId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.threads.insert(
+            id,
+            ThreadRecord {
+                name: name.to_string(),
+                class,
+                priority: class.base_priority(),
+                state: ThreadState::Ready,
+                cpu: SimDuration::ZERO,
+            },
+        );
+        ThreadId(id)
+    }
+
+    /// Number of threads that are not dead.
+    pub fn live_count(&self) -> usize {
+        self.threads
+            .values()
+            .filter(|t| t.state != ThreadState::Dead)
+            .count()
+    }
+
+    /// State of a thread.
+    pub fn state(&self, id: ThreadId) -> Option<ThreadState> {
+        self.threads.get(&id.0).map(|t| t.state)
+    }
+
+    /// Marks a thread blocked.
+    pub fn block(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&id.0) {
+            if t.state == ThreadState::Ready {
+                t.state = ThreadState::Waiting;
+            }
+        }
+    }
+
+    /// Wakes a blocked thread.
+    pub fn wake(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&id.0) {
+            if t.state == ThreadState::Waiting {
+                t.state = ThreadState::Ready;
+            }
+        }
+    }
+
+    /// Terminates a thread (exit or kernel kill after a panic).
+    pub fn kill(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&id.0) {
+            t.state = ThreadState::Dead;
+        }
+    }
+
+    /// Chooses the next thread to run: the highest-priority ready
+    /// thread, round-robin among equals (the thread picked last yields
+    /// to its peers).
+    pub fn pick_next(&mut self) -> Option<ThreadId> {
+        let top = self
+            .threads
+            .iter()
+            .filter(|(_, t)| t.state == ThreadState::Ready)
+            .map(|(_, t)| t.priority)
+            .max()?;
+        let peers: Vec<u32> = self
+            .threads
+            .iter()
+            .filter(|(_, t)| t.state == ThreadState::Ready && t.priority == top)
+            .map(|(&id, _)| id)
+            .collect();
+        let pick = match self.last_picked {
+            Some(last) => *peers
+                .iter()
+                .find(|&&id| id > last)
+                .unwrap_or(&peers[0]),
+            None => peers[0],
+        };
+        self.last_picked = Some(pick);
+        Some(ThreadId(pick))
+    }
+
+    /// Accounts `elapsed` CPU time to a thread.
+    pub fn account(&mut self, id: ThreadId, elapsed: SimDuration) {
+        if let Some(t) = self.threads.get_mut(&id.0) {
+            t.cpu += elapsed;
+        }
+    }
+
+    /// Total CPU consumed by a thread.
+    pub fn cpu_of(&self, id: ThreadId) -> Option<SimDuration> {
+        self.threads.get(&id.0).map(|t| t.cpu)
+    }
+
+    /// Fraction of accounted CPU consumed by real-time threads — the
+    /// preemption-pressure signal the fault model couples to.
+    pub fn realtime_share(&self) -> f64 {
+        let total: u64 = self.threads.values().map(|t| t.cpu.as_millis()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rt: u64 = self
+            .threads
+            .values()
+            .filter(|t| t.class == ThreadClass::RealTime)
+            .map(|t| t.cpu.as_millis())
+            .sum();
+        rt as f64 / total as f64
+    }
+
+    /// Name of a thread.
+    pub fn name_of(&self, id: ThreadId) -> Option<&str> {
+        self.threads.get(&id.0).map(|t| t.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> ThreadScheduler {
+        ThreadScheduler::new(SimDuration::from_millis(50))
+    }
+
+    #[test]
+    fn realtime_preempts_interactive() {
+        let mut ts = sched();
+        let ui = ts.spawn("ui", ThreadClass::Interactive);
+        let rt = ts.spawn("telephony", ThreadClass::RealTime);
+        let srv = ts.spawn("server", ThreadClass::Server);
+        assert_eq!(ts.pick_next(), Some(rt));
+        ts.block(rt);
+        assert_eq!(ts.pick_next(), Some(srv));
+        ts.block(srv);
+        assert_eq!(ts.pick_next(), Some(ui));
+    }
+
+    #[test]
+    fn round_robin_among_equals() {
+        let mut ts = sched();
+        let a = ts.spawn("a", ThreadClass::Interactive);
+        let b = ts.spawn("b", ThreadClass::Interactive);
+        let first = ts.pick_next().unwrap();
+        let second = ts.pick_next().unwrap();
+        let third = ts.pick_next().unwrap();
+        assert_ne!(first, second);
+        assert_eq!(first, third);
+        assert!(first == a || first == b);
+    }
+
+    #[test]
+    fn block_wake_kill_lifecycle() {
+        let mut ts = sched();
+        let t = ts.spawn("t", ThreadClass::Server);
+        assert_eq!(ts.state(t), Some(ThreadState::Ready));
+        ts.block(t);
+        assert_eq!(ts.state(t), Some(ThreadState::Waiting));
+        assert_eq!(ts.pick_next(), None);
+        ts.wake(t);
+        assert_eq!(ts.pick_next(), Some(t));
+        ts.kill(t);
+        assert_eq!(ts.state(t), Some(ThreadState::Dead));
+        assert_eq!(ts.live_count(), 0);
+        ts.wake(t); // waking the dead does nothing
+        assert_eq!(ts.state(t), Some(ThreadState::Dead));
+    }
+
+    #[test]
+    fn cpu_accounting_and_realtime_share() {
+        let mut ts = sched();
+        let ui = ts.spawn("ui", ThreadClass::Interactive);
+        let rt = ts.spawn("rt", ThreadClass::RealTime);
+        ts.account(ui, SimDuration::from_millis(300));
+        ts.account(rt, SimDuration::from_millis(100));
+        assert_eq!(ts.cpu_of(ui), Some(SimDuration::from_millis(300)));
+        assert!((ts.realtime_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realtime_share_empty_is_zero() {
+        assert_eq!(sched().realtime_share(), 0.0);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut ts = sched();
+        let t = ts.spawn("Messages", ThreadClass::Interactive);
+        assert_eq!(ts.name_of(t), Some("Messages"));
+        assert_eq!(ts.name_of(ThreadId(99)), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Section 4 web-forum study, end to end.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example forum_analysis
+//! ```
+//!
+//! Generates the 533-post synthetic corpus, shows a few raw posts,
+//! runs the rule-based classifier over the text, and prints Table 1,
+//! the severity/activity marginals and the paper-vs-measured report.
+
+use symfail::forum::classify::classify;
+use symfail::forum::corpus::CorpusGenerator;
+use symfail::forum::tables::ForumStudy;
+
+fn main() {
+    let corpus = CorpusGenerator::paper_sized(2005).generate();
+    println!("corpus: {} posts from public forums (2003–2006)\n", corpus.len());
+
+    println!("=== a few raw posts and their classification ===");
+    for report in corpus.iter().take(6) {
+        let c = classify(&report.text);
+        println!(
+            "[{} | {}{}] {:?}",
+            report.forum,
+            report.vendor,
+            if report.smart_phone { ", smart phone" } else { "" },
+            report.text
+        );
+        match c.failure {
+            Some(f) => println!(
+                "   -> {} / {} (severity {:?}{})\n",
+                f.as_str(),
+                c.recovery.as_str(),
+                c.severity,
+                c.activity
+                    .map(|a| format!(", during {}", a.as_str()))
+                    .unwrap_or_default()
+            ),
+            None => println!("   -> not a failure report\n"),
+        }
+    }
+
+    let study = ForumStudy::classify(&corpus);
+    println!("{}", study.render_all());
+    println!("=== paper-vs-measured ===");
+    let shape = study.shape_report();
+    println!("{shape}");
+    assert_eq!(
+        study.misclassified(),
+        0,
+        "classifier and ground truth agree on this corpus"
+    );
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests of the post-paper extensions: the D_EXC baseline,
+//! the inter-arrival analysis and the user-report channel, all driven
+//! by a real (small) campaign.
+
+use symfail::core::analysis::baseline::BaselineComparison;
+use symfail::core::analysis::dataset::FleetDataset;
+use symfail::core::analysis::interarrival::InterArrivalAnalysis;
+use symfail::core::analysis::output_failures::OutputFailureAnalysis;
+use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+use symfail::core::analysis::severity::SeverityAnalysis;
+use symfail::core::analysis::shutdown::merge_hl_events;
+use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::firmware::SymbianVersion;
+use symfail::phone::fleet::{panics_by_firmware, total_stats, FleetCampaign};
+use symfail::sim::SimDuration;
+
+fn params() -> CalibrationParams {
+    CalibrationParams {
+        phones: 6,
+        campaign_days: 150,
+        enrollment_spread_days: 10,
+        attrition_spread_days: 10,
+        background_episode_rate_per_hour: 0.01,
+        p_episode_per_call: 0.03,
+        isolated_freeze_rate_per_hour: 0.008,
+        isolated_self_shutdown_rate_per_hour: 0.01,
+        output_failure_rate_per_hour: 0.02,
+        ..CalibrationParams::default()
+    }
+}
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig {
+        uptime_gap: SimDuration::from_secs(params().heartbeat_period_secs * 3 + 60),
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn dexc_baseline_sees_panics_but_nothing_else() {
+    let harvest = FleetCampaign::new(31, params()).run();
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let report = StudyReport::analyze(&fleet, config());
+    let cmp = BaselineComparison::new(&fleet, &report);
+    let truth = total_stats(&harvest);
+    assert_eq!(cmp.panics_collected, truth.panics);
+    assert!(cmp.hl_events_full > 0);
+    assert_eq!(cmp.hl_events_dexc, 0);
+    assert!(cmp.panics_with_running_apps > 0);
+    assert!(cmp.dexc_artifact_coverage < 0.5);
+}
+
+#[test]
+fn interarrival_analysis_on_campaign() {
+    let harvest = FleetCampaign::new(37, params()).run();
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let report = StudyReport::analyze(&fleet, config());
+    let hl = merge_hl_events(&fleet.freezes(), &report.shutdowns.self_shutdown_hl_events());
+    let ia = InterArrivalAnalysis::new(&fleet, &hl).expect("enough events");
+    assert!(ia.len() > 20);
+    assert!(ia.mean_hours() > 1.0);
+    // Wall-clock inter-arrivals of a thinned process with day/night
+    // structure: cv near 1, KS to exponential small-ish.
+    assert!(
+        (0.5..2.0).contains(&ia.coefficient_of_variation()),
+        "cv {}",
+        ia.coefficient_of_variation()
+    );
+    assert!(ia.ks_to_exponential() < 0.35, "ks {}", ia.ks_to_exponential());
+}
+
+#[test]
+fn user_reports_undercount_output_failures() {
+    let harvest = FleetCampaign::new(41, params()).run();
+    let truth = total_stats(&harvest);
+    assert!(truth.output_failures > 20, "scenario produces output failures");
+    let analysis =
+        OutputFailureAnalysis::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    assert_eq!(analysis.len() as u64, truth.user_reports);
+    let coverage = analysis.coverage_against(truth.output_failures).unwrap();
+    assert!(
+        coverage < 0.35,
+        "users must be unreliable: coverage {coverage}"
+    );
+    assert!(coverage > 0.0, "but not mute");
+}
+
+#[test]
+fn severity_burden_matches_detected_failures() {
+    let harvest = FleetCampaign::new(43, params()).run();
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let report = StudyReport::analyze(&fleet, config());
+    let sev = SeverityAnalysis::new(&fleet, &report.shutdowns, report.mtbf.total_hours);
+    assert_eq!(sev.battery_pulls(), report.mtbf.freezes);
+    assert_eq!(sev.unwanted_reboots(), report.shutdowns.self_shutdowns().len());
+    assert!(sev.burden_per_phone_month().unwrap() > 0.0);
+}
+
+#[test]
+fn firmware_mix_and_breakdown() {
+    let harvest = FleetCampaign::new(47, params()).run();
+    let breakdown = panics_by_firmware(&harvest);
+    let phones: u64 = breakdown.iter().map(|(_, n, _)| n).sum();
+    assert_eq!(phones, params().phones as u64);
+    // The majority version is represented.
+    let v80 = breakdown
+        .iter()
+        .find(|(v, _, _)| *v == SymbianVersion::V8_0)
+        .unwrap();
+    assert!(v80.1 >= phones / 2, "8.0 is the fleet majority: {breakdown:?}");
+    // Firmware assignment is deterministic.
+    let again = FleetCampaign::new(48, params()).run();
+    for (a, b) in harvest.iter().zip(&again) {
+        assert_eq!(a.firmware, b.firmware, "assignment is seed-independent");
+    }
+}

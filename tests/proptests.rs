@@ -1,0 +1,375 @@
+//! Property-based tests over the core invariants of the suite.
+
+use proptest::prelude::*;
+use proptest::test_runner::Config as ProptestConfig;
+
+use symfail::core::analysis::coalesce::CoalescenceAnalysis;
+use symfail::core::analysis::dataset::{FleetDataset, HlEvent, HlKind, PhoneDataset};
+use symfail::core::records::{decode_beat, encode_beat, HeartbeatEvent, LogRecord, PanicRecord};
+use symfail::sim::{EventQueue, SimDuration, SimRng, SimTime};
+use symfail::stats::{CategoricalDist, Histogram, OnlineSummary};
+use symfail::symbian::cleanup::CleanupStack;
+use symfail::symbian::descriptor::TBuf;
+use symfail::symbian::heap::Heap;
+use symfail::symbian::leave::LeaveCode;
+use symfail::symbian::panic::{codes, Panic, PanicCode};
+use symfail::symbian::servers::logdb::ActivityKind;
+
+// ---------------------------------------------------------------
+// Descriptors: the USER 10/11 bounds model never corrupts state.
+// ---------------------------------------------------------------
+
+/// A descriptor operation for the state-machine property test.
+#[derive(Debug, Clone)]
+enum DescOp {
+    Copy(String),
+    Append(String),
+    Insert(usize, String),
+    Delete(usize, usize),
+    Replace(usize, usize, String),
+    Fill(char, usize),
+    SetLength(usize),
+}
+
+fn desc_op() -> impl Strategy<Value = DescOp> {
+    prop_oneof![
+        "[a-z]{0,12}".prop_map(DescOp::Copy),
+        "[a-z]{0,12}".prop_map(DescOp::Append),
+        (0usize..16, "[a-z]{0,6}").prop_map(|(p, s)| DescOp::Insert(p, s)),
+        (0usize..16, 0usize..16).prop_map(|(p, l)| DescOp::Delete(p, l)),
+        (0usize..16, 0usize..16, "[a-z]{0,6}").prop_map(|(p, l, s)| DescOp::Replace(p, l, s)),
+        (proptest::char::range('a', 'z'), 0usize..16).prop_map(|(c, l)| DescOp::Fill(c, l)),
+        (0usize..16).prop_map(DescOp::SetLength),
+    ]
+}
+
+proptest! {
+    /// Whatever the operation sequence, a descriptor never exceeds its
+    /// maximum length, failed operations leave the content unchanged,
+    /// and the panics raised are exactly USER 10/11.
+    #[test]
+    fn descriptor_invariants(max_len in 0usize..12, ops in prop::collection::vec(desc_op(), 0..40)) {
+        let mut buf = TBuf::with_max_length(max_len);
+        for op in ops {
+            let before = buf.as_str();
+            let result = match op {
+                DescOp::Copy(s) => buf.copy(&s),
+                DescOp::Append(s) => buf.append(&s),
+                DescOp::Insert(p, s) => buf.insert(p, &s),
+                DescOp::Delete(p, l) => buf.delete(p, l),
+                DescOp::Replace(p, l, s) => buf.replace(p, l, &s),
+                DescOp::Fill(c, l) => buf.fill(c, l),
+                DescOp::SetLength(l) => buf.set_length(l),
+            };
+            prop_assert!(buf.length() <= buf.max_length());
+            match result {
+                Ok(()) => {}
+                Err(p) => {
+                    prop_assert!(p.code == codes::USER_10 || p.code == codes::USER_11);
+                    prop_assert_eq!(buf.as_str(), before, "failed op mutated the descriptor");
+                }
+            }
+        }
+    }
+
+    /// Reading operations (left/right/mid) never report more data than
+    /// the descriptor holds.
+    #[test]
+    fn descriptor_reads_bounded(s in "[a-z]{0,10}", n in 0usize..16, p in 0usize..16) {
+        let buf = TBuf::from_str(&s, 10).unwrap();
+        if let Ok(left) = buf.left(n) {
+            prop_assert!(left.chars().count() == n && n <= buf.length());
+        }
+        if let Ok(mid) = buf.mid(p, n) {
+            prop_assert_eq!(mid.chars().count(), n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Heap + cleanup stack: allocation is conserved, unwinding frees
+// exactly the block's cells.
+// ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn heap_conservation(sizes in prop::collection::vec(1u64..64, 1..40)) {
+        let mut heap = Heap::with_capacity(4096);
+        let mut live = Vec::new();
+        let mut expected_used = 0;
+        for (i, &size) in sizes.iter().enumerate() {
+            match heap.alloc("app", size) {
+                Ok(cell) => {
+                    live.push((cell, size));
+                    expected_used += size;
+                }
+                Err(code) => prop_assert_eq!(code, LeaveCode::NoMemory),
+            }
+            prop_assert_eq!(heap.used(), expected_used);
+            // Free every other allocation as we go.
+            if i % 2 == 0 {
+                if let Some((cell, size)) = live.pop() {
+                    heap.free(cell).unwrap();
+                    expected_used -= size;
+                }
+            }
+        }
+        for (cell, size) in live {
+            heap.free(cell).unwrap();
+            expected_used -= size;
+        }
+        prop_assert_eq!(heap.used(), 0);
+        prop_assert_eq!(expected_used, 0);
+    }
+
+    /// A trap that leaves frees exactly the cells pushed inside the
+    /// trap block, regardless of the allocation pattern.
+    #[test]
+    fn trap_unwinds_exactly_block_cells(
+        outer in prop::collection::vec(1u64..32, 0..8),
+        inner in prop::collection::vec(1u64..32, 0..8),
+    ) {
+        let mut heap = Heap::with_capacity(100_000);
+        let mut cs = CleanupStack::new();
+        let mut outer_cells = Vec::new();
+        for &s in &outer {
+            let c = heap.alloc("app", s).unwrap();
+            cs.push(c);
+            outer_cells.push(c);
+        }
+        let used_before = heap.used();
+        let r = cs.trap(&mut heap, |cs, heap| -> Result<(), LeaveCode> {
+            for &s in &inner {
+                let c = heap.alloc("app", s)?;
+                cs.push(c);
+            }
+            Err(LeaveCode::General)
+        }).unwrap();
+        prop_assert_eq!(r, Err(LeaveCode::General));
+        prop_assert_eq!(heap.used(), used_before, "inner cells all freed");
+        for c in outer_cells {
+            prop_assert!(heap.is_live(c), "outer cells untouched");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Statistics: histogram conservation and summary merging.
+// ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_conserves_observations(values in prop::collection::vec(-1e6f64..1e6, 0..300)) {
+        let mut h = Histogram::with_bins(0.0, 1000.0, 17).unwrap();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let binned: u64 = (0..h.len()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), values.len() as u64);
+    }
+
+    #[test]
+    fn summary_merge_associative(
+        a in prop::collection::vec(-1e3f64..1e3, 1..50),
+        b in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let whole: OnlineSummary = a.iter().chain(b.iter()).copied().collect();
+        let mut merged: OnlineSummary = a.iter().copied().collect();
+        merged.merge(&b.iter().copied().collect());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_total_variation_is_metric_like(
+        xs in prop::collection::vec(0u64..20, 3),
+        ys in prop::collection::vec(0u64..20, 3),
+    ) {
+        prop_assume!(xs.iter().sum::<u64>() > 0 && ys.iter().sum::<u64>() > 0);
+        let mut a = CategoricalDist::new();
+        let mut b = CategoricalDist::new();
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            a.add_n(format!("l{i}"), x);
+            b.add_n(format!("l{i}"), y);
+        }
+        let d_ab = a.total_variation(&b).unwrap();
+        let d_ba = b.total_variation(&a).unwrap();
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!(a.total_variation(&a).unwrap() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------
+// Event queue: time ordering under arbitrary schedules.
+// ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+}
+
+// ---------------------------------------------------------------
+// Log record codec: round trip for arbitrary field content.
+// ---------------------------------------------------------------
+
+fn arb_panic_code() -> impl Strategy<Value = PanicCode> {
+    (0usize..codes::ALL.len()).prop_map(|i| codes::ALL[i].0)
+}
+
+proptest! {
+    #[test]
+    fn panic_record_codec_round_trips(
+        at in 0u64..10_000_000_000,
+        code in arb_panic_code(),
+        raised_by in "[A-Za-z_.]{1,16}",
+        reason in "[a-zA-Z0-9 _:;.~-]{0,60}",
+        apps in prop::collection::vec("[A-Za-z_]{1,10}", 0..5),
+        battery in 0u8..=100,
+        activity in prop_oneof![
+            Just(None),
+            Just(Some(ActivityKind::VoiceCall)),
+            Just(Some(ActivityKind::Message)),
+            Just(Some(ActivityKind::DataSession)),
+        ],
+    ) {
+        let rec = LogRecord::Panic(PanicRecord {
+            at: SimTime::from_millis(at),
+            panic: Panic::new(code, raised_by, reason),
+            running_apps: apps,
+            activity,
+            battery,
+        });
+        let decoded = LogRecord::decode(&rec.encode()).unwrap();
+        prop_assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn beat_codec_round_trips(at in 0u64..10_000_000_000, which in 0usize..4) {
+        let ev = [
+            HeartbeatEvent::Alive,
+            HeartbeatEvent::Reboot,
+            HeartbeatEvent::ManualOff,
+            HeartbeatEvent::LowBattery,
+        ][which];
+        let (t, e) = decode_beat(&encode_beat(SimTime::from_millis(at), ev)).unwrap();
+        prop_assert_eq!(t, SimTime::from_millis(at));
+        prop_assert_eq!(e, ev);
+    }
+}
+
+// ---------------------------------------------------------------
+// Coalescence: window monotonicity and phone isolation on random
+// event layouts.
+// ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn coalescence_monotone_in_window(
+        panic_times in prop::collection::vec(0u64..500_000, 1..40),
+        hl_times in prop::collection::vec(0u64..500_000, 0..20),
+    ) {
+        let fleet = FleetDataset {
+            phones: vec![PhoneDataset {
+                phone_id: 0,
+                records: panic_times
+                    .iter()
+                    .map(|&t| LogRecord::Panic(PanicRecord {
+                        at: SimTime::from_secs(t),
+                        panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+                        running_apps: Vec::new(),
+                        activity: None,
+                        battery: 50,
+                    }))
+                    .collect(),
+                beats: Vec::new(),
+            }],
+        };
+        let events: Vec<HlEvent> = hl_times
+            .iter()
+            .map(|&t| HlEvent {
+                phone_id: 0,
+                at: SimTime::from_secs(t),
+                kind: HlKind::Freeze,
+            })
+            .collect();
+        let mut last = 0.0;
+        for w in [1u64, 10, 60, 300, 3600, 100_000] {
+            let a = CoalescenceAnalysis::new(&fleet, &events, SimDuration::from_secs(w));
+            prop_assert!(a.related_fraction() + 1e-12 >= last);
+            last = a.related_fraction();
+        }
+        // Events on other phones never coalesce.
+        let other: Vec<HlEvent> = events
+            .iter()
+            .map(|e| HlEvent { phone_id: 1, ..*e })
+            .collect();
+        let cross = CoalescenceAnalysis::new(&fleet, &other, SimDuration::from_secs(100_000));
+        prop_assert_eq!(cross.related_fraction(), 0.0);
+    }
+
+    /// The RNG's weighted choice respects zero weights for any weight
+    /// vector.
+    #[test]
+    fn weighted_index_never_picks_zero(weights in prop::collection::vec(0.0f64..5.0, 1..8), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let i = rng.weighted_index(&weights);
+            prop_assert!(weights[i] > 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Forum pipeline: for any seed, the classifier recovers every label
+// the corpus generator hid in free text.
+// ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn forum_classifier_is_exact_for_any_seed(seed in 0u64..10_000) {
+        use symfail::forum::corpus::CorpusGenerator;
+        use symfail::forum::tables::ForumStudy;
+        let corpus = CorpusGenerator::paper_sized(seed).generate();
+        let study = ForumStudy::classify(&corpus);
+        prop_assert_eq!(study.misclassified(), 0);
+        prop_assert_eq!(study.failure_posts(), 466);
+    }
+
+    /// Small campaigns parse back with panic conservation for any seed.
+    #[test]
+    fn campaign_panics_conserved_for_any_seed(seed in 0u64..10_000) {
+        use symfail::phone::calibration::CalibrationParams;
+        use symfail::phone::fleet::{total_stats, FleetCampaign};
+        let params = CalibrationParams {
+            phones: 2,
+            campaign_days: 25,
+            enrollment_spread_days: 3,
+            attrition_spread_days: 3,
+            background_episode_rate_per_hour: 0.02,
+            ..CalibrationParams::default()
+        };
+        let harvest = FleetCampaign::new(seed, params).run();
+        let truth = total_stats(&harvest);
+        let fleet = FleetDataset::from_flash(
+            harvest.iter().map(|h| (h.phone_id, &h.flashfs)),
+        );
+        prop_assert_eq!(fleet.panics().len() as u64, truth.panics);
+    }
+}
