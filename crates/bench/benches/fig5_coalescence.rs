@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", report.render_fig5());
 
     let shutdowns = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
-    let hl = merge_hl_events(&fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let hl = merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
 
     let mut g = c.benchmark_group("fig5_coalescence");
     g.sample_size(20);
@@ -24,23 +24,44 @@ fn bench(c: &mut Criterion) {
     g.bench_function("coalesce_5min_window", |b| {
         b.iter(|| CoalescenceAnalysis::new(black_box(&fleet), &hl, COALESCENCE_WINDOW))
     });
+    g.bench_function("coalesce_5min_window_brute_force", |b| {
+        b.iter(|| CoalescenceAnalysis::new_brute_force(black_box(&fleet), &hl, COALESCENCE_WINDOW))
+    });
     for w in [30u64, 300, 3600] {
         g.bench_function(format!("window_{w}s"), |b| {
             b.iter(|| CoalescenceAnalysis::new(&fleet, &hl, SimDuration::from_secs(w)))
         });
     }
+    const SWEEP_WINDOWS: [u64; 9] = [10, 30, 60, 120, 300, 600, 1800, 7200, 36_000];
     g.bench_function("window_sweep_9_points", |b| {
-        b.iter(|| {
-            CoalescenceAnalysis::window_sweep(
-                &fleet,
-                &hl,
-                &[10, 30, 60, 120, 300, 600, 1800, 7200, 36_000],
-            )
-        })
+        b.iter(|| CoalescenceAnalysis::window_sweep(&fleet, &hl, &SWEEP_WINDOWS))
+    });
+    g.bench_function("window_sweep_9_points_brute_force", |b| {
+        b.iter(|| CoalescenceAnalysis::window_sweep_brute_force(&fleet, &hl, &SWEEP_WINDOWS))
     });
     let analysis = CoalescenceAnalysis::new(&fleet, &hl, COALESCENCE_WINDOW);
     g.bench_function("category_breakdown", |b| b.iter(|| analysis.by_category()));
     g.finish();
+
+    // Headline: the single-pass gap-array sweep vs re-running the
+    // brute-force merge per window (the pre-index implementation).
+    let reps = 10;
+    let t = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(CoalescenceAnalysis::window_sweep(&fleet, &hl, &SWEEP_WINDOWS));
+    }
+    let fast = t.elapsed();
+    let t = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(CoalescenceAnalysis::window_sweep_brute_force(&fleet, &hl, &SWEEP_WINDOWS));
+    }
+    let brute = t.elapsed();
+    println!(
+        "full sweep: fast {:?} vs brute-force {:?} -> {:.1}x speedup",
+        fast / reps,
+        brute / reps,
+        brute.as_secs_f64() / fast.as_secs_f64().max(1e-12)
+    );
 }
 
 criterion_group!(benches, bench);

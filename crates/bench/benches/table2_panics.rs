@@ -39,10 +39,9 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("accumulate_distribution", |b| {
-        let panics = fleet.panics();
         b.iter(|| {
             let mut d = CategoricalDist::new();
-            for (_, p) in &panics {
+            for (_, p) in fleet.panics() {
                 d.add(p.panic.code.to_string());
             }
             black_box(d.total())

@@ -4,20 +4,30 @@
 //!
 //! ```text
 //! repro [--exp all|table1|table2|table3|table4|fig2|fig3|fig5|fig6|mtbf|forum_marginals|ablations|targets]
-//!       [--seed N] [--phones N] [--days N] [--sweep]
+//!       [--seed N] [--phones N] [--days N] [--workers N] [--sweep]
+//!       [--timing-json PATH]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
 //! 533-report forum study and prints every reproduced artifact next to
-//! the paper's numbers.
+//! the paper's numbers. The campaign and the flash parsing run on
+//! `--workers` threads (default: all available cores); the harvest is
+//! byte-identical for any worker count. `--timing-json` writes
+//! per-stage wall-clock timings (campaign, parse, each analysis
+//! stage) to the given path.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use symfail_core::analysis::bursts::BurstAnalysis;
 use symfail_core::analysis::dataset::FleetDataset;
+use symfail_core::analysis::mtbf::MtbfAnalysis;
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
+use symfail_core::analysis::shutdown::ShutdownAnalysis;
 use symfail_core::analysis::{coalesce, shutdown, targets};
+use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
-use symfail_phone::fleet::FleetCampaign;
+use symfail_phone::fleet::{FleetCampaign, PhoneHarvest};
 use symfail_sim_core::SimDuration;
 
 struct Args {
@@ -25,7 +35,15 @@ struct Args {
     seed: u64,
     phones: u32,
     days: u32,
+    workers: usize,
     sweep: bool,
+    timing_json: Option<String>,
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,7 +52,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 2005,
         phones: 25,
         days: 425,
+        workers: default_workers(),
         sweep: false,
+        timing_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,10 +78,21 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--days needs an integer")?
             }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?
+            }
             "--sweep" => args.sweep = true,
+            "--timing-json" => {
+                args.timing_json = Some(it.next().ok_or("--timing-json needs a path")?)
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] [--sweep]"
+                    "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
+                     [--workers N] [--sweep] [--timing-json PATH]"
                         .to_string(),
                 )
             }
@@ -71,32 +102,90 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Runs the fleet campaign and the full analysis pipeline.
-fn campaign_report(args: &Args) -> (StudyReport, FleetDataset) {
-    let (report, fleet, _) = campaign_report_with_stats(args);
-    (report, fleet)
+/// A fully-run campaign: the harvest, the parsed dataset, the analysis
+/// report, and the wall-clock seconds each pipeline stage took.
+struct CampaignRun {
+    report: StudyReport,
+    fleet: FleetDataset,
+    harvest: Vec<PhoneHarvest>,
+    timings: Vec<(&'static str, f64)>,
 }
 
-fn campaign_report_with_stats(
-    args: &Args,
-) -> (StudyReport, FleetDataset, symfail_phone::device::PhoneStats) {
+/// Runs the fleet campaign and the full analysis pipeline, timing each
+/// stage.
+fn run_campaign(args: &Args) -> CampaignRun {
     let params = CalibrationParams {
         phones: args.phones,
         campaign_days: args.days,
         ..CalibrationParams::default()
     };
     let campaign = FleetCampaign::new(args.seed, params);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let harvest = campaign.run_parallel(workers);
-    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let mut timings = Vec::new();
+    let mut stage = |name, t: Instant| timings.push((name, t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    let harvest = campaign.run_parallel(args.workers);
+    stage("campaign", t);
+
+    let t = Instant::now();
+    let flash: Vec<(u32, &FlashFs)> =
+        harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+    let fleet = FleetDataset::from_flash_parallel(&flash, args.workers);
+    stage("parse", t);
+
     let config = AnalysisConfig {
         uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
         ..AnalysisConfig::default()
     };
-    let stats = symfail_phone::fleet::total_stats(&harvest);
-    (StudyReport::analyze(&fleet, config), fleet, stats)
+
+    // Individual analysis stages, timed in isolation before the full
+    // report bundles them (the report re-runs them; these measure each
+    // stage's own cost on the indexed dataset).
+    let t = Instant::now();
+    let shutdowns = ShutdownAnalysis::new(&fleet, config.self_shutdown_threshold);
+    stage("shutdown", t);
+
+    let hl =
+        shutdown::merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let t = Instant::now();
+    let _ = coalesce::CoalescenceAnalysis::new(&fleet, &hl, config.coalescence_window);
+    stage("coalescence", t);
+
+    let t = Instant::now();
+    let _ = MtbfAnalysis::new(&fleet, shutdowns.self_shutdowns().len(), config.uptime_gap);
+    stage("mtbf", t);
+
+    let t = Instant::now();
+    let _ = BurstAnalysis::new(&fleet, config.burst_gap);
+    stage("bursts", t);
+
+    let t = Instant::now();
+    let report = StudyReport::analyze(&fleet, config);
+    stage("report_total", t);
+
+    CampaignRun {
+        report,
+        fleet,
+        harvest,
+        timings,
+    }
+}
+
+/// Hand-formats the stage timings as JSON (no serializer dependency).
+fn timing_json(args: &Args, timings: &[(&str, f64)]) -> String {
+    let stages: Vec<String> = timings
+        .iter()
+        .map(|(name, secs)| format!("    {{\"stage\": \"{name}\", \"seconds\": {secs:.6}}}"))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"symfail-pipeline-timing/1\",\n  \"seed\": {},\n  \
+         \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.phones,
+        args.days,
+        args.workers,
+        stages.join(",\n")
+    )
 }
 
 fn forum_report(seed: u64) -> String {
@@ -120,19 +209,26 @@ fn main() -> ExitCode {
         }
     };
     let needs_campaign = args.exp != "table1" && args.exp != "forum_marginals";
-    let (report, fleet) = if needs_campaign {
-        let (r, f) = campaign_report(&args);
-        (Some(r), Some(f))
-    } else {
-        (None, None)
+    let run = needs_campaign.then(|| run_campaign(&args));
+    if let (Some(path), Some(run)) = (&args.timing_json, &run) {
+        let json = timing_json(&args, &run.timings);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote stage timings to {path}");
+    }
+    let (report, fleet) = match &run {
+        Some(run) => (Some(&run.report), Some(&run.fleet)),
+        None => (None, None),
     };
     match args.exp.as_str() {
         "all" => {
-            let report = report.as_ref().expect("campaign ran");
+            let report = report.expect("campaign ran");
             println!("{}", report.render_all());
             println!(
                 "{}",
-                report.render_per_phone(fleet.as_ref().expect("fleet present"))
+                report.render_per_phone(fleet.expect("fleet present"))
             );
             println!("{}", forum_report(args.seed));
             println!("\n=== campaign paper-vs-measured shape report ===");
@@ -152,9 +248,9 @@ fn main() -> ExitCode {
             let report = report.expect("campaign ran");
             println!("{}", report.render_fig5());
             if args.sweep {
-                let fleet = fleet.as_ref().expect("fleet present");
+                let fleet = fleet.expect("fleet present");
                 let hl = shutdown::merge_hl_events(
-                    &fleet.freezes(),
+                    fleet.freezes(),
                     &report.shutdowns.self_shutdown_hl_events(),
                 );
                 println!("window sweep (the paper's justification for 5 minutes):");
@@ -169,7 +265,7 @@ fn main() -> ExitCode {
         }
         "ablations" => {
             let report = report.expect("campaign ran");
-            let fleet = fleet.as_ref().expect("fleet present");
+            let fleet = fleet.expect("fleet present");
             println!("--- self-shutdown threshold sweep (Fig. 2's 360 s choice) ---");
             for (th, n) in report
                 .shutdowns
@@ -179,7 +275,7 @@ fn main() -> ExitCode {
             }
             println!("--- coalescence window sweep (Fig. 4/5's 5-minute choice) ---");
             let hl = shutdown::merge_hl_events(
-                &fleet.freezes(),
+                fleet.freezes(),
                 &report.shutdowns.self_shutdown_hl_events(),
             );
             for (w, frac) in coalesce::CoalescenceAnalysis::window_sweep(
@@ -198,30 +294,26 @@ fn main() -> ExitCode {
         }
         "perphone" => {
             let report = report.expect("campaign ran");
-            let fleet = fleet.as_ref().expect("fleet present");
+            let fleet = fleet.expect("fleet present");
             println!("{}", report.render_per_phone(fleet));
         }
         "extensions" => {
             // Post-paper extensions: baseline comparison, temporal
             // behaviour, and the user-report channel (future work).
-            let params = CalibrationParams {
-                phones: args.phones,
-                campaign_days: args.days,
-                ..CalibrationParams::default()
-            };
-            let campaign = FleetCampaign::new(args.seed, params);
-            let harvest = campaign.run_parallel(4);
-            let fleet2 =
-                FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
-            let report = report.expect("campaign ran");
-            let fleet = fleet.as_ref().expect("fleet present");
+            // All of them reuse the primary campaign's harvest — the
+            // campaign is deterministic in the seed, so re-running it
+            // would only burn time producing identical bytes.
+            let run = run.as_ref().expect("campaign ran");
+            let harvest = &run.harvest;
+            let report = &run.report;
+            let fleet = &run.fleet;
             println!(
                 "{}",
-                symfail_core::analysis::baseline::BaselineComparison::new(fleet, &report)
+                symfail_core::analysis::baseline::BaselineComparison::new(fleet, report)
                     .render()
             );
             let hl = shutdown::merge_hl_events(
-                &fleet.freezes(),
+                fleet.freezes(),
                 &report.shutdowns.self_shutdown_hl_events(),
             );
             if let Some(ia) =
@@ -230,7 +322,7 @@ fn main() -> ExitCode {
                 println!("{}", ia.render("freezes + self-shutdowns"));
             }
             println!("panic counts by firmware (ground truth):");
-            for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(&harvest) {
+            for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(harvest) {
                 let per_phone = if phones > 0 { panics as f64 / phones as f64 } else { 0.0 };
                 println!("  {version:<12} {phones:>2} phones  {panics:>4} panics  ({per_phone:.1}/phone)");
             }
@@ -241,17 +333,16 @@ fn main() -> ExitCode {
                 report.mtbf.total_hours,
             );
             println!("{}", sev.render());
-            let truth = symfail_phone::fleet::total_stats(&harvest);
+            let truth = symfail_phone::fleet::total_stats(harvest);
             let ureports =
                 symfail_core::analysis::output_failures::OutputFailureAnalysis::from_flash(
                     harvest.iter().map(|h| (h.phone_id, &h.flashfs)),
                 );
             println!("{}", ureports.render(Some(truth.output_failures)));
-            let _ = fleet2;
         }
         "stats" => {
-            let (_, _, stats) = campaign_report_with_stats(&args);
-            println!("{stats:#?}");
+            let run = run.as_ref().expect("campaign ran");
+            println!("{:#?}", symfail_phone::fleet::total_stats(&run.harvest));
         }
         "targets" => {
             let report = report.expect("campaign ran");

@@ -93,13 +93,12 @@ pub struct BaselineComparison {
 impl BaselineComparison {
     /// Compares the tools over an analyzed campaign.
     pub fn new(fleet: &FleetDataset, report: &StudyReport) -> Self {
-        let panics = fleet.panics();
-        let panics_with_activity = panics
-            .iter()
+        let panics_with_activity = fleet
+            .panics()
             .filter(|(_, p)| p.activity.is_some())
             .count();
-        let panics_with_running_apps = panics
-            .iter()
+        let panics_with_running_apps = fleet
+            .panics()
             .filter(|(_, p)| !p.running_apps.is_empty())
             .count();
         let hl_events_full =
@@ -184,9 +183,7 @@ mod tests {
         );
         lg.on_clean_shutdown(&mut fs, SimTime::from_secs(210), ShutdownKind::Reboot);
         lg.on_boot(&mut fs, SimTime::from_secs(300), &ctx);
-        FleetDataset {
-            phones: vec![PhoneDataset::from_flashfs(0, &fs)],
-        }
+        FleetDataset::from_phones(vec![PhoneDataset::from_flashfs(0, &fs)])
     }
 
     #[test]

@@ -42,18 +42,18 @@ impl BurstAnalysis {
     pub fn new(fleet: &FleetDataset, gap: SimDuration) -> Self {
         let mut cascades = Vec::new();
         let mut total = 0;
-        for phone in &fleet.phones {
-            let panics: Vec<&PanicRecord> = phone.panics();
+        for phone in fleet.phones() {
+            let panics: &[PanicRecord] = phone.panics();
             total += panics.len();
             let mut size = 0usize;
             let mut last_at = None;
-            for p in &panics {
+            for p in panics {
                 match last_at {
                     Some(prev) if p.at.saturating_since(prev) <= gap => size += 1,
                     _ => {
                         if size > 0 {
                             cascades.push(Cascade {
-                                phone_id: phone.phone_id,
+                                phone_id: phone.phone_id(),
                                 size,
                             });
                         }
@@ -64,7 +64,7 @@ impl BurstAnalysis {
             }
             if size > 0 {
                 cascades.push(Cascade {
-                    phone_id: phone.phone_id,
+                    phone_id: phone.phone_id(),
                     size,
                 });
             }
@@ -137,17 +137,19 @@ mod tests {
     }
 
     fn fleet_with(times: &[&[u64]]) -> FleetDataset {
-        FleetDataset {
-            phones: times
+        FleetDataset::from_phones(
+            times
                 .iter()
                 .enumerate()
-                .map(|(i, ts)| PhoneDataset {
-                    phone_id: i as u32,
-                    records: ts.iter().map(|&t| panic_at(t)).collect(),
-                    beats: Vec::new(),
+                .map(|(i, ts)| {
+                    PhoneDataset::new(
+                        i as u32,
+                        ts.iter().map(|&t| panic_at(t)).collect(),
+                        Vec::new(),
+                    )
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //! carefully: the paper observed the number of coalesced events grows
 //! up to five minutes, then plateaus until windows of hours start
 //! coalescing *uncorrelated* events — hence the five-minute window.
+//!
+//! # Algorithm
+//!
+//! [`CoalescenceAnalysis::new`] runs a sorted merge: HL events are
+//! sorted by `(phone, time)` once, and each panic binary-searches its
+//! phone's HL slice for the nearest neighbour — O((P+H)·log H)
+//! instead of the O(P×H) scan kept as the oracle in
+//! [`CoalescenceAnalysis::new_brute_force`]. The window sweep goes
+//! further: each panic's nearest-HL gap (and each HL event's
+//! nearest-panic gap) is computed **once** into a sorted array
+//! ([`CoalescenceGaps`]), after which any window is answered by one
+//! binary search — the whole Fig 4/5 sweep costs a single merge pass.
 
 use serde::{Deserialize, Serialize};
 
-use symfail_sim_core::SimDuration;
+use symfail_sim_core::{SimDuration, SimTime};
 use symfail_stats::CategoricalDist;
 
 use super::dataset::{FleetDataset, HlEvent, HlKind};
@@ -41,11 +53,111 @@ pub struct CoalescenceAnalysis {
     hl_with_panic: usize,
 }
 
+/// Among the events of one phone's sorted HL slice, the nearest to
+/// `t`: `(gap in ms, kind)`. Ties (equidistant left/right, or several
+/// events at the same instant) resolve to the earliest event in slice
+/// order, matching what `min_by_key` picks out of a time-sorted scan.
+fn nearest_hl(slice: &[HlEvent], t: SimTime) -> Option<(u64, HlKind)> {
+    if slice.is_empty() {
+        return None;
+    }
+    let i = slice.partition_point(|e| e.at < t);
+    let right = (i < slice.len()).then(|| (slice[i].at.saturating_since(t).as_millis(), i));
+    let left = (i > 0).then(|| {
+        let left_at = slice[i - 1].at;
+        // First index of the equal-`at` group.
+        let j = slice.partition_point(|e| e.at < left_at);
+        (t.saturating_since(left_at).as_millis(), j)
+    });
+    let (gap, idx) = match (left, right) {
+        (Some((lg, lj)), Some((rg, _))) if lg <= rg => (lg, lj),
+        (_, Some(r)) => r,
+        (Some(l), None) => l,
+        (None, None) => unreachable!("slice checked non-empty"),
+    };
+    Some((gap, slice[idx].kind))
+}
+
+/// Gap in ms from `t` to the nearest panic in a time-sorted slice.
+fn nearest_panic_gap(panics: &[PanicRecord], t: SimTime) -> Option<u64> {
+    if panics.is_empty() {
+        return None;
+    }
+    let i = panics.partition_point(|p| p.at < t);
+    let mut best = u64::MAX;
+    if i < panics.len() {
+        best = best.min(panics[i].at.saturating_since(t).as_millis());
+    }
+    if i > 0 {
+        best = best.min(t.saturating_since(panics[i - 1].at).as_millis());
+    }
+    Some(best)
+}
+
+/// HL events sorted by `(phone, time)`; the merge currency.
+fn sorted_hl(hl_events: &[HlEvent]) -> Vec<HlEvent> {
+    let mut hl = hl_events.to_vec();
+    // Stable: events at the same instant keep their caller order, so
+    // tie-breaking is identical to a scan over the caller's slice.
+    hl.sort_by_key(|e| (e.phone_id, e.at));
+    hl
+}
+
+/// One phone's slice of the sorted HL array.
+fn phone_slice(hl: &[HlEvent], phone_id: u32) -> &[HlEvent] {
+    let lo = hl.partition_point(|e| e.phone_id < phone_id);
+    let hi = hl.partition_point(|e| e.phone_id <= phone_id);
+    &hl[lo..hi]
+}
+
 impl CoalescenceAnalysis {
     /// Coalesces each panic with the HL events of the same phone
     /// within `window`. If several HL events fall in the window, the
-    /// closest wins.
+    /// closest wins (ties: the earliest). Sorted-merge implementation,
+    /// O((P+H)·log H); see [`Self::new_brute_force`] for the oracle.
     pub fn new(fleet: &FleetDataset, hl_events: &[HlEvent], window: SimDuration) -> Self {
+        let hl = sorted_hl(hl_events);
+        let window_ms = window.as_millis();
+        let mut panics = Vec::with_capacity(fleet.panic_count());
+        let mut hl_with_panic = 0;
+        for phone in fleet.phones() {
+            let slice = phone_slice(&hl, phone.phone_id());
+            for rec in phone.panics() {
+                let related = nearest_hl(slice, rec.at)
+                    .filter(|&(gap, _)| gap <= window_ms)
+                    .map(|(_, kind)| kind);
+                panics.push(CoalescedPanic {
+                    phone_id: phone.phone_id(),
+                    panic: rec.clone(),
+                    related,
+                });
+            }
+            // HL-side view: how many of this phone's HL events have at
+            // least one panic in their window.
+            hl_with_panic += slice
+                .iter()
+                .filter(|e| {
+                    nearest_panic_gap(phone.panics(), e.at)
+                        .is_some_and(|gap| gap <= window_ms)
+                })
+                .count();
+        }
+        Self {
+            window,
+            panics,
+            hl_total: hl_events.len(),
+            hl_with_panic,
+        }
+    }
+
+    /// The O(P×H) reference implementation `new` is verified against
+    /// (property tests and the `fig5_coalescence` bench). Scans every
+    /// HL event per panic; do not use outside tests/benches.
+    pub fn new_brute_force(
+        fleet: &FleetDataset,
+        hl_events: &[HlEvent],
+        window: SimDuration,
+    ) -> Self {
         let mut panics = Vec::new();
         for (phone_id, rec) in fleet.panics() {
             let related = hl_events
@@ -67,8 +179,6 @@ impl CoalescenceAnalysis {
                 related,
             });
         }
-        // HL-side view: how many HL events have at least one panic in
-        // their window.
         let hl_with_panic = hl_events
             .iter()
             .filter(|e| {
@@ -161,7 +271,24 @@ impl CoalescenceAnalysis {
 
     /// The window-size sweep that justifies the five-minute choice:
     /// `(window_secs, related_fraction)` for each candidate window.
+    /// One merge pass builds the gap index; each window is then a
+    /// single binary search (see [`CoalescenceGaps`]).
     pub fn window_sweep(
+        fleet: &FleetDataset,
+        hl_events: &[HlEvent],
+        windows_secs: &[u64],
+    ) -> Vec<(u64, f64)> {
+        let gaps = CoalescenceGaps::new(fleet, hl_events);
+        windows_secs
+            .iter()
+            .map(|&w| (w, gaps.related_fraction(SimDuration::from_secs(w))))
+            .collect()
+    }
+
+    /// Per-window brute-force sweep, the oracle for
+    /// [`Self::window_sweep`]; used by the `fig5_coalescence` bench
+    /// to quantify the speedup.
+    pub fn window_sweep_brute_force(
         fleet: &FleetDataset,
         hl_events: &[HlEvent],
         windows_secs: &[u64],
@@ -169,10 +296,96 @@ impl CoalescenceAnalysis {
         windows_secs
             .iter()
             .map(|&w| {
-                let a = CoalescenceAnalysis::new(fleet, hl_events, SimDuration::from_secs(w));
+                let a =
+                    CoalescenceAnalysis::new_brute_force(fleet, hl_events, SimDuration::from_secs(w));
                 (w, a.related_fraction())
             })
             .collect()
+    }
+}
+
+/// Nearest-neighbour gap index: every panic's distance to its nearest
+/// same-phone HL event, and every HL event's distance to its nearest
+/// same-phone panic, computed once and kept sorted. Any coalescence
+/// window is then answered by thresholding — `related_fraction` and
+/// `hl_with_panic` become O(log n) per window, which is what turns
+/// the Fig 4/5 window sweep (and the ablation sweep) into a single
+/// pass over the data.
+#[derive(Debug, Clone)]
+pub struct CoalescenceGaps {
+    /// Sorted nearest-HL gap (ms) per panic; `u64::MAX` when the
+    /// phone has no HL event.
+    panic_gaps_ms: Vec<u64>,
+    /// Sorted nearest-panic gap (ms) per HL event; `u64::MAX` when
+    /// the phone has no panic.
+    hl_gaps_ms: Vec<u64>,
+}
+
+impl CoalescenceGaps {
+    /// Builds the gap index in O((P+H)·log H).
+    pub fn new(fleet: &FleetDataset, hl_events: &[HlEvent]) -> Self {
+        let hl = sorted_hl(hl_events);
+        let mut panic_gaps_ms = Vec::with_capacity(fleet.panic_count());
+        let mut hl_gaps_ms = Vec::with_capacity(hl.len());
+        for phone in fleet.phones() {
+            let slice = phone_slice(&hl, phone.phone_id());
+            for rec in phone.panics() {
+                let gap = nearest_hl(slice, rec.at).map_or(u64::MAX, |(gap, _)| gap);
+                panic_gaps_ms.push(gap);
+            }
+            for e in slice {
+                let gap = nearest_panic_gap(phone.panics(), e.at).unwrap_or(u64::MAX);
+                hl_gaps_ms.push(gap);
+            }
+        }
+        // HL events on phones outside the fleet can never coalesce.
+        let orphans = hl.len() - hl_gaps_ms.len();
+        hl_gaps_ms.extend(std::iter::repeat(u64::MAX).take(orphans));
+        panic_gaps_ms.sort_unstable();
+        hl_gaps_ms.sort_unstable();
+        Self {
+            panic_gaps_ms,
+            hl_gaps_ms,
+        }
+    }
+
+    /// Number of panics in the index.
+    pub fn panic_total(&self) -> usize {
+        self.panic_gaps_ms.len()
+    }
+
+    /// Number of HL events in the index.
+    pub fn hl_total(&self) -> usize {
+        self.hl_gaps_ms.len()
+    }
+
+    /// Panics whose nearest HL event lies within `window`.
+    pub fn related_panics(&self, window: SimDuration) -> usize {
+        self.panic_gaps_ms
+            .partition_point(|&g| g <= window.as_millis())
+    }
+
+    /// Fraction of panics related to an HL event at this window —
+    /// monotone non-decreasing in the window by construction.
+    pub fn related_fraction(&self, window: SimDuration) -> f64 {
+        if self.panic_gaps_ms.is_empty() {
+            return 0.0;
+        }
+        self.related_panics(window) as f64 / self.panic_gaps_ms.len() as f64
+    }
+
+    /// HL events with at least one panic within `window`.
+    pub fn hl_with_panic(&self, window: SimDuration) -> usize {
+        self.hl_gaps_ms.partition_point(|&g| g <= window.as_millis())
+    }
+
+    /// Fraction of HL events with no panic within `window`.
+    pub fn isolated_hl_fraction(&self, window: SimDuration) -> f64 {
+        if self.hl_gaps_ms.is_empty() {
+            return 0.0;
+        }
+        (self.hl_gaps_ms.len() - self.hl_with_panic(window)) as f64
+            / self.hl_gaps_ms.len() as f64
     }
 }
 
@@ -204,13 +417,15 @@ mod tests {
     }
 
     fn fleet(panics: Vec<LogRecord>) -> FleetDataset {
-        FleetDataset {
-            phones: vec![PhoneDataset {
-                phone_id: 0,
-                records: panics,
-                beats: Vec::new(),
-            }],
-        }
+        FleetDataset::from_phones(vec![PhoneDataset::new(0, panics, Vec::new())])
+    }
+
+    fn assert_matches_brute(f: &FleetDataset, events: &[HlEvent], window: SimDuration) {
+        let fast = CoalescenceAnalysis::new(f, events, window);
+        let brute = CoalescenceAnalysis::new_brute_force(f, events, window);
+        assert_eq!(fast.panics(), brute.panics());
+        assert_eq!(fast.hl_total(), brute.hl_total());
+        assert_eq!(fast.hl_with_panic(), brute.hl_with_panic());
     }
 
     #[test]
@@ -222,6 +437,7 @@ mod tests {
         assert_eq!(a.panics()[0].related, Some(HlKind::Freeze));
         assert_eq!(a.hl_with_panic(), 1);
         assert_eq!(a.isolated_hl_fraction(), 0.0);
+        assert_matches_brute(&f, &events, COALESCENCE_WINDOW);
     }
 
     #[test]
@@ -236,6 +452,8 @@ mod tests {
         let a = CoalescenceAnalysis::new(&f, &far, COALESCENCE_WINDOW);
         assert_eq!(a.related_fraction(), 0.0);
         assert_eq!(a.isolated_hl_fraction(), 1.0);
+        assert_matches_brute(&f, &before, COALESCENCE_WINDOW);
+        assert_matches_brute(&f, &far, COALESCENCE_WINDOW);
     }
 
     #[test]
@@ -247,6 +465,26 @@ mod tests {
         ];
         let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
         assert_eq!(a.panics()[0].related, Some(HlKind::SelfShutdown));
+        assert_matches_brute(&f, &events, COALESCENCE_WINDOW);
+    }
+
+    #[test]
+    fn equidistant_tie_prefers_earlier_event() {
+        let f = fleet(vec![panic_rec(1000, codes::KERN_EXEC_3)]);
+        // 950 and 1050 are both 50 s away; the earlier one wins, as in
+        // a time-sorted min_by_key scan.
+        let events = [
+            hl(0, 950, HlKind::SelfShutdown),
+            hl(0, 1050, HlKind::Freeze),
+        ];
+        let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
+        assert_eq!(a.panics()[0].related, Some(HlKind::SelfShutdown));
+        assert_matches_brute(&f, &events, COALESCENCE_WINDOW);
+        // Two events at the same instant: the first in sorted order.
+        let same = [hl(0, 990, HlKind::Freeze), hl(0, 990, HlKind::SelfShutdown)];
+        let a = CoalescenceAnalysis::new(&f, &same, COALESCENCE_WINDOW);
+        assert_eq!(a.panics()[0].related, Some(HlKind::Freeze));
+        assert_matches_brute(&f, &same, COALESCENCE_WINDOW);
     }
 
     #[test]
@@ -255,6 +493,7 @@ mod tests {
         let events = [hl(9, 1000, HlKind::Freeze)];
         let a = CoalescenceAnalysis::new(&f, &events, COALESCENCE_WINDOW);
         assert_eq!(a.related_fraction(), 0.0);
+        assert_matches_brute(&f, &events, COALESCENCE_WINDOW);
     }
 
     #[test]
@@ -285,6 +524,32 @@ mod tests {
             assert!(pair[1].1 >= pair[0].1);
         }
         assert_eq!(sweep.last().unwrap().1, 1.0);
+        assert_eq!(
+            sweep,
+            CoalescenceAnalysis::window_sweep_brute_force(&f, &events, &[30, 60, 300, 2000])
+        );
+    }
+
+    #[test]
+    fn gap_index_matches_full_analysis() {
+        let f = fleet(vec![
+            panic_rec(100, codes::KERN_EXEC_3),
+            panic_rec(700, codes::USER_11),
+            panic_rec(40_000, codes::EIKON_LISTBOX_5),
+        ]);
+        let events = [
+            hl(0, 160, HlKind::Freeze),
+            hl(0, 900, HlKind::SelfShutdown),
+            hl(0, 90_000, HlKind::Freeze),
+        ];
+        let gaps = CoalescenceGaps::new(&f, &events);
+        for w in [1u64, 60, 300, 5000, 200_000] {
+            let window = SimDuration::from_secs(w);
+            let full = CoalescenceAnalysis::new(&f, &events, window);
+            assert_eq!(gaps.related_fraction(window), full.related_fraction());
+            assert_eq!(gaps.hl_with_panic(window), full.hl_with_panic());
+            assert_eq!(gaps.isolated_hl_fraction(window), full.isolated_hl_fraction());
+        }
     }
 
     #[test]
@@ -293,5 +558,8 @@ mod tests {
         assert_eq!(a.related_fraction(), 0.0);
         assert_eq!(a.isolated_hl_fraction(), 0.0);
         assert_eq!(a.hl_total(), 0);
+        let gaps = CoalescenceGaps::new(&FleetDataset::default(), &[]);
+        assert_eq!(gaps.related_fraction(COALESCENCE_WINDOW), 0.0);
+        assert_eq!(gaps.isolated_hl_fraction(COALESCENCE_WINDOW), 0.0);
     }
 }

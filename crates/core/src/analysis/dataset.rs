@@ -1,4 +1,13 @@
 //! Parsing harvested flash files into analyzable datasets.
+//!
+//! Parsing is the only pass that touches raw flash bytes. Everything
+//! the downstream analyses need — panics, boots, shutdown events,
+//! freezes, beat-gap spans — is extracted **once**, here, into a
+//! per-phone sorted event index. The analysis passes (`shutdown`,
+//! `mtbf`, `bursts`, `severity`, `baseline`, `report`, `coalesce`)
+//! then borrow slices out of the index instead of re-scanning and
+//! re-allocating event vectors on every call, which is what lets the
+//! same code scale from the paper's 25 phones to fleets of thousands.
 
 use serde::{Deserialize, Serialize};
 
@@ -55,18 +64,54 @@ pub struct ShutdownEvent {
     pub duration: SimDuration,
 }
 
-/// Everything harvested from one phone.
+/// Everything harvested from one phone, pre-indexed for analysis.
+///
+/// Log records are split into their panic and boot streams at
+/// construction, shutdown events and freezes are derived eagerly, and
+/// the heartbeat gaps are kept as a sorted array with prefix sums so
+/// [`Self::powered_on_time`] answers any `max_gap` in O(log n). All
+/// accessors return borrowed slices; nothing is re-derived per call.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhoneDataset {
-    /// Identifier of the phone within the fleet.
-    pub phone_id: u32,
-    /// Consolidated log records in file order.
-    pub records: Vec<LogRecord>,
-    /// The heartbeat stream.
-    pub beats: Vec<(SimTime, HeartbeatEvent)>,
+    phone_id: u32,
+    panics: Vec<PanicRecord>,
+    boots: Vec<BootRecord>,
+    beats: Vec<(SimTime, HeartbeatEvent)>,
+    // Derived index, built once in `index()`:
+    shutdowns: Vec<ShutdownEvent>,
+    freezes: Vec<HlEvent>,
+    /// Beat-to-beat gaps in milliseconds, sorted ascending.
+    sorted_gaps_ms: Vec<u64>,
+    /// `gap_prefix_ms[i]` = sum of the first `i` sorted gaps.
+    gap_prefix_ms: Vec<u64>,
 }
 
 impl PhoneDataset {
+    /// Builds a dataset (and its event index) from decoded records.
+    pub fn new(
+        phone_id: u32,
+        records: Vec<LogRecord>,
+        beats: Vec<(SimTime, HeartbeatEvent)>,
+    ) -> Self {
+        let mut panics = Vec::new();
+        let mut boots = Vec::new();
+        for rec in records {
+            match rec {
+                LogRecord::Panic(p) => panics.push(p),
+                LogRecord::Boot(b) => boots.push(b),
+            }
+        }
+        let mut ds = Self {
+            phone_id,
+            panics,
+            boots,
+            beats,
+            ..Self::default()
+        };
+        ds.index();
+        ds
+    }
+
     /// Parses the flash files harvested from one phone. Malformed
     /// lines are skipped (they were rare but real in the field study).
     pub fn from_flashfs(phone_id: u32, fs: &FlashFs) -> Self {
@@ -78,42 +123,25 @@ impl PhoneDataset {
             .read_lines(files::BEATS)
             .filter_map(|l| decode_beat(l).ok())
             .collect();
-        Self {
-            phone_id,
-            records,
-            beats,
-        }
+        Self::new(phone_id, records, beats)
     }
 
-    /// All panic records, in time order.
-    pub fn panics(&self) -> Vec<&PanicRecord> {
-        self.records
+    /// Derives the event index from the primary streams.
+    fn index(&mut self) {
+        // Normalize to time order (stable, so same-instant records
+        // keep file order). Harvested logs are already chronological;
+        // hand-built datasets may not be, and the analyses' binary
+        // searches rely on sorted streams.
+        self.panics.sort_by_key(|p| p.at);
+        self.boots.sort_by_key(|b| b.boot_at);
+        // Shutdown events whose duration is measurable (the previous
+        // session ended with a clean `REBOOT`). `LOWBT` and `MAOFF`
+        // shutdowns are excluded: their cause is already known, so
+        // they are neither self-shutdown candidates nor user-reboot
+        // noise.
+        self.shutdowns = self
+            .boots
             .iter()
-            .filter_map(|r| match r {
-                LogRecord::Panic(p) => Some(p),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// All boot records, in time order.
-    pub fn boots(&self) -> Vec<&BootRecord> {
-        self.records
-            .iter()
-            .filter_map(|r| match r {
-                LogRecord::Boot(b) => Some(b),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// The shutdown events whose duration is measurable (the previous
-    /// session ended with a clean `REBOOT`). `LOWBT` and `MAOFF`
-    /// shutdowns are excluded: their cause is already known, so they
-    /// are neither self-shutdown candidates nor user-reboot noise.
-    pub fn shutdown_events(&self) -> Vec<ShutdownEvent> {
-        self.boots()
-            .into_iter()
             .filter(|b| b.last_event == HeartbeatEvent::Reboot)
             .filter_map(|b| {
                 b.off_duration.map(|d| ShutdownEvent {
@@ -123,42 +151,92 @@ impl PhoneDataset {
                     duration: d,
                 })
             })
-            .collect()
-    }
-
-    /// Freeze events inferred by the boot-time heartbeat check.
-    pub fn freezes(&self) -> Vec<HlEvent> {
-        self.boots()
-            .into_iter()
+            .collect();
+        // Freeze events inferred by the boot-time heartbeat check.
+        self.freezes = self
+            .boots
+            .iter()
             .filter(|b| b.freeze_detected)
             .map(|b| HlEvent {
                 phone_id: self.phone_id,
                 at: b.last_event_at,
                 kind: HlKind::Freeze,
             })
-            .collect()
+            .collect();
+        // Sorted beat gaps + prefix sums: powered-on time for any
+        // `max_gap` threshold becomes two binary searches.
+        self.sorted_gaps_ms = self
+            .beats
+            .windows(2)
+            .map(|pair| pair[1].0.saturating_since(pair[0].0).as_millis())
+            .collect();
+        self.sorted_gaps_ms.sort_unstable();
+        let mut acc = 0u64;
+        self.gap_prefix_ms = std::iter::once(0)
+            .chain(self.sorted_gaps_ms.iter().map(|&g| {
+                acc += g;
+                acc
+            }))
+            .collect();
+    }
+
+    /// Identifier of the phone within the fleet.
+    pub fn phone_id(&self) -> u32 {
+        self.phone_id
+    }
+
+    /// All panic records, in time order.
+    pub fn panics(&self) -> &[PanicRecord] {
+        &self.panics
+    }
+
+    /// All boot records, in time order.
+    pub fn boots(&self) -> &[BootRecord] {
+        &self.boots
+    }
+
+    /// The heartbeat stream, in time order.
+    pub fn beats(&self) -> &[(SimTime, HeartbeatEvent)] {
+        &self.beats
+    }
+
+    /// Measurable shutdown events (see [`Self::new`] for the
+    /// exclusion rules), in time order.
+    pub fn shutdown_events(&self) -> &[ShutdownEvent] {
+        &self.shutdowns
+    }
+
+    /// Freeze events inferred by the boot-time heartbeat check, in
+    /// time order.
+    pub fn freezes(&self) -> &[HlEvent] {
+        &self.freezes
     }
 
     /// Total powered-on time, estimated from the heartbeat stream:
     /// the sum of gaps between consecutive beats no longer than
     /// `max_gap` (larger gaps mean the phone was off or frozen).
+    /// Answered from the sorted-gap prefix sums in O(log beats).
     pub fn powered_on_time(&self, max_gap: SimDuration) -> SimDuration {
-        let mut total = SimDuration::ZERO;
-        for pair in self.beats.windows(2) {
-            let gap = pair[1].0.saturating_since(pair[0].0);
-            if gap <= max_gap {
-                total += gap;
-            }
-        }
-        total
+        let cut = self
+            .sorted_gaps_ms
+            .partition_point(|&g| g <= max_gap.as_millis());
+        SimDuration::from_millis(self.gap_prefix_ms[cut])
     }
 }
 
-/// The whole fleet's harvested data.
+/// The whole fleet's harvested data plus fleet-wide event indexes.
+///
+/// The fleet-level views (`panics`, `shutdown_events`, `freezes`) are
+/// materialized once at construction — ordered by `(phone, time)` —
+/// and borrowed thereafter.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FleetDataset {
-    /// One dataset per phone.
-    pub phones: Vec<PhoneDataset>,
+    phones: Vec<PhoneDataset>,
+    /// `(phone index, panic index)` pairs in `(phone, time)` order —
+    /// a flat view over the per-phone panic storage.
+    panic_locs: Vec<(u32, u32)>,
+    shutdowns: Vec<ShutdownEvent>,
+    freezes: Vec<HlEvent>,
 }
 
 impl FleetDataset {
@@ -167,11 +245,68 @@ impl FleetDataset {
     where
         I: IntoIterator<Item = (u32, &'a FlashFs)>,
     {
-        Self {
-            phones: filesystems
+        Self::from_phones(
+            filesystems
                 .into_iter()
                 .map(|(id, fs)| PhoneDataset::from_flashfs(id, fs))
                 .collect(),
+        )
+    }
+
+    /// Like [`Self::from_flash`], but parses phones on `workers`
+    /// threads with a work-stealing counter. Parsing is per-phone
+    /// independent, so the result is identical to the sequential
+    /// path; the output order is the input order regardless of
+    /// scheduling.
+    pub fn from_flash_parallel(filesystems: &[(u32, &FlashFs)], workers: usize) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = workers.clamp(1, filesystems.len().max(1));
+        if workers == 1 {
+            return Self::from_flash(filesystems.iter().map(|&(id, fs)| (id, fs)));
+        }
+        let next = AtomicUsize::new(0);
+        let mut parsed: Vec<(usize, PhoneDataset)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(id, fs)) = filesystems.get(i) else {
+                                break;
+                            };
+                            out.push((i, PhoneDataset::from_flashfs(id, fs)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parse worker panicked"))
+                .collect()
+        });
+        parsed.sort_unstable_by_key(|&(i, _)| i);
+        Self::from_phones(parsed.into_iter().map(|(_, ds)| ds).collect())
+    }
+
+    /// Builds a fleet dataset from already-parsed phones, deriving the
+    /// fleet-wide event indexes.
+    pub fn from_phones(phones: Vec<PhoneDataset>) -> Self {
+        let mut panic_locs = Vec::new();
+        let mut shutdowns = Vec::new();
+        let mut freezes = Vec::new();
+        for (pi, phone) in phones.iter().enumerate() {
+            panic_locs.extend((0..phone.panics.len()).map(|ri| (pi as u32, ri as u32)));
+            shutdowns.extend_from_slice(&phone.shutdowns);
+            freezes.extend_from_slice(&phone.freezes);
+        }
+        Self {
+            phones,
+            panic_locs,
+            shutdowns,
+            freezes,
         }
     }
 
@@ -185,23 +320,36 @@ impl FleetDataset {
         self.phones.is_empty()
     }
 
+    /// Per-phone datasets, in harvest order.
+    pub fn phones(&self) -> &[PhoneDataset] {
+        &self.phones
+    }
+
     /// All panics across the fleet as `(phone_id, record)` pairs,
-    /// time-ordered within each phone.
-    pub fn panics(&self) -> Vec<(u32, &PanicRecord)> {
-        self.phones
-            .iter()
-            .flat_map(|p| p.panics().into_iter().map(move |r| (p.phone_id, r)))
-            .collect()
+    /// `(phone, time)`-ordered. Borrows the per-phone index — no
+    /// allocation; the iterator is exact-size (`.len()` works).
+    pub fn panics(
+        &self,
+    ) -> impl ExactSizeIterator<Item = (u32, &PanicRecord)> + Clone + '_ {
+        self.panic_locs.iter().map(move |&(pi, ri)| {
+            let phone = &self.phones[pi as usize];
+            (phone.phone_id, &phone.panics[ri as usize])
+        })
     }
 
-    /// All measurable shutdown events.
-    pub fn shutdown_events(&self) -> Vec<ShutdownEvent> {
-        self.phones.iter().flat_map(|p| p.shutdown_events()).collect()
+    /// Total number of panics across the fleet.
+    pub fn panic_count(&self) -> usize {
+        self.panic_locs.len()
     }
 
-    /// All freeze events.
-    pub fn freezes(&self) -> Vec<HlEvent> {
-        self.phones.iter().flat_map(|p| p.freezes()).collect()
+    /// All measurable shutdown events, `(phone, time)`-ordered.
+    pub fn shutdown_events(&self) -> &[ShutdownEvent] {
+        &self.shutdowns
+    }
+
+    /// All freeze events, `(phone, time)`-ordered.
+    pub fn freezes(&self) -> &[HlEvent] {
+        &self.freezes
     }
 
     /// Fleet-wide powered-on time.
@@ -251,10 +399,10 @@ mod tests {
     #[test]
     fn parses_records_and_beats() {
         let ds = session();
-        assert_eq!(ds.phone_id, 7);
+        assert_eq!(ds.phone_id(), 7);
         assert_eq!(ds.panics().len(), 1);
         assert_eq!(ds.boots().len(), 3);
-        assert!(ds.beats.len() > 10);
+        assert!(ds.beats().len() > 10);
     }
 
     #[test]
@@ -289,17 +437,54 @@ mod tests {
     }
 
     #[test]
+    fn powered_on_time_matches_linear_scan() {
+        let ds = session();
+        for gap_secs in [0u64, 1, 29, 30, 31, 90, 600, 4000, 100_000] {
+            let max_gap = SimDuration::from_secs(gap_secs);
+            let mut linear = SimDuration::ZERO;
+            for pair in ds.beats().windows(2) {
+                let gap = pair[1].0.saturating_since(pair[0].0);
+                if gap <= max_gap {
+                    linear += gap;
+                }
+            }
+            assert_eq!(ds.powered_on_time(max_gap), linear, "max_gap {gap_secs}s");
+        }
+    }
+
+    #[test]
     fn fleet_aggregation() {
         let a = session();
         let b = session();
-        let fleet = FleetDataset {
-            phones: vec![a, b],
-        };
+        let fleet = FleetDataset::from_phones(vec![a, b]);
         assert_eq!(fleet.len(), 2);
         assert_eq!(fleet.panics().len(), 2);
+        assert_eq!(fleet.panic_count(), 2);
         assert_eq!(fleet.shutdown_events().len(), 2);
         assert_eq!(fleet.freezes().len(), 2);
         assert!(!fleet.is_empty());
+    }
+
+    #[test]
+    fn parallel_parse_matches_sequential() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        let ctx = PhoneContext::default();
+        lg.on_boot(&mut fs, t(0), &ctx);
+        for i in 1..=50 {
+            lg.on_tick(&mut fs, t(30 * i), &ctx);
+        }
+        let systems: Vec<(u32, &FlashFs)> = (0..7).map(|id| (id, &fs)).collect();
+        let seq = FleetDataset::from_flash(systems.iter().map(|&(id, f)| (id, f)));
+        for workers in [1, 2, 3, 16] {
+            let par = FleetDataset::from_flash_parallel(&systems, workers);
+            assert_eq!(par.len(), seq.len());
+            for (s, p) in seq.phones().iter().zip(par.phones()) {
+                assert_eq!(s.phone_id(), p.phone_id());
+                assert_eq!(s.beats(), p.beats());
+                assert_eq!(s.panics(), p.panics());
+            }
+        }
     }
 
     #[test]

@@ -32,10 +32,10 @@ impl InterArrivalAnalysis {
     /// than two events exist on every phone.
     pub fn new(fleet: &FleetDataset, events: &[HlEvent]) -> Option<Self> {
         let mut gaps_hours: Vec<f64> = Vec::new();
-        for phone in &fleet.phones {
+        for phone in fleet.phones() {
             let mut times: Vec<_> = events
                 .iter()
-                .filter(|e| e.phone_id == phone.phone_id)
+                .filter(|e| e.phone_id == phone.phone_id())
                 .map(|e| e.at)
                 .collect();
             times.sort();
@@ -132,15 +132,11 @@ mod tests {
     use symfail_sim_core::SimTime;
 
     fn fleet(n_phones: u32) -> FleetDataset {
-        FleetDataset {
-            phones: (0..n_phones)
-                .map(|id| PhoneDataset {
-                    phone_id: id,
-                    records: Vec::new(),
-                    beats: Vec::new(),
-                })
+        FleetDataset::from_phones(
+            (0..n_phones)
+                .map(|id| PhoneDataset::new(id, Vec::new(), Vec::new()))
                 .collect(),
-        }
+        )
     }
 
     fn event(phone: u32, hours: u64) -> HlEvent {

@@ -68,7 +68,7 @@ impl MtbfAnalysis {
     /// dominated by one bad device.
     pub fn per_phone_failure_summary(fleet: &FleetDataset) -> OnlineSummary {
         fleet
-            .phones
+            .phones()
             .iter()
             .map(|p| {
                 let freezes = p.freezes().len();
@@ -113,9 +113,7 @@ mod tests {
         }
         // freeze + battery pull + late boot
         lg.on_boot(&mut fs, SimTime::from_secs(t2 + 7200), &ctx);
-        FleetDataset {
-            phones: vec![PhoneDataset::from_flashfs(0, &fs)],
-        }
+        FleetDataset::from_phones(vec![PhoneDataset::from_flashfs(0, &fs)])
     }
 
     #[test]

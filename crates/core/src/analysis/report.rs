@@ -69,8 +69,8 @@ impl StudyReport {
     pub fn analyze(fleet: &FleetDataset, config: AnalysisConfig) -> Self {
         let shutdowns = ShutdownAnalysis::new(fleet, config.self_shutdown_threshold);
         let freezes = fleet.freezes();
-        let hl = merge_hl_events(&freezes, &shutdowns.self_shutdown_hl_events());
-        let hl_all = merge_hl_events(&freezes, &shutdowns.all_shutdown_hl_events());
+        let hl = merge_hl_events(freezes, &shutdowns.self_shutdown_hl_events());
+        let hl_all = merge_hl_events(freezes, &shutdowns.all_shutdown_hl_events());
         let coalescence = CoalescenceAnalysis::new(fleet, &hl, config.coalescence_window);
         let coalescence_all_shutdowns =
             CoalescenceAnalysis::new(fleet, &hl_all, config.coalescence_window);
@@ -289,7 +289,7 @@ impl StudyReport {
             "freezes".into(),
             "self-shutdowns".into(),
         ]);
-        for phone in &fleet.phones {
+        for phone in fleet.phones() {
             let uptime = phone.powered_on_time(self.config.uptime_gap).as_hours_f64();
             let self_shutdowns = phone
                 .shutdown_events()
@@ -297,7 +297,7 @@ impl StudyReport {
                 .filter(|e| e.duration <= self.config.self_shutdown_threshold)
                 .count();
             t.add_row(vec![
-                phone.phone_id.to_string(),
+                phone.phone_id().to_string(),
                 format!("{uptime:.0}"),
                 phone.panics().len().to_string(),
                 phone.freezes().len().to_string(),
@@ -465,7 +465,7 @@ mod tests {
             lg.on_boot(&mut fs, SimTime::from_secs(680), &ctx);
             phones.push(PhoneDataset::from_flashfs(id, &fs));
         }
-        FleetDataset { phones }
+        FleetDataset::from_phones(phones)
     }
 
     #[test]

@@ -122,13 +122,8 @@ mod tests {
     }
 
     fn build(records: Vec<LogRecord>, hl_secs: &[u64]) -> RunningAppsAnalysis {
-        let fleet = FleetDataset {
-            phones: vec![PhoneDataset {
-                phone_id: 0,
-                records,
-                beats: Vec::new(),
-            }],
-        };
+        let fleet =
+            FleetDataset::from_phones(vec![PhoneDataset::new(0, records, Vec::new())]);
         let events: Vec<HlEvent> = hl_secs
             .iter()
             .map(|&s| HlEvent {

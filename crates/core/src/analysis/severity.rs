@@ -143,9 +143,7 @@ mod tests {
         lg.on_boot(&mut fs, SimTime::from_secs(680), &ctx);
         // ...and one freeze (battery pull).
         lg.on_boot(&mut fs, SimTime::from_secs(5000), &ctx);
-        FleetDataset {
-            phones: vec![PhoneDataset::from_flashfs(0, &fs)],
-        }
+        FleetDataset::from_phones(vec![PhoneDataset::from_flashfs(0, &fs)])
     }
 
     #[test]

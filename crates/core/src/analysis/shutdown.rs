@@ -32,7 +32,7 @@ impl ShutdownAnalysis {
     /// threshold (use [`SELF_SHUTDOWN_THRESHOLD`] for the paper's
     /// 360 s).
     pub fn new(fleet: &FleetDataset, threshold: SimDuration) -> Self {
-        let events = fleet.shutdown_events();
+        let events = fleet.shutdown_events().to_vec();
         let self_shutdowns = events
             .iter()
             .copied()
@@ -191,9 +191,7 @@ mod tests {
             now += off;
             lg.on_boot(&mut fs, t(now), &ctx);
         }
-        FleetDataset {
-            phones: vec![PhoneDataset::from_flashfs(1, &fs)],
-        }
+        FleetDataset::from_phones(vec![PhoneDataset::from_flashfs(1, &fs)])
     }
 
     #[test]

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::{BufMut, Bytes, BytesMut};
-
 /// An in-memory, reboot-persistent, line-oriented filesystem.
 ///
 /// # Example
@@ -25,7 +23,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FlashFs {
-    files: BTreeMap<String, BytesMut>,
+    files: BTreeMap<String, Vec<u8>>,
     bytes_written: u64,
 }
 
@@ -42,8 +40,8 @@ impl FlashFs {
     pub fn append_line(&mut self, file: &str, line: &str) {
         debug_assert!(!line.contains('\n'), "records must be single lines");
         let buf = self.files.entry(file.to_string()).or_default();
-        buf.put(line.as_bytes());
-        buf.put_u8(b'\n');
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
         self.bytes_written += line.len() as u64 + 1;
     }
 
@@ -61,9 +59,9 @@ impl FlashFs {
         self.read_lines(file).last()
     }
 
-    /// Raw content of a file as bytes.
-    pub fn read_bytes(&self, file: &str) -> Option<Bytes> {
-        self.files.get(file).map(|b| Bytes::copy_from_slice(b))
+    /// Raw content of a file as bytes (borrowed; no copy).
+    pub fn read_bytes(&self, file: &str) -> Option<&[u8]> {
+        self.files.get(file).map(Vec::as_slice)
     }
 
     /// True when the file exists.

@@ -163,6 +163,12 @@ impl Phone {
         &self.fs
     }
 
+    /// Consumes the phone and yields its flash filesystem without
+    /// copying — harvesting is the phone's end of life.
+    pub fn into_flashfs(self) -> FlashFs {
+        self.fs
+    }
+
     /// Simulator-internal ground-truth counters.
     pub fn stats(&self) -> PhoneStats {
         self.stats

@@ -11,7 +11,7 @@
 //! the campaign can run them on worker threads without perturbing
 //! determinism: the harvest is identical to the sequential run.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use symfail_core::flashfs::FlashFs;
 use symfail_sim_core::SimRng;
@@ -104,13 +104,14 @@ impl FleetCampaign {
         for day in enrolled_day..retired_day {
             phone.simulate_day(day);
         }
+        let stats = phone.stats();
         PhoneHarvest {
             phone_id: id,
             enrolled_day,
             retired_day,
             firmware,
-            flashfs: phone.flashfs().clone(),
-            stats: phone.stats(),
+            flashfs: phone.into_flashfs(),
+            stats,
         }
     }
 
@@ -119,26 +120,37 @@ impl FleetCampaign {
         (0..self.params.phones).map(|id| self.run_phone(id)).collect()
     }
 
-    /// Runs phones across `workers` threads. The harvest is identical
-    /// to [`Self::run`] (phones are independent); only wall-clock time
-    /// changes.
+    /// Runs phones across `workers` threads with work stealing: a
+    /// shared atomic counter hands out the next phone id to whichever
+    /// worker finishes first, so stragglers (late retirees, chatty
+    /// profiles) never serialize behind a static chunk boundary. The
+    /// harvest is identical to [`Self::run`] — phones own forked,
+    /// independent RNG streams, so the schedule cannot influence any
+    /// phone's bytes, and the result is sorted by phone id.
     pub fn run_parallel(&self, workers: usize) -> Vec<PhoneHarvest> {
-        let workers = workers.max(1);
-        let ids: Vec<u32> = (0..self.params.phones).collect();
-        let chunk = ids.len().div_ceil(workers);
-        if chunk == 0 {
+        let phones = self.params.phones as usize;
+        if phones == 0 {
             return Vec::new();
         }
-        let mut harvests: Vec<PhoneHarvest> = thread::scope(|scope| {
-            let handles: Vec<_> = ids
-                .chunks(chunk)
-                .map(|chunk_ids| {
-                    let campaign = self;
-                    scope.spawn(move |_| {
-                        chunk_ids
-                            .iter()
-                            .map(|&id| campaign.run_phone(id))
-                            .collect::<Vec<_>>()
+        let workers = workers.clamp(1, phones);
+        if workers == 1 {
+            return self.run();
+        }
+        let next = AtomicUsize::new(0);
+        let mut harvests: Vec<PhoneHarvest> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let id = next.fetch_add(1, Ordering::Relaxed);
+                            if id >= phones {
+                                break;
+                            }
+                            out.push(self.run_phone(id as u32));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -146,9 +158,8 @@ impl FleetCampaign {
                 .into_iter()
                 .flat_map(|h| h.join().expect("phone worker panicked"))
                 .collect()
-        })
-        .expect("thread scope failed");
-        harvests.sort_by_key(|h| h.phone_id);
+        });
+        harvests.sort_unstable_by_key(|h| h.phone_id);
         harvests
     }
 }

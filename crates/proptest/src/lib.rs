@@ -1,0 +1,285 @@
+//! Offline mini property-testing shim.
+//!
+//! CI has no registry access, so this crate reimplements exactly the
+//! subset of the `proptest` API the workspace's tests use: the
+//! `proptest!` macro, `prop_assert*`/`prop_assume`, `prop_oneof!`,
+//! `Just`, `.prop_map`, integer/float range strategies, char ranges,
+//! `prop::collection::vec`, and `&str` strategies of the form
+//! `"[class]{m,n}"`. Generation is deterministic (seeded per test
+//! name and case index) and there is no shrinking: on failure the
+//! generated inputs are printed verbatim instead.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Uniform char in `[lo, hi]` (inclusive), skipping surrogates.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "char::range requires lo <= hi");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                let c = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(c) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Namespace alias so `prop::collection::vec(..)` etc. work after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::char;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Why a test case ended without passing.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// Deterministic splitmix64 stream used to drive generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive. The modulo
+    /// bias is irrelevant at test-generation scale.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed basis.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Prints the generated inputs if the test case panics, so failures
+/// are reproducible without shrinking support.
+pub struct CaseGuard(Option<String>);
+
+impl CaseGuard {
+    pub fn new(desc: String) -> Self {
+        CaseGuard(Some(desc))
+    }
+
+    pub fn disarm(&mut self) {
+        self.0 = None;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(d) = &self.0 {
+                eprintln!("proptest case failed with inputs: {d}");
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let __base: u64 = $crate::fnv(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::from_seed(
+                        __base ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let mut __desc = String::new();
+                    $(
+                        __desc.push_str(concat!(stringify!($arg), " = "));
+                        __desc.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    let mut __guard = $crate::CaseGuard::new(__desc);
+                    let __res: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __guard.disarm();
+                    match __res {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The suite derives `Serialize`/`Deserialize` on its public data
+//! types as forward-looking markers but performs no runtime
+//! (de)serialization and places no serde bounds on any API. Because
+//! CI has no registry access, this crate provides the two trait names
+//! plus no-op derives (see `serde_derive`). Restoring the real serde
+//! is a `Cargo.toml`-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Deserialize<'de> {}

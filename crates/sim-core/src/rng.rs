@@ -8,8 +8,45 @@
 //! never perturbs the others — the property that keeps per-phone
 //! results stable when the fleet grows.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// The underlying generator: xoshiro256++, seeded by expanding a
+/// 64-bit seed through splitmix64 (the construction its authors
+/// recommend). Self-contained so the simulation has no external RNG
+/// dependency and the byte-exact output stream is pinned by this
+/// crate alone.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix(z);
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
 
 /// A deterministic simulation RNG.
 ///
@@ -25,7 +62,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
@@ -33,7 +70,7 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         Self {
             seed,
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 
@@ -57,12 +94,12 @@ impl SimRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -82,7 +119,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift range reduction; the bias is below
+        // n / 2^64, far under anything the simulation can observe.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to

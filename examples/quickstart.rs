@@ -55,7 +55,18 @@ fn main() {
     // Parse the consolidated log back and narrate it.
     let dataset = PhoneDataset::from_flashfs(0, fs);
     println!("\n=== consolidated log ===");
-    for record in &dataset.records {
+    let mut timeline: Vec<LogRecord> = dataset
+        .panics()
+        .iter()
+        .cloned()
+        .map(LogRecord::Panic)
+        .chain(dataset.boots().iter().cloned().map(LogRecord::Boot))
+        .collect();
+    timeline.sort_by_key(|r| match r {
+        LogRecord::Panic(p) => p.at,
+        LogRecord::Boot(b) => b.boot_at,
+    });
+    for record in &timeline {
         match record {
             LogRecord::Panic(p) => {
                 println!(

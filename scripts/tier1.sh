@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and smoke-run every benchmark in
+# test mode (one iteration each, no timing) so a broken bench fails CI
+# rather than the next profiling session.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo bench --workspace -- --test

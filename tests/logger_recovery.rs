@@ -47,10 +47,10 @@ fn run_phone(seed: u64) -> PhoneDataset {
 fn beats_are_monotone_and_sessions_end_once() {
     for seed in [1u64, 2, 3] {
         let ds = run_phone(seed);
-        assert!(ds.beats.len() > 1000, "stressed phone produced beats");
+        assert!(ds.beats().len() > 1000, "stressed phone produced beats");
         let mut last = SimTime::ZERO;
         let mut prev_final = false;
-        for &(at, ev) in &ds.beats {
+        for &(at, ev) in ds.beats() {
             assert!(at >= last, "beats monotone at {at}");
             last = at;
             let is_final = ev != HeartbeatEvent::Alive;
@@ -72,7 +72,7 @@ fn boot_records_agree_with_beats_file() {
         // The beats written strictly before this boot; the last one is
         // what the Panic Detector saw.
         let last_beat = ds
-            .beats
+            .beats()
             .iter()
             .filter(|(at, _)| *at < boot.boot_at)
             .next_back();
@@ -98,7 +98,7 @@ fn boot_records_agree_with_beats_file() {
 fn lowbt_and_freeze_sessions_never_become_shutdown_events() {
     let ds = run_phone(11);
     let lowbt_times: Vec<SimTime> = ds
-        .beats
+        .beats()
         .iter()
         .filter(|(_, ev)| *ev == HeartbeatEvent::LowBattery)
         .map(|(at, _)| *at)

@@ -1,0 +1,75 @@
+//! Parallel-pipeline determinism: the work-stealing campaign and the
+//! parallel flash parser must produce byte-identical results for any
+//! worker count. Phones own forked, independent RNG streams, so the
+//! thread schedule cannot leak into any phone's bytes — these tests
+//! pin that contract.
+
+use symfail::core::analysis::dataset::FleetDataset;
+use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+use symfail::core::flashfs::FlashFs;
+use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::fleet::FleetCampaign;
+
+fn params() -> CalibrationParams {
+    CalibrationParams {
+        phones: 6,
+        campaign_days: 40,
+        enrollment_spread_days: 6,
+        attrition_spread_days: 6,
+        background_episode_rate_per_hour: 0.02,
+        isolated_freeze_rate_per_hour: 0.01,
+        isolated_self_shutdown_rate_per_hour: 0.01,
+        ..CalibrationParams::default()
+    }
+}
+
+fn assert_flash_identical(a: &FlashFs, b: &FlashFs, ctx: &str) {
+    assert_eq!(a.file_names(), b.file_names(), "{ctx}: file sets differ");
+    for name in a.file_names() {
+        assert_eq!(
+            a.read_bytes(name),
+            b.read_bytes(name),
+            "{ctx}: file {name} differs"
+        );
+    }
+}
+
+#[test]
+fn harvest_is_byte_identical_for_any_worker_count() {
+    let campaign = FleetCampaign::new(2005, params());
+    let seq = campaign.run();
+    for workers in [2usize, 3, 5, 16] {
+        let par = campaign.run_parallel(workers);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let ctx = format!("phone {} with {} workers", a.phone_id, workers);
+            assert_eq!(a.phone_id, b.phone_id, "{ctx}");
+            assert_eq!(a.enrolled_day, b.enrolled_day, "{ctx}");
+            assert_eq!(a.retired_day, b.retired_day, "{ctx}");
+            assert_eq!(a.firmware, b.firmware, "{ctx}");
+            assert_eq!(a.stats, b.stats, "{ctx}");
+            assert_flash_identical(&a.flashfs, &b.flashfs, &ctx);
+        }
+    }
+}
+
+#[test]
+fn analysis_output_identical_across_worker_counts() {
+    let campaign = FleetCampaign::new(7, params());
+    let render = |workers: usize| {
+        let harvest = campaign.run_parallel(workers);
+        let flash: Vec<(u32, &FlashFs)> =
+            harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+        let fleet = FleetDataset::from_flash_parallel(&flash, workers);
+        let report = StudyReport::analyze(&fleet, AnalysisConfig::default());
+        report.render_all() + &report.render_per_phone(&fleet)
+    };
+    let base = render(1);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            base,
+            render(workers),
+            "rendered study differs with {workers} workers"
+        );
+    }
+}

@@ -283,22 +283,20 @@ proptest! {
         panic_times in prop::collection::vec(0u64..500_000, 1..40),
         hl_times in prop::collection::vec(0u64..500_000, 0..20),
     ) {
-        let fleet = FleetDataset {
-            phones: vec![PhoneDataset {
-                phone_id: 0,
-                records: panic_times
-                    .iter()
-                    .map(|&t| LogRecord::Panic(PanicRecord {
-                        at: SimTime::from_secs(t),
-                        panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
-                        running_apps: Vec::new(),
-                        activity: None,
-                        battery: 50,
-                    }))
-                    .collect(),
-                beats: Vec::new(),
-            }],
-        };
+        let fleet = FleetDataset::from_phones(vec![PhoneDataset::new(
+            0,
+            panic_times
+                .iter()
+                .map(|&t| LogRecord::Panic(PanicRecord {
+                    at: SimTime::from_secs(t),
+                    panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+                    running_apps: Vec::new(),
+                    activity: None,
+                    battery: 50,
+                }))
+                .collect(),
+            Vec::new(),
+        )]);
         let events: Vec<HlEvent> = hl_times
             .iter()
             .map(|&t| HlEvent {
@@ -320,6 +318,90 @@ proptest! {
             .collect();
         let cross = CoalescenceAnalysis::new(&fleet, &other, SimDuration::from_secs(100_000));
         prop_assert_eq!(cross.related_fraction(), 0.0);
+    }
+
+    /// The sorted-merge coalescence agrees with the O(P·H) brute-force
+    /// oracle on arbitrary multi-phone event layouts — per-panic
+    /// outcomes included, not just the aggregate counts.
+    #[test]
+    fn coalescence_fast_matches_brute_force(
+        panics0 in prop::collection::vec(0u64..200_000, 0..25),
+        panics1 in prop::collection::vec(0u64..200_000, 0..25),
+        hl0 in prop::collection::vec(0u64..200_000, 0..12),
+        hl1 in prop::collection::vec(0u64..200_000, 0..12),
+        window in 1u64..20_000,
+    ) {
+        let rec = |&t: &u64| LogRecord::Panic(PanicRecord {
+            at: SimTime::from_secs(t),
+            panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+            running_apps: Vec::new(),
+            activity: None,
+            battery: 50,
+        });
+        let fleet = FleetDataset::from_phones(vec![
+            PhoneDataset::new(0, panics0.iter().map(rec).collect(), Vec::new()),
+            PhoneDataset::new(1, panics1.iter().map(rec).collect(), Vec::new()),
+        ]);
+        let mut events: Vec<HlEvent> = hl0
+            .iter()
+            .map(|&t| HlEvent { phone_id: 0, at: SimTime::from_secs(t), kind: HlKind::Freeze })
+            .chain(hl1.iter().map(|&t| HlEvent {
+                phone_id: 1,
+                at: SimTime::from_secs(t),
+                kind: HlKind::SelfShutdown,
+            }))
+            .collect();
+        // Sorted input is the production contract (`merge_hl_events`);
+        // it also makes the two tie-break orders coincide.
+        events.sort_by_key(|e| (e.phone_id, e.at));
+        let w = SimDuration::from_secs(window);
+        let fast = CoalescenceAnalysis::new(&fleet, &events, w);
+        let brute = CoalescenceAnalysis::new_brute_force(&fleet, &events, w);
+        prop_assert_eq!(fast.panics(), brute.panics());
+        prop_assert_eq!(fast.hl_total(), brute.hl_total());
+        prop_assert_eq!(fast.hl_with_panic(), brute.hl_with_panic());
+    }
+
+    /// The single-pass gap-array sweep returns exactly what running
+    /// the full analysis per window would, and is monotone in the
+    /// window width.
+    #[test]
+    fn window_sweep_matches_brute_force_and_is_monotone(
+        panic_times in prop::collection::vec(0u64..100_000, 1..30),
+        hl_times in prop::collection::vec(0u64..100_000, 0..15),
+        windows in prop::collection::vec(1u64..20_000, 1..8),
+    ) {
+        let fleet = FleetDataset::from_phones(vec![PhoneDataset::new(
+            0,
+            panic_times
+                .iter()
+                .map(|&t| LogRecord::Panic(PanicRecord {
+                    at: SimTime::from_secs(t),
+                    panic: Panic::new(codes::KERN_EXEC_3, "X", "r"),
+                    running_apps: Vec::new(),
+                    activity: None,
+                    battery: 50,
+                }))
+                .collect(),
+            Vec::new(),
+        )]);
+        let mut events: Vec<HlEvent> = hl_times
+            .iter()
+            .map(|&t| HlEvent { phone_id: 0, at: SimTime::from_secs(t), kind: HlKind::Freeze })
+            .collect();
+        events.sort_by_key(|e| (e.phone_id, e.at));
+        let mut ws = windows;
+        ws.sort_unstable();
+        let sweep = CoalescenceAnalysis::window_sweep(&fleet, &events, &ws);
+        let brute = CoalescenceAnalysis::window_sweep_brute_force(&fleet, &events, &ws);
+        prop_assert_eq!(sweep.len(), brute.len());
+        for (&(w_fast, f_fast), &(w_brute, f_brute)) in sweep.iter().zip(&brute) {
+            prop_assert_eq!(w_fast, w_brute);
+            prop_assert!((f_fast - f_brute).abs() < 1e-12, "window {}: {} vs {}", w_fast, f_fast, f_brute);
+        }
+        for pair in sweep.windows(2) {
+            prop_assert!(pair[1].1 + 1e-12 >= pair[0].1, "sweep not monotone");
+        }
     }
 
     /// The RNG's weighted choice respects zero weights for any weight
