@@ -8,14 +8,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use symfail_bench::{bench_fleet, bench_params};
 use symfail_core::analysis::coalesce::CoalescenceAnalysis;
-use symfail_core::analysis::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use symfail_core::analysis::shutdown::{
+    merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD,
+};
 use symfail_phone::fleet::FleetCampaign;
 use symfail_sim_core::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let fleet = bench_fleet(2005);
     let shutdowns = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
-    let hl = merge_hl_events(&fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let hl = merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
 
     // Print the ablation artifacts once.
     println!("--- self-shutdown threshold sweep ---");
@@ -23,9 +25,7 @@ fn bench(c: &mut Criterion) {
         println!("  threshold {th:>5} s -> {n} self-shutdowns");
     }
     println!("--- coalescence window sweep ---");
-    for (w, frac) in
-        CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000])
-    {
+    for (w, frac) in CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000]) {
         println!("  window {w:>6} s -> {:.1}% related", 100.0 * frac);
     }
     println!("--- heartbeat period vs log volume (30-day single phone) ---");

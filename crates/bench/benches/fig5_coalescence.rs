@@ -6,7 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use symfail_bench::{bench_analysis_config, bench_fleet};
 use symfail_core::analysis::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
 use symfail_core::analysis::report::StudyReport;
-use symfail_core::analysis::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use symfail_core::analysis::shutdown::{
+    merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD,
+};
 use symfail_sim_core::SimDuration;
 
 fn bench(c: &mut Criterion) {
@@ -48,12 +50,20 @@ fn bench(c: &mut Criterion) {
     let reps = 10;
     let t = std::time::Instant::now();
     for _ in 0..reps {
-        black_box(CoalescenceAnalysis::window_sweep(&fleet, &hl, &SWEEP_WINDOWS));
+        black_box(CoalescenceAnalysis::window_sweep(
+            &fleet,
+            &hl,
+            &SWEEP_WINDOWS,
+        ));
     }
     let fast = t.elapsed();
     let t = std::time::Instant::now();
     for _ in 0..reps {
-        black_box(CoalescenceAnalysis::window_sweep_brute_force(&fleet, &hl, &SWEEP_WINDOWS));
+        black_box(CoalescenceAnalysis::window_sweep_brute_force(
+            &fleet,
+            &hl,
+            &SWEEP_WINDOWS,
+        ));
     }
     let brute = t.elapsed();
     println!(

@@ -6,7 +6,9 @@ use symfail_bench::{bench_analysis_config, bench_fleet};
 use symfail_core::analysis::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
 use symfail_core::analysis::report::StudyReport;
 use symfail_core::analysis::runapps::RunningAppsAnalysis;
-use symfail_core::analysis::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use symfail_core::analysis::shutdown::{
+    merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD,
+};
 
 fn bench(c: &mut Criterion) {
     let fleet = bench_fleet(2005);
@@ -14,7 +16,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", report.render_fig6());
 
     let shutdowns = ShutdownAnalysis::new(&fleet, SELF_SHUTDOWN_THRESHOLD);
-    let hl = merge_hl_events(&fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let hl = merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
     let co = CoalescenceAnalysis::new(&fleet, &hl, COALESCENCE_WINDOW);
     let analysis = RunningAppsAnalysis::new(&fleet, &co);
 

@@ -10,7 +10,7 @@ use symfail_symbian::descriptor::TBuf;
 use symfail_symbian::heap::Heap;
 use symfail_symbian::object_index::{ObjectIndex, ObjectKind};
 use symfail_symbian::panic::codes;
-use symfail_symbian::{Panic};
+use symfail_symbian::Panic;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate_micro");

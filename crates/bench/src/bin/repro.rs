@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--exp all|table1|table2|table3|table4|fig2|fig3|fig5|fig6|mtbf|forum_marginals|ablations|targets]
 //!       [--seed N] [--phones N] [--days N] [--workers N] [--sweep]
+//!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
 //! ```
 //!
@@ -12,9 +13,13 @@
 //! 533-report forum study and prints every reproduced artifact next to
 //! the paper's numbers. The campaign and the flash parsing run on
 //! `--workers` threads (default: all available cores); the harvest is
-//! byte-identical for any worker count. `--timing-json` writes
-//! per-stage wall-clock timings (campaign, parse, each analysis
-//! stage) to the given path.
+//! byte-identical for any worker count — including under
+//! `--corruption`, which injects deterministic flash-log damage
+//! (truncation, tail loss, bit-flips, duplicated/reordered heartbeat
+//! blocks) per phone before parsing. `--defects-json` dumps the fleet
+//! parse-defect report; `--timing-json` writes per-stage wall-clock
+//! timings (campaign, parse, each analysis stage) plus parse
+//! throughput counters to the given path.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -27,6 +32,7 @@ use symfail_core::analysis::shutdown::ShutdownAnalysis;
 use symfail_core::analysis::{coalesce, shutdown, targets};
 use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
+use symfail_phone::corruption::CorruptionProfile;
 use symfail_phone::fleet::{FleetCampaign, PhoneHarvest};
 use symfail_sim_core::SimDuration;
 
@@ -37,6 +43,8 @@ struct Args {
     days: u32,
     workers: usize,
     sweep: bool,
+    corruption: CorruptionProfile,
+    defects_json: Option<String>,
     timing_json: Option<String>,
 }
 
@@ -54,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         days: 425,
         workers: default_workers(),
         sweep: false,
+        corruption: CorruptionProfile::None,
+        defects_json: None,
         timing_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -86,13 +96,23 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a positive integer")?
             }
             "--sweep" => args.sweep = true,
+            "--corruption" => {
+                let profile = it.next().ok_or("--corruption needs a profile name")?;
+                args.corruption = CorruptionProfile::parse(&profile).ok_or(format!(
+                    "unknown corruption profile {profile} (try none|light|moderate|worst)"
+                ))?
+            }
+            "--defects-json" => {
+                args.defects_json = Some(it.next().ok_or("--defects-json needs a path")?)
+            }
             "--timing-json" => {
                 args.timing_json = Some(it.next().ok_or("--timing-json needs a path")?)
             }
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
-                     [--workers N] [--sweep] [--timing-json PATH]"
+                     [--workers N] [--sweep] [--corruption none|light|moderate|worst] \
+                     [--defects-json PATH] [--timing-json PATH]"
                         .to_string(),
                 )
             }
@@ -109,6 +129,8 @@ struct CampaignRun {
     fleet: FleetDataset,
     harvest: Vec<PhoneHarvest>,
     timings: Vec<(&'static str, f64)>,
+    /// Flash bytes fed to the parser (throughput numerator).
+    parse_bytes: u64,
 }
 
 /// Runs the fleet campaign and the full analysis pipeline, timing each
@@ -119,7 +141,7 @@ fn run_campaign(args: &Args) -> CampaignRun {
         campaign_days: args.days,
         ..CalibrationParams::default()
     };
-    let campaign = FleetCampaign::new(args.seed, params);
+    let campaign = FleetCampaign::new(args.seed, params).with_corruption(args.corruption);
     let mut timings = Vec::new();
     let mut stage = |name, t: Instant| timings.push((name, t.elapsed().as_secs_f64()));
 
@@ -127,9 +149,9 @@ fn run_campaign(args: &Args) -> CampaignRun {
     let harvest = campaign.run_parallel(args.workers);
     stage("campaign", t);
 
+    let parse_bytes: u64 = harvest.iter().map(|h| h.flashfs.total_size()).sum();
     let t = Instant::now();
-    let flash: Vec<(u32, &FlashFs)> =
-        harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+    let flash: Vec<(u32, &FlashFs)> = harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
     let fleet = FleetDataset::from_flash_parallel(&flash, args.workers);
     stage("parse", t);
 
@@ -145,8 +167,7 @@ fn run_campaign(args: &Args) -> CampaignRun {
     let shutdowns = ShutdownAnalysis::new(&fleet, config.self_shutdown_threshold);
     stage("shutdown", t);
 
-    let hl =
-        shutdown::merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let hl = shutdown::merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
     let t = Instant::now();
     let _ = coalesce::CoalescenceAnalysis::new(&fleet, &hl, config.coalescence_window);
     stage("coalescence", t);
@@ -168,22 +189,34 @@ fn run_campaign(args: &Args) -> CampaignRun {
         fleet,
         harvest,
         timings,
+        parse_bytes,
     }
 }
 
-/// Hand-formats the stage timings as JSON (no serializer dependency).
-fn timing_json(args: &Args, timings: &[(&str, f64)]) -> String {
-    let stages: Vec<String> = timings
+/// Hand-formats the stage timings plus the parse-throughput counters
+/// as JSON (no serializer dependency).
+fn timing_json(args: &Args, run: &CampaignRun) -> String {
+    let stages: Vec<String> = run
+        .timings
         .iter()
         .map(|(name, secs)| format!("    {{\"stage\": \"{name}\", \"seconds\": {secs:.6}}}"))
         .collect();
+    let defects = &run.report.defects.fleet;
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/1\",\n  \"seed\": {},\n  \
-         \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"symfail-pipeline-timing/2\",\n  \"seed\": {},\n  \
+         \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
+         \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
+         \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
+         \"parse_defects\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
         args.seed,
         args.phones,
         args.days,
         args.workers,
+        args.corruption.as_str(),
+        run.parse_bytes,
+        defects.lines_seen,
+        defects.records_kept,
+        defects.total(),
         stages.join(",\n")
     )
 }
@@ -211,12 +244,19 @@ fn main() -> ExitCode {
     let needs_campaign = args.exp != "table1" && args.exp != "forum_marginals";
     let run = needs_campaign.then(|| run_campaign(&args));
     if let (Some(path), Some(run)) = (&args.timing_json, &run) {
-        let json = timing_json(&args, &run.timings);
+        let json = timing_json(&args, run);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote stage timings to {path}");
+    }
+    if let (Some(path), Some(run)) = (&args.defects_json, &run) {
+        if let Err(e) = std::fs::write(path, run.report.defects.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote defect report to {path}");
     }
     let (report, fleet) = match &run {
         Some(run) => (Some(&run.report), Some(&run.fleet)),
@@ -226,10 +266,7 @@ fn main() -> ExitCode {
         "all" => {
             let report = report.expect("campaign ran");
             println!("{}", report.render_all());
-            println!(
-                "{}",
-                report.render_per_phone(fleet.expect("fleet present"))
-            );
+            println!("{}", report.render_per_phone(fleet.expect("fleet present")));
             println!("{}", forum_report(args.seed));
             println!("\n=== campaign paper-vs-measured shape report ===");
             println!("{}", report.shape_report());
@@ -244,6 +281,7 @@ fn main() -> ExitCode {
         "fig3" => println!("{}", report.expect("campaign ran").render_fig3()),
         "fig6" => println!("{}", report.expect("campaign ran").render_fig6()),
         "mtbf" => println!("{}", report.expect("campaign ran").render_mtbf()),
+        "defects" => println!("{}", report.expect("campaign ran").render_defects()),
         "fig5" => {
             let report = report.expect("campaign ran");
             println!("{}", report.render_fig5());
@@ -309,8 +347,7 @@ fn main() -> ExitCode {
             let fleet = &run.fleet;
             println!(
                 "{}",
-                symfail_core::analysis::baseline::BaselineComparison::new(fleet, report)
-                    .render()
+                symfail_core::analysis::baseline::BaselineComparison::new(fleet, report).render()
             );
             let hl = shutdown::merge_hl_events(
                 fleet.freezes(),
@@ -323,7 +360,11 @@ fn main() -> ExitCode {
             }
             println!("panic counts by firmware (ground truth):");
             for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(harvest) {
-                let per_phone = if phones > 0 { panics as f64 / phones as f64 } else { 0.0 };
+                let per_phone = if phones > 0 {
+                    panics as f64 / phones as f64
+                } else {
+                    0.0
+                };
                 println!("  {version:<12} {phones:>2} phones  {panics:>4} panics  ({per_phone:.1}/phone)");
             }
             println!();

@@ -104,8 +104,7 @@ mod tests {
     }
 
     fn analysis(records: Vec<LogRecord>, hl_secs: &[u64]) -> ActivityAnalysis {
-        let fleet =
-            FleetDataset::from_phones(vec![PhoneDataset::new(0, records, Vec::new())]);
+        let fleet = FleetDataset::from_phones(vec![PhoneDataset::new(0, records, Vec::new())]);
         let events: Vec<HlEvent> = hl_secs
             .iter()
             .map(|&s| HlEvent {
@@ -137,7 +136,11 @@ mod tests {
                 rec(100, codes::KERN_EXEC_3, Some(ActivityKind::VoiceCall)),
                 rec(102, codes::USER_11, Some(ActivityKind::Message)),
                 rec(104, codes::E32USER_CBASE_69, None),
-                rec(106, codes::E32USER_CBASE_33, Some(ActivityKind::DataSession)),
+                rec(
+                    106,
+                    codes::E32USER_CBASE_33,
+                    Some(ActivityKind::DataSession),
+                ),
             ],
             &[105],
         );

@@ -93,16 +93,12 @@ pub struct BaselineComparison {
 impl BaselineComparison {
     /// Compares the tools over an analyzed campaign.
     pub fn new(fleet: &FleetDataset, report: &StudyReport) -> Self {
-        let panics_with_activity = fleet
-            .panics()
-            .filter(|(_, p)| p.activity.is_some())
-            .count();
+        let panics_with_activity = fleet.panics().filter(|(_, p)| p.activity.is_some()).count();
         let panics_with_running_apps = fleet
             .panics()
             .filter(|(_, p)| !p.running_apps.is_empty())
             .count();
-        let hl_events_full =
-            report.mtbf.freezes + report.shutdowns.self_shutdowns().len();
+        let hl_events_full = report.mtbf.freezes + report.shutdowns.self_shutdowns().len();
         let supported = ARTIFACT_SUPPORT.iter().filter(|a| a.dexc).count();
         Self {
             panics_collected: report.panic_distribution.total(),
@@ -125,7 +121,11 @@ impl BaselineComparison {
         t.set_align(0, CellAlign::Left);
         for a in ARTIFACT_SUPPORT {
             let tick = |b: bool| if b { "yes" } else { "-" }.to_string();
-            t.add_row(vec![a.artifact.to_string(), tick(a.full_logger), tick(a.dexc)]);
+            t.add_row(vec![
+                a.artifact.to_string(),
+                tick(a.full_logger),
+                tick(a.dexc),
+            ]);
         }
         format!(
             "Baseline comparison: the paper's logger vs D_EXC\n{}\n\
@@ -195,7 +195,10 @@ mod tests {
         assert_eq!(cmp.panics_with_activity, 1);
         assert_eq!(cmp.panics_with_running_apps, 1);
         assert_eq!(cmp.hl_events_dexc, 0);
-        assert_eq!(cmp.hl_events_full, 1, "the 90 s reboot classifies as self-shutdown");
+        assert_eq!(
+            cmp.hl_events_full, 1,
+            "the 90 s reboot classifies as self-shutdown"
+        );
         assert!((cmp.dexc_artifact_coverage - 0.25).abs() < 1e-12);
     }
 

@@ -137,8 +137,7 @@ impl CoalescenceAnalysis {
             hl_with_panic += slice
                 .iter()
                 .filter(|e| {
-                    nearest_panic_gap(phone.panics(), e.at)
-                        .is_some_and(|gap| gap <= window_ms)
+                    nearest_panic_gap(phone.panics(), e.at).is_some_and(|gap| gap <= window_ms)
                 })
                 .count();
         }
@@ -296,8 +295,11 @@ impl CoalescenceAnalysis {
         windows_secs
             .iter()
             .map(|&w| {
-                let a =
-                    CoalescenceAnalysis::new_brute_force(fleet, hl_events, SimDuration::from_secs(w));
+                let a = CoalescenceAnalysis::new_brute_force(
+                    fleet,
+                    hl_events,
+                    SimDuration::from_secs(w),
+                );
                 (w, a.related_fraction())
             })
             .collect()
@@ -340,7 +342,7 @@ impl CoalescenceGaps {
         }
         // HL events on phones outside the fleet can never coalesce.
         let orphans = hl.len() - hl_gaps_ms.len();
-        hl_gaps_ms.extend(std::iter::repeat(u64::MAX).take(orphans));
+        hl_gaps_ms.extend(std::iter::repeat_n(u64::MAX, orphans));
         panic_gaps_ms.sort_unstable();
         hl_gaps_ms.sort_unstable();
         Self {
@@ -376,7 +378,8 @@ impl CoalescenceGaps {
 
     /// HL events with at least one panic within `window`.
     pub fn hl_with_panic(&self, window: SimDuration) -> usize {
-        self.hl_gaps_ms.partition_point(|&g| g <= window.as_millis())
+        self.hl_gaps_ms
+            .partition_point(|&g| g <= window.as_millis())
     }
 
     /// Fraction of HL events with no panic within `window`.
@@ -384,8 +387,7 @@ impl CoalescenceGaps {
         if self.hl_gaps_ms.is_empty() {
             return 0.0;
         }
-        (self.hl_gaps_ms.len() - self.hl_with_panic(window)) as f64
-            / self.hl_gaps_ms.len() as f64
+        (self.hl_gaps_ms.len() - self.hl_with_panic(window)) as f64 / self.hl_gaps_ms.len() as f64
     }
 }
 
@@ -548,7 +550,10 @@ mod tests {
             let full = CoalescenceAnalysis::new(&f, &events, window);
             assert_eq!(gaps.related_fraction(window), full.related_fraction());
             assert_eq!(gaps.hl_with_panic(window), full.hl_with_panic());
-            assert_eq!(gaps.isolated_hl_fraction(window), full.isolated_hl_fraction());
+            assert_eq!(
+                gaps.isolated_hl_fraction(window),
+                full.isolated_hl_fraction()
+            );
         }
     }
 

@@ -9,13 +9,19 @@
 //! re-allocating event vectors on every call, which is what lets the
 //! same code scale from the paper's 25 phones to fleets of thousands.
 
+use std::borrow::Cow;
+use std::collections::HashSet;
+
 use serde::{Deserialize, Serialize};
 
 use symfail_sim_core::{SimDuration, SimTime};
 
+use crate::analysis::defects::{DefectReport, PhoneDefects};
 use crate::flashfs::FlashFs;
 use crate::logger::files;
-use crate::records::{decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord};
+use crate::records::{
+    decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord, ParseDefect,
+};
 
 /// A high-level failure event — the user-visible failures the logger
 /// can detect automatically (Section 5: freezes and self-shutdowns).
@@ -84,6 +90,9 @@ pub struct PhoneDataset {
     sorted_gaps_ms: Vec<u64>,
     /// `gap_prefix_ms[i]` = sum of the first `i` sorted gaps.
     gap_prefix_ms: Vec<u64>,
+    /// Defect accounting from the lossy parse (empty for hand-built
+    /// datasets).
+    defects: PhoneDefects,
 }
 
 impl PhoneDataset {
@@ -112,28 +121,87 @@ impl PhoneDataset {
         ds
     }
 
-    /// Parses the flash files harvested from one phone. Malformed
-    /// lines are skipped (they were rare but real in the field study).
+    /// Parses the flash files harvested from one phone.
+    ///
+    /// The parse is lossy-tolerant, as the field study's had to be:
+    /// invalid UTF-8 is decoded lossily instead of panicking, every
+    /// malformed line is skipped and classified into the
+    /// [`ParseDefect`] taxonomy, exact duplicate beats are dropped,
+    /// and out-of-order records are kept but flagged (the index
+    /// re-sorts them). The resulting [`PhoneDefects`] ride along on
+    /// the dataset; a phone whose flash has content but yields no
+    /// record at all is flagged unusable rather than aborting the
+    /// fleet build.
     pub fn from_flashfs(phone_id: u32, fs: &FlashFs) -> Self {
-        let records = fs
-            .read_lines(files::LOG)
-            .filter_map(|l| LogRecord::decode(l).ok())
-            .collect();
-        let beats = fs
-            .read_lines(files::BEATS)
-            .filter_map(|l| decode_beat(l).ok())
-            .collect();
-        Self::new(phone_id, records, beats)
+        let mut defects = PhoneDefects::default();
+
+        // Consolidated log: checksum-verified records. Out-of-order
+        // records (timestamp below the running maximum) are kept but
+        // counted; the max does not advance past them so one displaced
+        // block counts each displaced line exactly once.
+        let mut records = Vec::new();
+        let log_text = lossy_text(fs, files::LOG, &mut defects);
+        let mut last_ms: Option<u64> = None;
+        for line in log_text.lines() {
+            defects.lines_seen += 1;
+            match LogRecord::decode(line) {
+                Ok(rec) => {
+                    let ms = rec.at().as_millis();
+                    if last_ms.is_some_and(|max| ms < max) {
+                        defects.record(ParseDefect::OutOfOrder);
+                    } else {
+                        last_ms = Some(ms);
+                    }
+                    defects.records_kept += 1;
+                    records.push(rec);
+                }
+                Err(e) => defects.record(e.defect),
+            }
+        }
+
+        // Beats: exact `(timestamp, event)` repeats are duplicates and
+        // dropped — checked before the order check, so a duplicated
+        // block is counted as duplication, not also as reordering.
+        let mut beats = Vec::new();
+        let beats_text = lossy_text(fs, files::BEATS, &mut defects);
+        let mut seen: HashSet<(u64, HeartbeatEvent)> = HashSet::new();
+        let mut last_ms: Option<u64> = None;
+        for line in beats_text.lines() {
+            defects.lines_seen += 1;
+            match decode_beat(line) {
+                Ok((at, event)) => {
+                    if !seen.insert((at.as_millis(), event)) {
+                        defects.record(ParseDefect::Duplicate);
+                        continue;
+                    }
+                    if last_ms.is_some_and(|max| at.as_millis() < max) {
+                        defects.record(ParseDefect::OutOfOrder);
+                    } else {
+                        last_ms = Some(at.as_millis());
+                    }
+                    defects.records_kept += 1;
+                    beats.push((at, event));
+                }
+                Err(e) => defects.record(e.defect),
+            }
+        }
+
+        defects.unusable = defects.lines_seen > 0 && defects.records_kept == 0;
+        let mut ds = Self::new(phone_id, records, beats);
+        ds.defects = defects;
+        ds
     }
 
     /// Derives the event index from the primary streams.
     fn index(&mut self) {
         // Normalize to time order (stable, so same-instant records
-        // keep file order). Harvested logs are already chronological;
-        // hand-built datasets may not be, and the analyses' binary
-        // searches rely on sorted streams.
+        // keep file order). Harvested logs are chronological unless
+        // flash corruption reordered them; hand-built datasets may not
+        // be either, and the analyses' binary searches rely on sorted
+        // streams.
         self.panics.sort_by_key(|p| p.at);
         self.boots.sort_by_key(|b| b.boot_at);
+        self.beats.sort_by_key(|&(at, _)| at);
         // Shutdown events whose duration is measurable (the previous
         // session ended with a clean `REBOOT`). `LOWBT` and `MAOFF`
         // shutdowns are excluded: their cause is already known, so
@@ -222,6 +290,22 @@ impl PhoneDataset {
             .partition_point(|&g| g <= max_gap.as_millis());
         SimDuration::from_millis(self.gap_prefix_ms[cut])
     }
+
+    /// Defect accounting from the lossy parse. Empty (clean) for
+    /// datasets built via [`Self::new`] from already-decoded records.
+    pub fn defects(&self) -> &PhoneDefects {
+        &self.defects
+    }
+}
+
+/// Reads a flash file as text, decoding invalid UTF-8 lossily and
+/// flagging it, so garbled bytes degrade to replacement characters
+/// (and checksum mismatches) instead of a panic.
+fn lossy_text<'a>(fs: &'a FlashFs, file: &str, defects: &mut PhoneDefects) -> Cow<'a, str> {
+    let raw = fs.read_bytes(file).unwrap_or(&[]);
+    let text = String::from_utf8_lossy(raw);
+    defects.invalid_utf8 |= matches!(text, Cow::Owned(_));
+    text
 }
 
 /// The whole fleet's harvested data plus fleet-wide event indexes.
@@ -328,9 +412,7 @@ impl FleetDataset {
     /// All panics across the fleet as `(phone_id, record)` pairs,
     /// `(phone, time)`-ordered. Borrows the per-phone index — no
     /// allocation; the iterator is exact-size (`.len()` works).
-    pub fn panics(
-        &self,
-    ) -> impl ExactSizeIterator<Item = (u32, &PanicRecord)> + Clone + '_ {
+    pub fn panics(&self) -> impl ExactSizeIterator<Item = (u32, &PanicRecord)> + Clone + '_ {
         self.panic_locs.iter().map(move |&(pi, ri)| {
             let phone = &self.phones[pi as usize];
             (phone.phone_id, &phone.panics[ri as usize])
@@ -352,11 +434,20 @@ impl FleetDataset {
         &self.freezes
     }
 
-    /// Fleet-wide powered-on time.
+    /// Fleet-wide powered-on time. Phones whose flash was unusable
+    /// (nothing decoded) are excluded, keeping them out of the MTBF
+    /// denominators downstream.
     pub fn powered_on_time(&self, max_gap: SimDuration) -> SimDuration {
         self.phones
             .iter()
+            .filter(|p| !p.defects.unusable)
             .fold(SimDuration::ZERO, |acc, p| acc + p.powered_on_time(max_gap))
+    }
+
+    /// Aggregates every phone's parse-defect counters into the fleet
+    /// [`DefectReport`].
+    pub fn defect_report(&self) -> DefectReport {
+        DefectReport::from_phones(self.phones.iter().map(|p| (p.phone_id, p.defects)))
     }
 }
 
@@ -485,6 +576,71 @@ mod tests {
                 assert_eq!(s.panics(), p.panics());
             }
         }
+    }
+
+    #[test]
+    fn clean_session_parses_with_zero_defects() {
+        let ds = session();
+        assert!(ds.defects().is_clean(), "{:?}", ds.defects());
+        assert_eq!(
+            ds.defects().records_kept,
+            (ds.panics().len() + ds.boots().len() + ds.beats().len()) as u64
+        );
+    }
+
+    #[test]
+    fn lossy_parse_classifies_and_survives() {
+        let mut fs = FlashFs::new();
+        let mut lg = FailureLogger::new(LoggerConfig::default());
+        let ctx = PhoneContext::default();
+        lg.on_boot(&mut fs, t(0), &ctx);
+        for i in 1..=5 {
+            lg.on_tick(&mut fs, t(30 * i), &ctx);
+        }
+        lg.on_panic(
+            &mut fs,
+            t(200),
+            &Panic::new(codes::KERN_EXEC_3, "Camera", "null"),
+            &ctx,
+        );
+        // Inject one of each flavour by hand.
+        fs.append_line("log", "P|1|KERN-EXEC~3|a|-"); // cut: no trailer shape
+        fs.append_line("beats", "30000|ALIVE"); // exact duplicate
+        fs.append_line("beats", "7|WAT"); // unknown token
+        let mut raw = fs.read_bytes("log").unwrap().to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe, b'\n']); // invalid UTF-8 line
+        fs.overwrite_raw("log", raw);
+        let ds = PhoneDataset::from_flashfs(1, &fs);
+        let d = ds.defects();
+        assert_eq!(d.truncated, 2, "{d:?}"); // hand cut + UTF-8 garbage line
+        assert_eq!(d.duplicate, 1, "{d:?}");
+        assert_eq!(d.unknown_tag, 1, "{d:?}");
+        assert!(d.invalid_utf8);
+        assert!(!d.unusable);
+        // Surviving records still drive the analyses.
+        assert_eq!(ds.panics().len(), 1);
+        assert!(ds.beats().len() >= 5);
+        assert!(ds.powered_on_time(SimDuration::from_mins(5)) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unusable_phone_is_reported_and_excluded() {
+        let mut dead_fs = FlashFs::new();
+        dead_fs.append_line("log", "garbage");
+        dead_fs.append_line("beats", "more garbage");
+        let dead = PhoneDataset::from_flashfs(9, &dead_fs);
+        assert!(dead.defects().unusable);
+
+        let good = session();
+        let uptime_alone = good.powered_on_time(SimDuration::from_mins(5));
+        let fleet = FleetDataset::from_phones(vec![good, dead]);
+        let report = fleet.defect_report();
+        assert_eq!(report.unusable_phones, vec![9]);
+        assert_eq!(
+            fleet.powered_on_time(SimDuration::from_mins(5)),
+            uptime_alone,
+            "unusable phone contributes no powered-on time"
+        );
     }
 
     #[test]

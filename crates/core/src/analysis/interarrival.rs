@@ -191,7 +191,11 @@ mod tests {
             });
         }
         let a = InterArrivalAnalysis::new(&f, &events).unwrap();
-        assert!((a.coefficient_of_variation() - 1.0).abs() < 0.1, "cv {}", a.cv);
+        assert!(
+            (a.coefficient_of_variation() - 1.0).abs() < 0.1,
+            "cv {}",
+            a.cv
+        );
         assert!(a.ks_to_exponential() < 0.05, "ks {}", a.ks_to_exponential);
         assert!((a.mean_hours() - 100.0).abs() < 10.0);
     }

@@ -25,6 +25,7 @@ pub mod baseline;
 pub mod bursts;
 pub mod coalesce;
 pub mod dataset;
+pub mod defects;
 pub mod interarrival;
 pub mod mtbf;
 pub mod output_failures;

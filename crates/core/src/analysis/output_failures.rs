@@ -122,7 +122,10 @@ mod tests {
         assert!(!analysis.is_empty());
         // Sorted per phone, then time.
         assert_eq!(analysis.reports()[0].0, 0);
-        assert_eq!(analysis.reports()[1], (1, SimTime::from_secs(5), UserReportKind::OutputFailure));
+        assert_eq!(
+            analysis.reports()[1],
+            (1, SimTime::from_secs(5), UserReportKind::OutputFailure)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use super::activity::ActivityAnalysis;
 use super::bursts::{BurstAnalysis, DEFAULT_BURST_GAP};
 use super::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
 use super::dataset::FleetDataset;
+use super::defects::DefectReport;
 use super::mtbf::{MtbfAnalysis, DEFAULT_UPTIME_GAP};
 use super::runapps::RunningAppsAnalysis;
 use super::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
@@ -62,6 +63,8 @@ pub struct StudyReport {
     pub runapps: RunningAppsAnalysis,
     /// Table 2: panic distribution by code.
     pub panic_distribution: CategoricalDist,
+    /// Parse-defect accounting from the lossy flash parse.
+    pub defects: DefectReport,
 }
 
 impl StudyReport {
@@ -92,6 +95,7 @@ impl StudyReport {
             activity,
             runapps,
             panic_distribution,
+            defects: fleet.defect_report(),
         }
     }
 
@@ -215,7 +219,14 @@ impl StudyReport {
     pub fn render_table3(&self) -> String {
         let table = self.activity.table().render_percent(
             "Table 3: panic-activity relationship (% of HL-related panics)",
-            &["ViewSrv", "USER", "Phone.app", "MSGS Client", "KERN-EXEC", "E32USER-CBase"],
+            &[
+                "ViewSrv",
+                "USER",
+                "Phone.app",
+                "MSGS Client",
+                "KERN-EXEC",
+                "E32USER-CBase",
+            ],
         );
         let chi2 = self.activity.table().chi_square_independence().ok();
         let p_value = chi2.and_then(|stat| {
@@ -228,9 +239,8 @@ impl StudyReport {
             "{table}real-time activity share: {:.1}% (paper ~45%){}\n",
             100.0 * self.activity.real_time_fraction(),
             match (chi2, p_value) {
-                (Some(stat), Some(p)) => format!(
-                    " | activity-category independence: chi2={stat:.1}, p={p:.3}"
-                ),
+                (Some(stat), Some(p)) =>
+                    format!(" | activity-category independence: chi2={stat:.1}, p={p:.3}"),
                 _ => String::new(),
             }
         )
@@ -304,8 +314,17 @@ impl StudyReport {
                 self_shutdowns.to_string(),
             ]);
         }
-        format!("per-phone breakdown
-{}", t.render())
+        format!(
+            "per-phone breakdown
+{}",
+            t.render()
+        )
+    }
+
+    /// Renders the parse-defect accounting (the graceful-degradation
+    /// section).
+    pub fn render_defects(&self) -> String {
+        self.defects.render()
     }
 
     /// Renders every table and figure.
@@ -319,6 +338,7 @@ impl StudyReport {
             self.render_table3(),
             self.render_fig6(),
             self.render_table4(),
+            self.render_defects(),
         ]
         .join("\n")
     }
@@ -385,8 +405,7 @@ impl StudyReport {
         r.push(TargetCheck::absolute(
             "related % increase with all shutdowns",
             100.0
-                * (targets::RELATED_PANIC_FRACTION_ALL_SHUTDOWNS
-                    - targets::RELATED_PANIC_FRACTION),
+                * (targets::RELATED_PANIC_FRACTION_ALL_SHUTDOWNS - targets::RELATED_PANIC_FRACTION),
             delta,
             4.0,
         ));
@@ -404,8 +423,7 @@ impl StudyReport {
         ));
         let total = self.panic_distribution.total().max(1) as f64;
         for (code, _, paper_pct) in targets::PANIC_DISTRIBUTION {
-            let measured =
-                100.0 * self.panic_distribution.count(&code.to_string()) as f64 / total;
+            let measured = 100.0 * self.panic_distribution.count(&code.to_string()) as f64 / total;
             // Percentage-point tolerance ≈ 2.5 Poisson standard
             // deviations of the cell count (count ≈ pct · 396 / 100):
             // the dominant cells must match within a few points, the
@@ -494,6 +512,7 @@ mod tests {
             "Table 4",
             "MTBF",
             "KERN-EXEC 3",
+            "Parse defects",
         ] {
             assert!(all.contains(needle), "missing {needle}");
         }

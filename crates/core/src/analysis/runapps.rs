@@ -122,8 +122,7 @@ mod tests {
     }
 
     fn build(records: Vec<LogRecord>, hl_secs: &[u64]) -> RunningAppsAnalysis {
-        let fleet =
-            FleetDataset::from_phones(vec![PhoneDataset::new(0, records, Vec::new())]);
+        let fleet = FleetDataset::from_phones(vec![PhoneDataset::new(0, records, Vec::new())]);
         let events: Vec<HlEvent> = hl_secs
             .iter()
             .map(|&s| HlEvent {

@@ -65,11 +65,7 @@ impl SeverityAnalysis {
     /// Builds the summary. `total_hours` is the fleet's powered-on
     /// observation time (from the MTBF analysis), used to normalize
     /// the burden.
-    pub fn new(
-        fleet: &FleetDataset,
-        shutdowns: &ShutdownAnalysis,
-        total_hours: f64,
-    ) -> Self {
+    pub fn new(fleet: &FleetDataset, shutdowns: &ShutdownAnalysis, total_hours: f64) -> Self {
         let battery_pulls = fleet.freezes().len();
         let unwanted_reboots = shutdowns.self_shutdowns().len();
         let mut distribution = CategoricalDist::new();
@@ -77,9 +73,8 @@ impl SeverityAnalysis {
             FailureSeverity::Medium.as_str(),
             (battery_pulls + unwanted_reboots) as u64,
         );
-        let burden_per_phone_month = (total_hours > 0.0).then(|| {
-            (battery_pulls + unwanted_reboots) as f64 / (total_hours / (30.44 * 24.0))
-        });
+        let burden_per_phone_month = (total_hours > 0.0)
+            .then(|| (battery_pulls + unwanted_reboots) as f64 / (total_hours / (30.44 * 24.0)));
         Self {
             distribution,
             battery_pulls,
@@ -171,7 +166,10 @@ mod tests {
 
     #[test]
     fn hl_mapping_is_medium() {
-        assert_eq!(FailureSeverity::of_hl(HlKind::Freeze), FailureSeverity::Medium);
+        assert_eq!(
+            FailureSeverity::of_hl(HlKind::Freeze),
+            FailureSeverity::Medium
+        );
         assert_eq!(
             FailureSeverity::of_hl(HlKind::SelfShutdown),
             FailureSeverity::Medium

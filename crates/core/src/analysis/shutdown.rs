@@ -98,12 +98,8 @@ impl ShutdownAnalysis {
     /// Median duration of the self-shutdowns (the ≈ 80 s of Fig. 2),
     /// or `None` when there are none.
     pub fn median_self_shutdown_secs(&self) -> Option<f64> {
-        let e = Ecdf::from_samples(
-            self.self_shutdowns
-                .iter()
-                .map(|e| e.duration.as_secs_f64()),
-        )
-        .ok()?;
+        let e = Ecdf::from_samples(self.self_shutdowns.iter().map(|e| e.duration.as_secs_f64()))
+            .ok()?;
         Some(e.median())
     }
 

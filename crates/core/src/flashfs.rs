@@ -64,6 +64,15 @@ impl FlashFs {
         self.files.get(file).map(Vec::as_slice)
     }
 
+    /// Replaces a file's raw content in place, without touching the
+    /// wear counter. This is a damage hook — it models flash-level
+    /// corruption of already-written bytes (bit rot, lost tail pages,
+    /// interleaved blocks), not a logger write path. Creates the file
+    /// if it does not exist.
+    pub fn overwrite_raw(&mut self, file: &str, bytes: Vec<u8>) {
+        self.files.insert(file.to_string(), bytes);
+    }
+
     /// True when the file exists.
     pub fn exists(&self, file: &str) -> bool {
         self.files.contains_key(file)
@@ -161,7 +170,19 @@ mod tests {
     fn read_bytes_round_trip() {
         let mut fs = FlashFs::new();
         fs.append_line("f", "hello");
-        assert_eq!(fs.read_bytes("f").unwrap().as_ref(), b"hello\n");
+        assert_eq!(fs.read_bytes("f").unwrap(), b"hello\n");
         assert!(fs.read_bytes("missing").is_none());
+    }
+
+    #[test]
+    fn overwrite_raw_replaces_content_without_wear() {
+        let mut fs = FlashFs::new();
+        fs.append_line("log", "pristine");
+        let wear = fs.bytes_written();
+        fs.overwrite_raw("log", b"pris".to_vec());
+        assert_eq!(fs.read_bytes("log").unwrap(), b"pris");
+        assert_eq!(fs.bytes_written(), wear, "damage is not a write");
+        fs.overwrite_raw("new", b"x\n".to_vec());
+        assert!(fs.exists("new"));
     }
 }

@@ -63,7 +63,11 @@ mod tests {
             .collect();
         assert_eq!(
             events,
-            vec![HeartbeatEvent::Alive, HeartbeatEvent::Alive, HeartbeatEvent::Reboot]
+            vec![
+                HeartbeatEvent::Alive,
+                HeartbeatEvent::Alive,
+                HeartbeatEvent::Reboot
+            ]
         );
     }
 }

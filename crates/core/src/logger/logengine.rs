@@ -69,8 +69,18 @@ mod tests {
     fn record_and_parse() {
         let mut fs = FlashFs::new();
         let mut le = LogEngine::new();
-        le.record(&mut fs, SimTime::from_secs(1), SimTime::from_secs(2), ActivityKind::VoiceCall);
-        le.record(&mut fs, SimTime::from_secs(3), SimTime::from_secs(4), ActivityKind::DataSession);
+        le.record(
+            &mut fs,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            ActivityKind::VoiceCall,
+        );
+        le.record(
+            &mut fs,
+            SimTime::from_secs(3),
+            SimTime::from_secs(4),
+            ActivityKind::DataSession,
+        );
         assert_eq!(le.records(), 2);
         let all = LogEngine::parse_all(&fs);
         assert_eq!(all.len(), 2);

@@ -214,7 +214,8 @@ impl FailureLogger {
 
     fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, ctx: &PhoneContext) {
         self.runapps.snapshot(fs, now, &ctx.running_apps);
-        self.power.snapshot(fs, now, ctx.battery_percent, ctx.battery_low);
+        self.power
+            .snapshot(fs, now, ctx.battery_percent, ctx.battery_low);
     }
 
     /// Parses the consolidated log file back into records — the

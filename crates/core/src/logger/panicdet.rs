@@ -40,13 +40,7 @@ impl PanicDetector {
 
     /// Consolidates a notified panic with the context sampled from the
     /// other active objects, and appends it to the log file.
-    pub fn on_panic(
-        &mut self,
-        fs: &mut FlashFs,
-        now: SimTime,
-        panic: &Panic,
-        ctx: &PhoneContext,
-    ) {
+    pub fn on_panic(&mut self, fs: &mut FlashFs, now: SimTime, panic: &Panic, ctx: &PhoneContext) {
         let record = LogRecord::Panic(PanicRecord {
             at: now,
             panic: panic.clone(),
@@ -116,7 +110,10 @@ mod tests {
     #[test]
     fn boot_after_alive_flags_freeze() {
         let mut fs = FlashFs::new();
-        fs.append_line(files::BEATS, &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Alive));
+        fs.append_line(
+            files::BEATS,
+            &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Alive),
+        );
         let mut pd = PanicDetector::new();
         pd.on_boot(&mut fs, SimTime::from_secs(400));
         match LogRecord::decode(fs.last_line(files::LOG).unwrap()).unwrap() {
@@ -131,7 +128,10 @@ mod tests {
     #[test]
     fn boot_after_reboot_measures_off_duration() {
         let mut fs = FlashFs::new();
-        fs.append_line(files::BEATS, &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Reboot));
+        fs.append_line(
+            files::BEATS,
+            &encode_beat(SimTime::from_secs(100), HeartbeatEvent::Reboot),
+        );
         let mut pd = PanicDetector::new();
         pd.on_boot(&mut fs, SimTime::from_secs(182));
         match LogRecord::decode(fs.last_line(files::LOG).unwrap()).unwrap() {
@@ -150,6 +150,9 @@ mod tests {
         let p = Panic::new(codes::VIEWSRV_11, "Clock", "monopolized");
         pd.on_panic(&mut fs, SimTime::from_secs(5), &p, &PhoneContext::default());
         assert_eq!(pd.panics_recorded(), 1);
-        assert!(fs.last_line(files::LOG).unwrap().starts_with("P|5000|ViewSrv~11|Clock"));
+        assert!(fs
+            .last_line(files::LOG)
+            .unwrap()
+            .starts_with("P|5000|ViewSrv~11|Clock"));
     }
 }

@@ -27,7 +27,12 @@ impl PowerManager {
     pub fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, percent: u8, low: bool) {
         fs.append_line(
             files::POWER,
-            &format!("{}|{}|{}", now.as_millis(), percent, if low { "LOW" } else { "OK" }),
+            &format!(
+                "{}|{}|{}",
+                now.as_millis(),
+                percent,
+                if low { "LOW" } else { "OK" }
+            ),
         );
         self.samples += 1;
     }

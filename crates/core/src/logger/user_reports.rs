@@ -118,8 +118,16 @@ mod tests {
     fn report_round_trip() {
         let mut fs = FlashFs::new();
         let mut ch = UserReportChannel::new();
-        ch.on_user_report(&mut fs, SimTime::from_secs(5), UserReportKind::OutputFailure);
-        ch.on_user_report(&mut fs, SimTime::from_secs(9), UserReportKind::UnstableBehavior);
+        ch.on_user_report(
+            &mut fs,
+            SimTime::from_secs(5),
+            UserReportKind::OutputFailure,
+        );
+        ch.on_user_report(
+            &mut fs,
+            SimTime::from_secs(9),
+            UserReportKind::UnstableBehavior,
+        );
         assert_eq!(ch.reports(), 2);
         let parsed = UserReportChannel::parse(&fs);
         assert_eq!(

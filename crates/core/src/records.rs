@@ -55,6 +55,80 @@ impl fmt::Display for HeartbeatEvent {
     }
 }
 
+/// Classification of a malformed or suspicious log line — the defect
+/// taxonomy of the lossy-tolerant parse path (see DESIGN.md,
+/// "Corruption model and graceful degradation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParseDefect {
+    /// The line ends mid-record: missing fields, a cut event token, or
+    /// a checksum trailer that no longer has the `cXXXX` shape.
+    Truncated,
+    /// The line is whole but its payload does not match its checksum
+    /// trailer (garbled bytes).
+    ChecksumMismatch,
+    /// The record decodes but its timestamp runs backwards relative to
+    /// the file so far. The record is kept; the flag marks that the
+    /// file was reordered on flash.
+    OutOfOrder,
+    /// The record is an exact repeat of one already seen in the same
+    /// file (dropped).
+    Duplicate,
+    /// The line is whole but carries a record tag or event token the
+    /// codec does not know.
+    UnknownTag,
+}
+
+impl ParseDefect {
+    /// All taxonomy kinds, in rendering order.
+    pub const ALL: [ParseDefect; 5] = [
+        ParseDefect::Truncated,
+        ParseDefect::ChecksumMismatch,
+        ParseDefect::OutOfOrder,
+        ParseDefect::Duplicate,
+        ParseDefect::UnknownTag,
+    ];
+
+    /// Stable kebab-case name used in reports and JSON dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParseDefect::Truncated => "truncated",
+            ParseDefect::ChecksumMismatch => "checksum-mismatch",
+            ParseDefect::OutOfOrder => "out-of-order",
+            ParseDefect::Duplicate => "duplicate",
+            ParseDefect::UnknownTag => "unknown-tag",
+        }
+    }
+}
+
+impl fmt::Display for ParseDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// 16-bit fold of FNV-1a-64 over a line's payload bytes; written as
+/// the `|cXXXX` trailer on every consolidated-log line so the parser
+/// can tell a garbled record from a well-formed one.
+pub fn line_checksum(payload: &str) -> u16 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in payload.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ((h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) & 0xffff) as u16
+}
+
+/// True when `field` has the exact `cXXXX` (lowercase hex) shape of a
+/// checksum trailer. A mid-record cut destroys this shape, which is
+/// how truncation is told apart from payload garbling.
+fn is_checksum_shaped(field: &str) -> bool {
+    field.len() == 5
+        && field.starts_with('c')
+        && field[1..]
+            .bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+}
+
 /// Compact single-char code for an activity kind in the codec.
 fn activity_code(kind: ActivityKind) -> char {
     match kind {
@@ -130,9 +204,10 @@ impl LogRecord {
         }
     }
 
-    /// Encodes the record as one log-file line.
+    /// Encodes the record as one log-file line, ending with a `|cXXXX`
+    /// checksum trailer over the payload.
     pub fn encode(&self) -> String {
-        match self {
+        let payload = match self {
             LogRecord::Panic(p) => {
                 debug_assert!(!p.panic.reason.contains('|'));
                 format!(
@@ -157,20 +232,47 @@ impl LogRecord {
                     .unwrap_or_else(|| "-".to_string()),
                 u8::from(b.freeze_detected),
             ),
-        }
+        };
+        let check = line_checksum(&payload);
+        format!("{payload}|c{check:04x}")
     }
 
-    /// Decodes a log-file line.
+    /// Decodes a log-file line: verifies the checksum trailer first,
+    /// then parses the payload.
     ///
     /// # Errors
     ///
-    /// Returns a [`RecordParseError`] describing the malformed field.
+    /// Returns a [`RecordParseError`] describing the malformed field
+    /// and carrying its [`ParseDefect`] classification.
     pub fn decode(line: &str) -> Result<LogRecord, RecordParseError> {
+        let err = |what: &str, defect: ParseDefect| RecordParseError {
+            line: line.to_string(),
+            what: what.to_string(),
+            defect,
+        };
+        let Some((payload, trailer)) = line.rsplit_once('|') else {
+            return Err(err("checksum trailer", ParseDefect::Truncated));
+        };
+        if !is_checksum_shaped(trailer) {
+            // A clean cut anywhere in the line destroys the trailer
+            // shape, so this is the truncation signature.
+            return Err(err("checksum trailer", ParseDefect::Truncated));
+        }
+        let expect = line_checksum(payload);
+        if trailer[1..] != format!("{expect:04x}") {
+            return Err(err("checksum", ParseDefect::ChecksumMismatch));
+        }
+        Self::decode_payload(payload, line)
+    }
+
+    /// Parses the checksum-verified payload of a log-file line.
+    fn decode_payload(payload: &str, line: &str) -> Result<LogRecord, RecordParseError> {
         let err = |what: &str| RecordParseError {
             line: line.to_string(),
             what: what.to_string(),
+            defect: ParseDefect::Truncated,
         };
-        let mut parts = line.splitn(8, '|');
+        let mut parts = payload.splitn(8, '|');
         match parts.next() {
             Some("P") => {
                 let at = parts
@@ -179,7 +281,8 @@ impl LogRecord {
                     .ok_or_else(|| err("timestamp"))?;
                 let code_str = parts.next().ok_or_else(|| err("panic code"))?;
                 let (cat, ty) = code_str.split_once('~').ok_or_else(|| err("panic code"))?;
-                let code = PanicCode::parse(&format!("{cat} {ty}")).ok_or_else(|| err("panic code"))?;
+                let code =
+                    PanicCode::parse(&format!("{cat} {ty}")).ok_or_else(|| err("panic code"))?;
                 let raised_by = parts.next().ok_or_else(|| err("raised_by"))?.to_string();
                 let activity = parts
                     .next()
@@ -237,7 +340,11 @@ impl LogRecord {
                     freeze_detected: freeze,
                 }))
             }
-            _ => Err(err("record tag")),
+            _ => Err(RecordParseError {
+                line: line.to_string(),
+                what: "record tag".to_string(),
+                defect: ParseDefect::UnknownTag,
+            }),
         }
     }
 }
@@ -249,34 +356,65 @@ pub struct RecordParseError {
     pub line: String,
     /// Which field failed to parse.
     pub what: String,
+    /// Taxonomy classification of the defect.
+    pub defect: ParseDefect,
 }
 
 impl fmt::Display for RecordParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed {} in log line {:?}", self.what, self.line)
+        write!(
+            f,
+            "malformed {} ({}) in log line {:?}",
+            self.what, self.defect, self.line
+        )
     }
 }
 
 impl std::error::Error for RecordParseError {}
 
-/// Encodes a beats-file line.
+/// Encodes a beats-file line. Beats stay checksum-free: they are
+/// written every few minutes for the whole campaign and the compact
+/// `{ms}|{TOKEN}` shape is already self-validating enough (a token is
+/// either whole, a cut prefix, or unknown).
 pub fn encode_beat(at: SimTime, event: HeartbeatEvent) -> String {
     format!("{}|{}", at.as_millis(), event.token())
+}
+
+/// True when `s` is a proper prefix of some heartbeat token — the
+/// signature a mid-record cut leaves on a beats line.
+fn is_token_prefix(s: &str) -> bool {
+    ["ALIVE", "REBOOT", "MAOFF", "LOWBT"]
+        .iter()
+        .any(|t| t.len() > s.len() && t.starts_with(s))
 }
 
 /// Decodes a beats-file line.
 ///
 /// # Errors
 ///
-/// Returns a [`RecordParseError`] on malformed input.
+/// Returns a [`RecordParseError`] on malformed input. A missing
+/// separator, an unparseable timestamp, or a token that is a proper
+/// prefix of a valid token classify as [`ParseDefect::Truncated`];
+/// any other unrecognized token is [`ParseDefect::UnknownTag`].
 pub fn decode_beat(line: &str) -> Result<(SimTime, HeartbeatEvent), RecordParseError> {
-    let err = |what: &str| RecordParseError {
+    let err = |what: &str, defect: ParseDefect| RecordParseError {
         line: line.to_string(),
         what: what.to_string(),
+        defect,
     };
-    let (ms, token) = line.split_once('|').ok_or_else(|| err("beat"))?;
-    let at = ms.parse::<u64>().map_err(|_| err("beat timestamp"))?;
-    let event = HeartbeatEvent::parse(token).ok_or_else(|| err("beat event"))?;
+    let (ms, token) = line
+        .split_once('|')
+        .ok_or_else(|| err("beat", ParseDefect::Truncated))?;
+    let at = ms
+        .parse::<u64>()
+        .map_err(|_| err("beat timestamp", ParseDefect::Truncated))?;
+    let event = match HeartbeatEvent::parse(token) {
+        Some(e) => e,
+        None if is_token_prefix(token) => {
+            return Err(err("beat event", ParseDefect::Truncated));
+        }
+        None => return Err(err("beat event", ParseDefect::UnknownTag)),
+    };
     Ok((SimTime::from_millis(at), event))
 }
 
@@ -353,6 +491,69 @@ mod tests {
         ] {
             assert!(LogRecord::decode(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn encode_appends_checksum_trailer() {
+        let line = sample_panic().encode();
+        let (payload, trailer) = line.rsplit_once('|').unwrap();
+        assert!(is_checksum_shaped(trailer), "trailer {trailer:?}");
+        assert_eq!(trailer, format!("c{:04x}", line_checksum(payload)));
+    }
+
+    #[test]
+    fn decode_classifies_truncation() {
+        let line = sample_panic().encode();
+        // Any cut that removes at least one byte destroys the cXXXX
+        // trailer shape.
+        for cut in 1..line.len() {
+            let got = LogRecord::decode(&line[..line.len() - cut]).unwrap_err();
+            assert_eq!(got.defect, ParseDefect::Truncated, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_classifies_garbled_payload() {
+        let line = sample_panic().encode();
+        let mut bytes = line.clone().into_bytes();
+        bytes[2] ^= 0x01; // flip one payload bit
+        let garbled = String::from_utf8(bytes).unwrap();
+        let got = LogRecord::decode(&garbled).unwrap_err();
+        assert_eq!(got.defect, ParseDefect::ChecksumMismatch);
+        // Same for a flip that lands inside the checksum trailer's hex.
+        let swapped = line.replace(
+            &line[line.len() - 4..],
+            &line[line.len() - 4..]
+                .chars()
+                .map(|c| if c == '0' { '1' } else { '0' })
+                .collect::<String>(),
+        );
+        assert!(LogRecord::decode(&swapped).is_err());
+    }
+
+    #[test]
+    fn decode_classifies_unknown_tag() {
+        let payload = "X|123|whatever";
+        let line = format!("{payload}|c{:04x}", line_checksum(payload));
+        let got = LogRecord::decode(&line).unwrap_err();
+        assert_eq!(got.defect, ParseDefect::UnknownTag);
+    }
+
+    #[test]
+    fn beat_decode_classifies_cut_vs_unknown() {
+        let line = encode_beat(SimTime::from_secs(9), HeartbeatEvent::Reboot);
+        for cut in 1..line.len() {
+            let got = decode_beat(&line[..line.len() - cut]).unwrap_err();
+            assert_eq!(got.defect, ParseDefect::Truncated, "cut {cut}");
+        }
+        assert_eq!(
+            decode_beat("12|NOPE").unwrap_err().defect,
+            ParseDefect::UnknownTag
+        );
+        assert_eq!(
+            decode_beat("12|").unwrap_err().defect,
+            ParseDefect::Truncated
+        );
     }
 
     #[test]

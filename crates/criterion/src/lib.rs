@@ -66,7 +66,11 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_benchmark(&name.into(), self.test_mode, self.settings, f);
         self
     }
@@ -99,7 +103,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, name.into());
         run_benchmark(&full, self.test_mode, self.settings, f);
         self
@@ -126,14 +134,20 @@ impl Bencher {
 
 fn run_benchmark(name: &str, test_mode: bool, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
     if test_mode {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         println!("test {name} ... ok");
         return;
     }
     // Calibrate: find an iteration count whose sample fills roughly
     // measurement_time / sample_size.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let target = settings.measurement_time / settings.sample_size as u32;
@@ -142,13 +156,19 @@ fn run_benchmark(name: &str, test_mode: bool, settings: Settings, mut f: impl Fn
     // Warm-up.
     let warm_start = Instant::now();
     while warm_start.elapsed() < settings.warm_up_time {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
     }
 
     let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
     for _ in 0..settings.sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples.push(b.elapsed.as_secs_f64() / iters as f64);
     }

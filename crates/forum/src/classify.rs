@@ -237,22 +237,40 @@ pub fn classify(text: &str) -> Classification {
         Recovery::ServicePhone
     } else if contains_any(
         &t,
-        &["take the battery out", "pull the battery", "removing the battery", "battery pull"],
+        &[
+            "take the battery out",
+            "pull the battery",
+            "removing the battery",
+            "battery pull",
+        ],
     ) {
         Recovery::RemoveBattery
     } else if contains_any(
         &t,
-        &["after a reboot", "power cycling fixes", "restart solves", "turning it off and on"],
+        &[
+            "after a reboot",
+            "power cycling fixes",
+            "restart solves",
+            "turning it off and on",
+        ],
     ) {
         Recovery::Reboot
     } else if contains_any(
         &t,
-        &["comes back after a while", "waiting a few minutes", "if i wait"],
+        &[
+            "comes back after a while",
+            "waiting a few minutes",
+            "if i wait",
+        ],
     ) {
         Recovery::Wait
     } else if contains_any(
         &t,
-        &["trying again works", "second attempt works", "if i repeat the action"],
+        &[
+            "trying again works",
+            "second attempt works",
+            "if i repeat the action",
+        ],
     ) {
         Recovery::Repeat
     } else {
@@ -264,7 +282,10 @@ pub fn classify(text: &str) -> Classification {
         Some(ReportedActivity::TextMessage)
     } else if contains_any(&t, &["bluetooth"]) {
         Some(ReportedActivity::Bluetooth)
-    } else if contains_any(&t, &["viewing pictures", "editing an image", "photo gallery"]) {
+    } else if contains_any(
+        &t,
+        &["viewing pictures", "editing an image", "photo gallery"],
+    ) {
         Some(ReportedActivity::Images)
     } else {
         None
@@ -333,7 +354,10 @@ mod tests {
             ("only a battery pull helps", Recovery::RemoveBattery),
             ("it comes back after a while", Recovery::Wait),
             ("trying again works every time", Recovery::Repeat),
-            ("the service center did a master reset", Recovery::ServicePhone),
+            (
+                "the service center did a master reset",
+                Recovery::ServicePhone,
+            ),
             ("no idea how to fix it", Recovery::Unreported),
         ];
         for (text, expected) in samples {

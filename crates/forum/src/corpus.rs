@@ -315,10 +315,7 @@ mod tests {
 
     #[test]
     fn table1_counts_sum_to_failure_entries() {
-        let sum: u32 = TABLE1_COUNTS
-            .iter()
-            .flat_map(|(_, row)| row.iter())
-            .sum();
+        let sum: u32 = TABLE1_COUNTS.iter().flat_map(|(_, row)| row.iter()).sum();
         assert_eq!(sum, FAILURE_ENTRIES);
     }
 
@@ -354,8 +351,7 @@ mod tests {
     #[test]
     fn smart_phone_share_near_target() {
         let corpus = CorpusGenerator::paper_sized(5).generate();
-        let share = corpus.iter().filter(|r| r.smart_phone).count() as f64
-            / corpus.len() as f64;
+        let share = corpus.iter().filter(|r| r.smart_phone).count() as f64 / corpus.len() as f64;
         assert!((share - SMART_PHONE_SHARE).abs() < 0.06, "share {share}");
     }
 

@@ -156,7 +156,10 @@ impl ForumStudy {
         out.push_str("activity at failure time (% of failures; paper: calls 13, text 5.4, bluetooth 3.6, images 2.4):\n");
         let failures = self.failure_posts.max(1) as f64;
         for (label, n) in self.activity.ranked() {
-            out.push_str(&format!("  {label:<18} {:.1}%\n", 100.0 * n as f64 / failures));
+            out.push_str(&format!(
+                "  {label:<18} {:.1}%\n",
+                100.0 * n as f64 / failures
+            ));
         }
         out
     }
@@ -174,9 +177,8 @@ impl ForumStudy {
             for (col, &count) in row.iter().enumerate() {
                 let recovery = Recovery::ALL[col];
                 let paper_pct = 100.0 * count as f64 / 466.0;
-                let measured_pct = 100.0
-                    * self.table1.count(failure.as_str(), recovery.as_str()) as f64
-                    / total;
+                let measured_pct =
+                    100.0 * self.table1.count(failure.as_str(), recovery.as_str()) as f64 / total;
                 r.push(TargetCheck::absolute(
                     format!("Table 1: {} / {}", failure.as_str(), recovery.as_str()),
                     paper_pct,
@@ -251,7 +253,8 @@ mod tests {
                     .table1()
                     .count(failure.as_str(), Recovery::ALL[col].as_str());
                 assert_eq!(
-                    got, count as u64,
+                    got,
+                    count as u64,
                     "{} / {}",
                     failure.as_str(),
                     Recovery::ALL[col].as_str()

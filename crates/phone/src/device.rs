@@ -195,8 +195,8 @@ impl Phone {
                     );
                     let ctx = self.context(beat_at);
                     self.logger.on_tick(&mut self.fs, beat_at, &ctx);
-                    self.next_beat = beat_at
-                        + SimDuration::from_secs(self.params.heartbeat_period_secs);
+                    self.next_beat =
+                        beat_at + SimDuration::from_secs(self.params.heartbeat_period_secs);
                 }
             }
             PowerState::Off(until) | PowerState::Frozen(until) => {
@@ -264,9 +264,7 @@ impl Phone {
         // activate under use.
         let foreground: String = match context {
             EpisodeContext::VoiceCall => "Telephone".to_string(),
-            EpisodeContext::Message | EpisodeContext::DeferredMessaging => {
-                "Messages".to_string()
-            }
+            EpisodeContext::Message | EpisodeContext::DeferredMessaging => "Messages".to_string(),
             EpisodeContext::Background => match self.apps.running().first() {
                 Some(app) => app.clone(),
                 None => {
@@ -338,8 +336,7 @@ impl Phone {
     pub fn simulate_day(&mut self, day: u64) {
         let params = self.params;
         let day_start = SimTime::ZERO + SimDuration::from_days(day);
-        let jitter =
-            |rng: &mut SimRng, secs: u64| SimDuration::from_secs(rng.next_u64() % secs);
+        let jitter = |rng: &mut SimRng, secs: u64| SimDuration::from_secs(rng.next_u64() % secs);
         let wake = day_start
             + SimDuration::from_secs(self.profile.wake_secs)
             + jitter(&mut self.rng, 1200);
@@ -372,14 +369,15 @@ impl Phone {
         for _ in 0..n_calls {
             let t = at_random(&mut self.rng);
             let duration = SimDuration::from_secs_f64(
-                self.rng.lognormal(self.profile.call_median_secs, 0.9).max(5.0),
+                self.rng
+                    .lognormal(self.profile.call_median_secs, 0.9)
+                    .max(5.0),
             );
             let episode = self
                 .rng
                 .chance(params.p_episode_per_call * self.firmware.fault_multiplier());
-            let episode_offset = SimDuration::from_millis(
-                (duration.as_millis() as f64 * self.rng.uniform()) as u64,
-            );
+            let episode_offset =
+                SimDuration::from_millis((duration.as_millis() as f64 * self.rng.uniform()) as u64);
             actions.push((
                 t,
                 Action::CallStart {
@@ -500,10 +498,17 @@ impl Phone {
                         insert_sorted(
                             &mut queue,
                             i,
-                            (t + episode_offset, Action::EpisodeAt(EpisodeContext::VoiceCall)),
+                            (
+                                t + episode_offset,
+                                Action::EpisodeAt(EpisodeContext::VoiceCall),
+                            ),
                         );
                     }
-                    insert_sorted(&mut queue, i, (end, Action::SessionEnd { app: "Telephone" }));
+                    insert_sorted(
+                        &mut queue,
+                        i,
+                        (end, Action::SessionEnd { app: "Telephone" }),
+                    );
                 }
                 Action::MessageEvent { episode, deferred } => {
                     let end = t + SimDuration::from_secs(40);
@@ -536,7 +541,8 @@ impl Phone {
                 }
                 Action::SessionStart { app, duration } => {
                     self.apps.notify_started(app);
-                    self.battery.drain(SimDuration::ZERO, duration.min(SimDuration::from_hours(1)));
+                    self.battery
+                        .drain(SimDuration::ZERO, duration.min(SimDuration::from_hours(1)));
                     insert_sorted(&mut queue, i, (t + duration, Action::SessionEnd { app }));
                 }
                 Action::SessionEnd { app } => {
@@ -575,10 +581,10 @@ impl Phone {
                 }
                 Action::UserReboot => {
                     self.stats.user_shutdowns += 1;
-                    let dur = SimDuration::from_secs_f64(self.rng.lognormal(
-                        params.user_reboot_median_secs,
-                        params.user_reboot_sigma,
-                    ));
+                    let dur = SimDuration::from_secs_f64(
+                        self.rng
+                            .lognormal(params.user_reboot_median_secs, params.user_reboot_sigma),
+                    );
                     self.clean_shutdown(t, ShutdownKind::Reboot, dur);
                 }
                 Action::LowBatteryShutdown => {
@@ -593,9 +599,8 @@ impl Phone {
                     // around the nominal night span (the ~30 000 s mode
                     // of Figure 2).
                     let nominal = self.profile.night_span().as_secs_f64();
-                    let dur = SimDuration::from_secs_f64(
-                        self.rng.lognormal(nominal, params.night_sigma),
-                    );
+                    let dur =
+                        SimDuration::from_secs_f64(self.rng.lognormal(nominal, params.night_sigma));
                     self.clean_shutdown(t, ShutdownKind::Reboot, dur);
                 }
                 Action::EndOfDay => {
@@ -700,7 +705,9 @@ mod tests {
         assert!(phone.stats().freezes > 0);
         let log: Vec<&str> = phone.flashfs().read_lines("log").collect();
         assert!(
-            log.iter().any(|l| l.starts_with('B') && l.ends_with("|1")),
+            // The freeze flag is the last payload field, just before
+            // the checksum trailer.
+            log.iter().any(|l| l.starts_with('B') && l.contains("|1|c")),
             "a boot record with the freeze flag exists: {log:?}"
         );
     }

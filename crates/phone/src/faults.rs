@@ -33,9 +33,7 @@ use symfail_symbian::servers::ui::{Edwin, ListBox};
 use symfail_symbian::timer::RTimer;
 use symfail_symbian::{Panic, PanicCode};
 
-use crate::calibration::{
-    CalibrationParams, EpisodeContext, CASCADE_COMPANION_WEIGHTS,
-};
+use crate::calibration::{CalibrationParams, EpisodeContext, CASCADE_COMPANION_WEIGHTS};
 use crate::recovery::{kernel_decision, KernelDecision};
 
 /// How an episode escalates beyond application termination.
@@ -91,20 +89,20 @@ pub fn plan_episode(
         // Phone.app and MSGS Client: the kernel always reboots.
         KernelDecision::RebootPhone => Some(Escalation::SelfShutdown),
         KernelDecision::TerminateWithEscalationRisk => {
-        let (p_esc, p_freeze) = match context {
-            EpisodeContext::VoiceCall => (
-                params.p_escalate_voice,
-                params.p_freeze_given_escalation_voice,
-            ),
-            EpisodeContext::Message | EpisodeContext::DeferredMessaging => (
-                params.p_escalate_message,
-                params.p_freeze_given_escalation_message,
-            ),
-            EpisodeContext::Background => (
-                params.p_escalate_background,
-                params.p_freeze_given_escalation_background,
-            ),
-        };
+            let (p_esc, p_freeze) = match context {
+                EpisodeContext::VoiceCall => (
+                    params.p_escalate_voice,
+                    params.p_freeze_given_escalation_voice,
+                ),
+                EpisodeContext::Message | EpisodeContext::DeferredMessaging => (
+                    params.p_escalate_message,
+                    params.p_freeze_given_escalation_message,
+                ),
+                EpisodeContext::Background => (
+                    params.p_escalate_background,
+                    params.p_freeze_given_escalation_background,
+                ),
+            };
             if rng.chance(p_esc) {
                 Some(if rng.chance(p_freeze) {
                     Escalation::Freeze
@@ -211,7 +209,11 @@ fn raise(code: PanicCode, app: &str, rng: &mut SimRng) -> Panic {
             sched.set_active(ao).expect("set active ok");
             sched.signal(ao).expect("signal ok");
             sched
-                .run(ao, RunOutcome::Leave(LeaveCode::NotFound), SimDuration::from_millis(3))
+                .run(
+                    ao,
+                    RunOutcome::Leave(LeaveCode::NotFound),
+                    SimDuration::from_millis(3),
+                )
                 .expect_err("unhandled RunL leave panics")
         }
         c if c == codes::E32USER_CBASE_69 => {

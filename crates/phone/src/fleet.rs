@@ -17,6 +17,7 @@ use symfail_core::flashfs::FlashFs;
 use symfail_sim_core::SimRng;
 
 use crate::calibration::CalibrationParams;
+use crate::corruption::{CorruptionModel, CorruptionProfile, InjectedDefects};
 use crate::device::{Phone, PhoneStats};
 use crate::firmware::SymbianVersion;
 
@@ -35,6 +36,9 @@ pub struct PhoneHarvest {
     pub flashfs: FlashFs,
     /// Simulator ground truth (for validation only).
     pub stats: PhoneStats,
+    /// Expected-observable defect counts injected into `flashfs` by
+    /// the campaign's corruption profile (all zero when disabled).
+    pub injected: InjectedDefects,
 }
 
 /// A configured fleet campaign.
@@ -42,12 +46,31 @@ pub struct PhoneHarvest {
 pub struct FleetCampaign {
     seed: u64,
     params: CalibrationParams,
+    corruption: CorruptionProfile,
 }
 
 impl FleetCampaign {
     /// Creates a campaign with a root seed and calibration parameters.
     pub fn new(seed: u64, params: CalibrationParams) -> Self {
-        Self { seed, params }
+        Self {
+            seed,
+            params,
+            corruption: CorruptionProfile::None,
+        }
+    }
+
+    /// Enables flash-log corruption injection on every harvested
+    /// phone. Each phone's damage is drawn from its own fork of the
+    /// campaign seed (`fork("corruption", id)`), so the parallel
+    /// harvest stays byte-identical for any worker count.
+    pub fn with_corruption(mut self, profile: CorruptionProfile) -> Self {
+        self.corruption = profile;
+        self
+    }
+
+    /// The corruption profile in effect.
+    pub fn corruption(&self) -> CorruptionProfile {
+        self.corruption
     }
 
     /// The calibration parameters in use.
@@ -105,19 +128,29 @@ impl FleetCampaign {
             phone.simulate_day(day);
         }
         let stats = phone.stats();
+        let mut flashfs = phone.into_flashfs();
+        let injected = if self.corruption == CorruptionProfile::None {
+            InjectedDefects::default()
+        } else {
+            let mut crng = SimRng::seed_from(self.seed).fork("corruption", id as u64);
+            CorruptionModel::from_profile(self.corruption).inject(&mut flashfs, &mut crng)
+        };
         PhoneHarvest {
             phone_id: id,
             enrolled_day,
             retired_day,
             firmware,
-            flashfs: phone.into_flashfs(),
+            flashfs,
             stats,
+            injected,
         }
     }
 
     /// Runs every phone sequentially. Deterministic in the seed.
     pub fn run(&self) -> Vec<PhoneHarvest> {
-        (0..self.params.phones).map(|id| self.run_phone(id)).collect()
+        (0..self.params.phones)
+            .map(|id| self.run_phone(id))
+            .collect()
     }
 
     /// Runs phones across `workers` threads with work stealing: a
@@ -181,6 +214,15 @@ pub fn panics_by_firmware(harvest: &[PhoneHarvest]) -> Vec<(SymbianVersion, u64,
         .collect()
 }
 
+/// Aggregate injected-defect counters across a harvest.
+pub fn total_injected(harvest: &[PhoneHarvest]) -> InjectedDefects {
+    let mut total = InjectedDefects::default();
+    for h in harvest {
+        total.merge(&h.injected);
+    }
+    total
+}
+
 /// Aggregate ground-truth counters across a harvest (validation only).
 pub fn total_stats(harvest: &[PhoneHarvest]) -> PhoneStats {
     let mut total = PhoneStats::default();
@@ -220,10 +262,7 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.stats, y.stats);
-            assert_eq!(
-                x.flashfs.read_bytes("log"),
-                y.flashfs.read_bytes("log")
-            );
+            assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
         }
     }
 
@@ -236,10 +275,43 @@ mod tests {
         for (x, y) in seq.iter().zip(&par) {
             assert_eq!(x.phone_id, y.phone_id);
             assert_eq!(x.stats, y.stats);
-            assert_eq!(
-                x.flashfs.read_bytes("beats"),
-                y.flashfs.read_bytes("beats")
-            );
+            assert_eq!(x.flashfs.read_bytes("beats"), y.flashfs.read_bytes("beats"));
+        }
+    }
+
+    #[test]
+    fn corruption_damages_flash_but_not_ground_truth() {
+        let params = tiny_params();
+        let dirty = FleetCampaign::new(11, params).with_corruption(CorruptionProfile::Worst);
+        let clean = FleetCampaign::new(11, params);
+        let a = dirty.run();
+        let b = clean.run();
+        assert!(
+            total_injected(&a).total_observable() > 0,
+            "worst profile must inject something"
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats, "simulation itself is untouched");
+        }
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.flashfs.read_bytes("beats")
+                != y.flashfs.read_bytes("beats")
+                || x.flashfs.read_bytes("log") != y.flashfs.read_bytes("log")),
+            "worst profile must damage at least one file"
+        );
+    }
+
+    #[test]
+    fn corrupted_parallel_equals_sequential() {
+        let c = FleetCampaign::new(13, tiny_params()).with_corruption(CorruptionProfile::Moderate);
+        let seq = c.run();
+        let par = c.run_parallel(3);
+        assert_eq!(seq.len(), par.len());
+        for (x, y) in seq.iter().zip(&par) {
+            assert_eq!(x.phone_id, y.phone_id);
+            assert_eq!(x.injected, y.injected);
+            assert_eq!(x.flashfs.read_bytes("beats"), y.flashfs.read_bytes("beats"));
+            assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
         }
     }
 

@@ -60,8 +60,14 @@ mod tests {
 
     #[test]
     fn core_applications_always_reboot() {
-        assert_eq!(kernel_decision(codes::PHONE_APP_2), KernelDecision::RebootPhone);
-        assert_eq!(kernel_decision(codes::MSGS_CLIENT_3), KernelDecision::RebootPhone);
+        assert_eq!(
+            kernel_decision(codes::PHONE_APP_2),
+            KernelDecision::RebootPhone
+        );
+        assert_eq!(
+            kernel_decision(codes::MSGS_CLIENT_3),
+            KernelDecision::RebootPhone
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl UserProfile {
         rng: &mut SimRng,
         nightly_shutdown: bool,
     ) -> Self {
-        let site = if rng.chance(0.5) { Site::Italy } else { Site::Usa };
+        let site = if rng.chance(0.5) {
+            Site::Italy
+        } else {
+            Site::Usa
+        };
         // Wake 06:30–08:30, sleep 22:00–00:00.
         let wake_secs = 6 * 3600 + 1800 + (rng.uniform() * 7200.0) as u64;
         let sleep_secs = 22 * 3600 + (rng.uniform() * 7200.0) as u64;

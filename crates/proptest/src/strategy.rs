@@ -152,7 +152,9 @@ fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
     let inner = pat
         .strip_prefix('[')
         .and_then(|r| r.split_once(']'))
-        .unwrap_or_else(|| panic!("unsupported string strategy pattern {pat:?} (expected [class]{{m,n}})"));
+        .unwrap_or_else(|| {
+            panic!("unsupported string strategy pattern {pat:?} (expected [class]{{m,n}})")
+        });
     let (class, rest) = inner;
     let mut alphabet = Vec::new();
     let chars: Vec<char> = class.chars().collect();

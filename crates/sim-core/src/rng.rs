@@ -31,10 +31,7 @@ impl Xoshiro256pp {
 
     fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;
-        let result = s0
-            .wrapping_add(s3)
-            .rotate_left(23)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
         let mut s = [s0, s1, s2, s3];
         s[2] ^= s[0];
@@ -143,7 +140,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean > 0.0 && mean.is_finite(), "exponential requires mean > 0");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential requires mean > 0"
+        );
         // Avoid ln(0): uniform() is in [0,1), so 1-u is in (0,1].
         let u = 1.0 - self.uniform();
         -mean * u.ln()
@@ -164,7 +164,10 @@ impl SimRng {
     ///
     /// Panics if `median <= 0` or `sigma < 0`.
     pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
-        assert!(median > 0.0 && sigma >= 0.0, "lognormal requires median > 0, sigma >= 0");
+        assert!(
+            median > 0.0 && sigma >= 0.0,
+            "lognormal requires median > 0, sigma >= 0"
+        );
         (median.ln() + sigma * self.standard_normal()).exp()
     }
 
@@ -176,7 +179,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is negative or not finite.
     pub fn poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean >= 0.0 && mean.is_finite(), "poisson requires mean >= 0");
+        assert!(
+            mean >= 0.0 && mean.is_finite(),
+            "poisson requires mean >= 0"
+        );
         if mean == 0.0 {
             return 0;
         }
@@ -207,7 +213,10 @@ impl SimRng {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "weights must be finite and non-negative"
+                );
                 w
             })
             .sum();
@@ -334,8 +343,14 @@ mod tests {
             let xs: Vec<u64> = (0..n).map(|_| r.poisson(mean)).collect();
             let m = xs.iter().sum::<u64>() as f64 / n as f64;
             let var = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
-            assert!((m - mean).abs() < mean * 0.05 + 0.05, "mean {mean}: got {m}");
-            assert!((var - mean).abs() < mean * 0.12 + 0.1, "mean {mean}: var {var}");
+            assert!(
+                (m - mean).abs() < mean * 0.05 + 0.05,
+                "mean {mean}: got {m}"
+            );
+            assert!(
+                (var - mean).abs() < mean * 0.12 + 0.1,
+                "mean {mean}: var {var}"
+            );
         }
     }
 

@@ -242,7 +242,12 @@ impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ms = self.0;
         if ms >= 24 * 3_600_000 {
-            write!(f, "{}d{}h", ms / (24 * 3_600_000), ms % (24 * 3_600_000) / 3_600_000)
+            write!(
+                f,
+                "{}d{}h",
+                ms / (24 * 3_600_000),
+                ms % (24 * 3_600_000) / 3_600_000
+            )
         } else if ms >= 3_600_000 {
             write!(f, "{}h{}m", ms / 3_600_000, ms % 3_600_000 / 60_000)
         } else if ms >= 60_000 {

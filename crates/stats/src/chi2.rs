@@ -20,7 +20,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -78,7 +79,10 @@ mod tests {
     fn edge_cases() {
         assert_eq!(chi_square_survival(0.0, 3).unwrap(), 1.0);
         assert!(chi_square_survival(1e9, 3).unwrap() < 1e-9);
-        assert!(matches!(chi_square_survival(1.0, 0), Err(StatsError::ZeroBins)));
+        assert!(matches!(
+            chi_square_survival(1.0, 0),
+            Err(StatsError::ZeroBins)
+        ));
         assert!(chi_square_survival(-1.0, 3).is_err());
         assert!(chi_square_survival(f64::NAN, 3).is_err());
     }

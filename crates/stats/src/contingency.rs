@@ -118,7 +118,9 @@ impl ContingencyTable {
 
     /// Iterator over the populated cells in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
-        self.cells.iter().map(|((r, c), &v)| (r.as_str(), c.as_str(), v))
+        self.cells
+            .iter()
+            .map(|((r, c), &v)| (r.as_str(), c.as_str(), v))
     }
 
     /// Merges another table into this one.

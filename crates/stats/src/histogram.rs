@@ -188,11 +188,14 @@ impl Histogram {
     /// Iterator over the bins with their edges.
     pub fn bins(&self) -> impl Iterator<Item = HistogramBin> + '_ {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts.iter().enumerate().map(move |(i, &count)| HistogramBin {
-            lo: self.lo + i as f64 * width,
-            hi: self.lo + (i + 1) as f64 * width,
-            count,
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &count)| HistogramBin {
+                lo: self.lo + i as f64 * width,
+                hi: self.lo + (i + 1) as f64 * width,
+                count,
+            })
     }
 
     /// Fraction of in-range observations in each bin. Returns an empty
@@ -202,7 +205,10 @@ impl Histogram {
         if total == 0 {
             return Vec::new();
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// The bin with the highest count (first one on ties), or `None`
@@ -329,7 +335,10 @@ mod tests {
             Histogram::with_bins(f64::NAN, 1.0, 4),
             Err(StatsError::InvalidRange { .. })
         ));
-        assert!(matches!(Histogram::with_bins(0.0, 1.0, 0), Err(StatsError::ZeroBins)));
+        assert!(matches!(
+            Histogram::with_bins(0.0, 1.0, 0),
+            Err(StatsError::ZeroBins)
+        ));
     }
 
     #[test]
@@ -420,7 +429,10 @@ mod tests {
         h.record_n(5.0, 100);
         let med = h.quantile(0.5).unwrap();
         assert!(med > 0.0 && med < 10.0);
-        assert!(matches!(h.quantile(1.5), Err(StatsError::InvalidProbability(_))));
+        assert!(matches!(
+            h.quantile(1.5),
+            Err(StatsError::InvalidProbability(_))
+        ));
     }
 
     #[test]

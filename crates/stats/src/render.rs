@@ -192,10 +192,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let s = render_bar_chart(
-            &[("big".into(), 100.0), ("half".into(), 50.0)],
-            10,
-        );
+        let s = render_bar_chart(&[("big".into(), 100.0), ("half".into(), 50.0)], 10);
         let lines: Vec<&str> = s.lines().collect();
         let bars: Vec<usize> = lines
             .iter()

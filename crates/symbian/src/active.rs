@@ -28,9 +28,7 @@ use crate::leave::LeaveCode;
 use crate::panic::{codes, Panic};
 
 /// Identifier of an active object within its scheduler.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AoId(u32);
 
 /// Lifecycle state of an active object.
@@ -194,9 +192,7 @@ impl ActiveScheduler {
             .iter()
             .filter(|(_, r)| r.state == AoState::Signalled)
             .max_by(|a, b| {
-                a.1.priority
-                    .cmp(&b.1.priority)
-                    .then(b.0.cmp(a.0)) // earlier id wins ties
+                a.1.priority.cmp(&b.1.priority).then(b.0.cmp(a.0)) // earlier id wins ties
             })
             .map(|(&id, _)| AoId(id))
     }
@@ -278,7 +274,8 @@ mod tests {
         assert_eq!(s.state(ao), Some(AoState::Active));
         s.signal(ao).unwrap();
         assert_eq!(s.state(ao), Some(AoState::Signalled));
-        s.run(ao, RunOutcome::Ok, SimDuration::from_millis(1)).unwrap();
+        s.run(ao, RunOutcome::Ok, SimDuration::from_millis(1))
+            .unwrap();
         assert_eq!(s.state(ao), Some(AoState::Idle));
         assert_eq!(s.runs(), 1);
     }
@@ -334,7 +331,11 @@ mod tests {
         s.set_active(ao).unwrap();
         s.signal(ao).unwrap();
         let p = s
-            .run(ao, RunOutcome::Leave(LeaveCode::NotFound), SimDuration::ZERO)
+            .run(
+                ao,
+                RunOutcome::Leave(LeaveCode::NotFound),
+                SimDuration::ZERO,
+            )
             .unwrap_err();
         assert_eq!(p.code, codes::E32USER_CBASE_47);
         assert!(p.reason.contains("KErrNotFound"));
@@ -346,8 +347,12 @@ mod tests {
         let ao = s.add("careful", 0, true);
         s.set_active(ao).unwrap();
         s.signal(ao).unwrap();
-        s.run(ao, RunOutcome::Leave(LeaveCode::NotFound), SimDuration::ZERO)
-            .unwrap();
+        s.run(
+            ao,
+            RunOutcome::Leave(LeaveCode::NotFound),
+            SimDuration::ZERO,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -101,11 +101,7 @@ impl CleanupStack {
     ///
     /// The outer `Err` is a [`Panic`] and occurs only when unwinding
     /// itself fails (heap corruption discovered while freeing).
-    pub fn trap<T, H>(
-        &mut self,
-        heap: &mut Heap,
-        body: H,
-    ) -> Result<Result<T, LeaveCode>, Panic>
+    pub fn trap<T, H>(&mut self, heap: &mut Heap, body: H) -> Result<Result<T, LeaveCode>, Panic>
     where
         H: FnOnce(&mut CleanupStack, &mut Heap) -> Result<T, LeaveCode>,
     {

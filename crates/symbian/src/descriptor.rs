@@ -92,7 +92,10 @@ impl TBuf {
         Panic::new(
             codes::USER_10,
             "descriptor",
-            format!("{op} position {pos} out of bounds for length {}", self.data.len()),
+            format!(
+                "{op} position {pos} out of bounds for length {}",
+                self.data.len()
+            ),
         )
     }
 
@@ -318,7 +321,10 @@ mod tests {
         b.replace(3, 0, "-now").unwrap();
         assert_eq!(b.as_str(), "bye-now");
         assert_eq!(b.replace(0, 99, "x").unwrap_err().code, codes::USER_10);
-        assert_eq!(b.replace(0, 1, "toolongforit").unwrap_err().code, codes::USER_11);
+        assert_eq!(
+            b.replace(0, 1, "toolongforit").unwrap_err().code,
+            codes::USER_11
+        );
     }
 
     #[test]

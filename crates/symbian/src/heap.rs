@@ -16,9 +16,7 @@ use crate::leave::LeaveCode;
 use crate::panic::{codes, Panic};
 
 /// Identifier of an allocated heap cell.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CellId(u64);
 
 impl CellId {

@@ -20,9 +20,7 @@ use crate::leave::LeaveCode;
 use crate::panic::{codes, Panic};
 
 /// Identifier of an in-flight message.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(u64);
 
 /// A pointer to an in-flight message, as held by a server. Becoming

@@ -224,7 +224,11 @@ mod tests {
         k.terminate(a);
         k.terminate(a);
         assert_eq!(k.live_processes(), 1);
-        assert_eq!(k.process(b).unwrap().heap.used(), 10, "other process untouched");
+        assert_eq!(
+            k.process(b).unwrap().heap.used(),
+            10,
+            "other process untouched"
+        );
         k.terminate(ProcessId(999)); // unknown pid is a no-op
     }
 
@@ -234,7 +238,10 @@ mod tests {
         // the embedding sim spawns a fresh process with the same name.
         let mut k = Kernel::new();
         let old = k.spawn_process("Phone.app", 1024);
-        k.deliver_panic(old, Panic::new(codes::PHONE_APP_2, "Phone.app", "collision"));
+        k.deliver_panic(
+            old,
+            Panic::new(codes::PHONE_APP_2, "Phone.app", "collision"),
+        );
         let new = k.spawn_process("Phone.app", 1024);
         assert_ne!(old, new);
         assert_eq!(k.find_process("Phone.app"), Some(new));

@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::panic::{codes, Panic};
 
 /// A raw handle number, as stored in client code.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Handle(u32);
 
 impl Handle {
@@ -293,10 +291,7 @@ mod tests {
         let h = idx.open("app", ObjectKind::Mutex);
         idx.destroy_cobject(h).unwrap();
         assert!(idx.is_empty());
-        assert_eq!(
-            idx.destroy_cobject(h).unwrap_err().code,
-            codes::KERN_EXEC_0
-        );
+        assert_eq!(idx.destroy_cobject(h).unwrap_err().code, codes::KERN_EXEC_0);
     }
 
     #[test]

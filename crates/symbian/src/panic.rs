@@ -158,10 +158,7 @@ impl PanicCode {
     /// Parses strings of the form `"KERN-EXEC 3"`.
     pub fn parse(s: &str) -> Option<PanicCode> {
         let (cat, ty) = s.rsplit_once(' ')?;
-        Some(PanicCode::new(
-            PanicCategory::parse(cat)?,
-            ty.parse().ok()?,
-        ))
+        Some(PanicCode::new(PanicCategory::parse(cat)?, ty.parse().ok()?))
     }
 }
 

@@ -98,7 +98,11 @@ mod tests {
         }
         assert_eq!(
             s.running(),
-            vec!["Camera".to_string(), "Messages".to_string(), "TomTom".to_string()]
+            vec![
+                "Camera".to_string(),
+                "Messages".to_string(),
+                "TomTom".to_string()
+            ]
         );
     }
 

@@ -146,8 +146,14 @@ mod tests {
             SimTime::from_secs(160),
             ActivityKind::VoiceCall,
         );
-        assert_eq!(d.activity_at(SimTime::from_secs(100)), Some(ActivityKind::VoiceCall));
-        assert_eq!(d.activity_at(SimTime::from_secs(160)), Some(ActivityKind::VoiceCall));
+        assert_eq!(
+            d.activity_at(SimTime::from_secs(100)),
+            Some(ActivityKind::VoiceCall)
+        );
+        assert_eq!(
+            d.activity_at(SimTime::from_secs(160)),
+            Some(ActivityKind::VoiceCall)
+        );
         assert_eq!(d.activity_at(SimTime::from_secs(161)), None);
         assert_eq!(d.activity_at(SimTime::from_secs(99)), None);
     }
@@ -155,25 +161,55 @@ mod tests {
     #[test]
     fn overlapping_activities_latest_start_wins() {
         let mut d = db();
-        d.record(SimTime::from_secs(0), SimTime::from_secs(100), ActivityKind::DataSession);
-        d.record(SimTime::from_secs(50), SimTime::from_secs(80), ActivityKind::Message);
-        assert_eq!(d.activity_at(SimTime::from_secs(60)), Some(ActivityKind::Message));
-        assert_eq!(d.activity_at(SimTime::from_secs(90)), Some(ActivityKind::DataSession));
+        d.record(
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+            ActivityKind::DataSession,
+        );
+        d.record(
+            SimTime::from_secs(50),
+            SimTime::from_secs(80),
+            ActivityKind::Message,
+        );
+        assert_eq!(
+            d.activity_at(SimTime::from_secs(60)),
+            Some(ActivityKind::Message)
+        );
+        assert_eq!(
+            d.activity_at(SimTime::from_secs(90)),
+            Some(ActivityKind::DataSession)
+        );
     }
 
     #[test]
     fn retention_prunes_old_records() {
         let mut d = LogDbServer::with_retention(SimDuration::from_secs(100));
-        d.record(SimTime::from_secs(0), SimTime::from_secs(10), ActivityKind::Message);
-        d.record(SimTime::from_secs(500), SimTime::from_secs(510), ActivityKind::Message);
+        d.record(
+            SimTime::from_secs(0),
+            SimTime::from_secs(10),
+            ActivityKind::Message,
+        );
+        d.record(
+            SimTime::from_secs(500),
+            SimTime::from_secs(510),
+            ActivityKind::Message,
+        );
         assert_eq!(d.len(), 1, "old record pruned");
     }
 
     #[test]
     fn records_between() {
         let mut d = db();
-        d.record(SimTime::from_secs(10), SimTime::from_secs(20), ActivityKind::Message);
-        d.record(SimTime::from_secs(30), SimTime::from_secs(40), ActivityKind::VoiceCall);
+        d.record(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            ActivityKind::Message,
+        );
+        d.record(
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+            ActivityKind::VoiceCall,
+        );
         let hits = d.records_between(SimTime::from_secs(15), SimTime::from_secs(35));
         assert_eq!(hits.len(), 2);
         let none = d.records_between(SimTime::from_secs(21), SimTime::from_secs(29));
@@ -183,7 +219,11 @@ mod tests {
     #[test]
     fn end_clamped_to_start() {
         let mut d = db();
-        d.record(SimTime::from_secs(50), SimTime::from_secs(10), ActivityKind::Message);
+        d.record(
+            SimTime::from_secs(50),
+            SimTime::from_secs(10),
+            ActivityKind::Message,
+        );
         assert!(d.activity_at(SimTime::from_secs(50)).is_some());
     }
 

@@ -278,8 +278,14 @@ mod tests {
     fn edwin_bad_span_is_eikcoctl_70() {
         let mut e = Edwin::new("Messages");
         e.set_text("ab");
-        assert_eq!(e.begin_inline_edit(1, 0).unwrap_err().code, codes::EIKCOCTL_70);
-        assert_eq!(e.begin_inline_edit(0, 3).unwrap_err().code, codes::EIKCOCTL_70);
+        assert_eq!(
+            e.begin_inline_edit(1, 0).unwrap_err().code,
+            codes::EIKCOCTL_70
+        );
+        assert_eq!(
+            e.begin_inline_edit(0, 3).unwrap_err().code,
+            codes::EIKCOCTL_70
+        );
     }
 
     #[test]

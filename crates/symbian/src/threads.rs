@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use symfail_sim_core::SimDuration;
 
 /// Identifier of a thread.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ThreadId(u32);
 
 /// Scheduling class of a thread.
@@ -172,10 +170,7 @@ impl ThreadScheduler {
             .map(|(&id, _)| id)
             .collect();
         let pick = match self.last_picked {
-            Some(last) => *peers
-                .iter()
-                .find(|&&id| id > last)
-                .unwrap_or(&peers[0]),
+            Some(last) => *peers.iter().find(|&&id| id > last).unwrap_or(&peers[0]),
             None => peers[0],
         };
         self.last_picked = Some(pick);

@@ -73,9 +73,7 @@ fn heap_only_raises_cbase_91_92() {
                 if let Err(p) = heap.free(symfail_symbian::heap::CellId::from_raw(
                     100_000 + rng.next_u64() % 1000,
                 )) {
-                    assert!(
-                        p.code == codes::E32USER_CBASE_91 || p.code == codes::E32USER_CBASE_92
-                    );
+                    assert!(p.code == codes::E32USER_CBASE_91 || p.code == codes::E32USER_CBASE_92);
                 }
             }
         }
@@ -192,7 +190,11 @@ fn timers_memory_and_ipc_attribution() {
     for _ in 0..500 {
         match port.send("Client", 0, rng.index(8)) {
             Ok(msg) => {
-                let reply = if rng.chance(0.5) { "long reply body" } else { "" };
+                let reply = if rng.chance(0.5) {
+                    "long reply body"
+                } else {
+                    ""
+                };
                 if let Err(p) = port.complete(msg, reply) {
                     assert_eq!(p.code, codes::MSGS_CLIENT_3);
                 }

@@ -19,7 +19,10 @@ use symfail::symbian::panic::codes;
 
 fn main() {
     let mut rng = SimRng::seed_from(3).fork("inject", 0);
-    println!("injecting all {} fault classes of Table 2:\n", codes::ALL.len());
+    println!(
+        "injecting all {} fault classes of Table 2:\n",
+        codes::ALL.len()
+    );
     for (code, documentation) in codes::ALL {
         let panic = execute_fault(code, "DemoApp", &mut rng);
         println!("== {code}");

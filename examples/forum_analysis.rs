@@ -16,7 +16,10 @@ use symfail::forum::tables::ForumStudy;
 
 fn main() {
     let corpus = CorpusGenerator::paper_sized(2005).generate();
-    println!("corpus: {} posts from public forums (2003–2006)\n", corpus.len());
+    println!(
+        "corpus: {} posts from public forums (2003–2006)\n",
+        corpus.len()
+    );
 
     println!("=== a few raw posts and their classification ===");
     for report in corpus.iter().take(6) {
@@ -25,7 +28,11 @@ fn main() {
             "[{} | {}{}] {:?}",
             report.forum,
             report.vendor,
-            if report.smart_phone { ", smart phone" } else { "" },
+            if report.smart_phone {
+                ", smart phone"
+            } else {
+                ""
+            },
             report.text
         );
         match c.failure {

@@ -13,9 +13,7 @@
 //! exactly what the Panic Detector reads when the phone comes back up.
 
 use symfail::core::flashfs::FlashFs;
-use symfail::core::logger::{
-    files, FailureLogger, LoggerConfig, PhoneContext, ShutdownKind,
-};
+use symfail::core::logger::{files, FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
 use symfail::sim::{SimDuration, SimTime};
 use symfail::symbian::panic::codes;
 use symfail::symbian::servers::logdb::ActivityKind;
@@ -73,7 +71,10 @@ fn main() {
     logger.on_tick(&mut fs, t(372), &ctx);
     logger.on_clean_shutdown(&mut fs, t(400), ShutdownKind::LowBattery);
     logger.on_boot(&mut fs, t(4000), &ctx);
-    dump(&fs, "scenario 3: LOWBT -> excluded from the failure statistics");
+    dump(
+        &fs,
+        "scenario 3: LOWBT -> excluded from the failure statistics",
+    );
 
     // Scenario 4: freeze. The heartbeat just stops; no final event.
     logger.on_tick(&mut fs, t(4030), &ctx);
@@ -88,11 +89,14 @@ fn main() {
     // What the analysis extracts from all this:
     let dataset = symfail::core::analysis::dataset::PhoneDataset::from_flashfs(0, &fs);
     println!("analysis view:");
-    println!("  measurable shutdown events : {:?}", dataset
-        .shutdown_events()
-        .iter()
-        .map(|e| e.duration.as_secs())
-        .collect::<Vec<_>>());
+    println!(
+        "  measurable shutdown events : {:?}",
+        dataset
+            .shutdown_events()
+            .iter()
+            .map(|e| e.duration.as_secs())
+            .collect::<Vec<_>>()
+    );
     println!("  freezes inferred           : {}", dataset.freezes().len());
     println!("  panics recorded            : {}", dataset.panics().len());
 }

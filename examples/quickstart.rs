@@ -97,5 +97,8 @@ fn main() {
         "\nshutdown events with measurable duration: {}",
         dataset.shutdown_events().len()
     );
-    println!("freezes inferred by the heartbeat check: {}", dataset.freezes().len());
+    println!(
+        "freezes inferred by the heartbeat check: {}",
+        dataset.freezes().len()
+    );
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, and smoke-run every benchmark in
-# test mode (one iteration each, no timing) so a broken bench fails CI
-# rather than the next profiling session.
+# Tier-1 verification: lint gates first (cheap, catch style drift
+# before a long build), then build, test, and smoke-run every
+# benchmark in test mode (one iteration each, no timing) so a broken
+# bench fails CI rather than the next profiling session.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 cargo bench --workspace -- --test

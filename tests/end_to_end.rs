@@ -25,7 +25,13 @@ fn small_params() -> CalibrationParams {
     }
 }
 
-fn analyze(seed: u64) -> (StudyReport, symfail::phone::device::PhoneStats, FleetDataset) {
+fn analyze(
+    seed: u64,
+) -> (
+    StudyReport,
+    symfail::phone::device::PhoneStats,
+    FleetDataset,
+) {
     let campaign = FleetCampaign::new(seed, small_params());
     let harvest = campaign.run();
     let truth = total_stats(&harvest);
@@ -85,9 +91,7 @@ fn coalescence_identities_hold() {
     // by_code_and_kind only covers related panics.
     assert_eq!(co.by_code_and_kind().total() as usize, related);
     // The all-shutdowns variant can only increase relatedness.
-    assert!(
-        report.coalescence_all_shutdowns.related_fraction() >= co.related_fraction() - 1e-12
-    );
+    assert!(report.coalescence_all_shutdowns.related_fraction() >= co.related_fraction() - 1e-12);
 }
 
 #[test]
@@ -117,14 +121,7 @@ fn renders_are_complete_on_small_campaigns() {
     let (report, _, _) = analyze(19);
     let all = report.render_all();
     for needle in [
-        "Figure 2",
-        "Table 2",
-        "Figure 3",
-        "Figure 5",
-        "Table 3",
-        "Figure 6",
-        "Table 4",
-        "MTBF",
+        "Figure 2", "Table 2", "Figure 3", "Figure 5", "Table 3", "Figure 6", "Table 4", "MTBF",
     ] {
         assert!(all.contains(needle), "render missing {needle}");
     }

@@ -55,7 +55,7 @@ fn interarrival_analysis_on_campaign() {
     let harvest = FleetCampaign::new(37, params()).run();
     let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
     let report = StudyReport::analyze(&fleet, config());
-    let hl = merge_hl_events(&fleet.freezes(), &report.shutdowns.self_shutdown_hl_events());
+    let hl = merge_hl_events(fleet.freezes(), &report.shutdowns.self_shutdown_hl_events());
     let ia = InterArrivalAnalysis::new(&fleet, &hl).expect("enough events");
     assert!(ia.len() > 20);
     assert!(ia.mean_hours() > 1.0);
@@ -66,14 +66,21 @@ fn interarrival_analysis_on_campaign() {
         "cv {}",
         ia.coefficient_of_variation()
     );
-    assert!(ia.ks_to_exponential() < 0.35, "ks {}", ia.ks_to_exponential());
+    assert!(
+        ia.ks_to_exponential() < 0.35,
+        "ks {}",
+        ia.ks_to_exponential()
+    );
 }
 
 #[test]
 fn user_reports_undercount_output_failures() {
     let harvest = FleetCampaign::new(41, params()).run();
     let truth = total_stats(&harvest);
-    assert!(truth.output_failures > 20, "scenario produces output failures");
+    assert!(
+        truth.output_failures > 20,
+        "scenario produces output failures"
+    );
     let analysis =
         OutputFailureAnalysis::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
     assert_eq!(analysis.len() as u64, truth.user_reports);
@@ -92,7 +99,10 @@ fn severity_burden_matches_detected_failures() {
     let report = StudyReport::analyze(&fleet, config());
     let sev = SeverityAnalysis::new(&fleet, &report.shutdowns, report.mtbf.total_hours);
     assert_eq!(sev.battery_pulls(), report.mtbf.freezes);
-    assert_eq!(sev.unwanted_reboots(), report.shutdowns.self_shutdowns().len());
+    assert_eq!(
+        sev.unwanted_reboots(),
+        report.shutdowns.self_shutdowns().len()
+    );
     assert!(sev.burden_per_phone_month().unwrap() > 0.0);
 }
 
@@ -107,7 +117,10 @@ fn firmware_mix_and_breakdown() {
         .iter()
         .find(|(v, _, _)| *v == SymbianVersion::V8_0)
         .unwrap();
-    assert!(v80.1 >= phones / 2, "8.0 is the fleet majority: {breakdown:?}");
+    assert!(
+        v80.1 >= phones / 2,
+        "8.0 is the fleet majority: {breakdown:?}"
+    );
     // Firmware assignment is deterministic.
     let again = FleetCampaign::new(48, params()).run();
     for (a, b) in harvest.iter().zip(&again) {

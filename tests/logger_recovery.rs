@@ -36,7 +36,11 @@ fn stressed_params() -> CalibrationParams {
 }
 
 fn run_phone(seed: u64) -> PhoneDataset {
-    let mut phone = Phone::new(0, stressed_params(), SimRng::seed_from(seed).fork("stress", 0));
+    let mut phone = Phone::new(
+        0,
+        stressed_params(),
+        SimRng::seed_from(seed).fork("stress", 0),
+    );
     for day in 0..90 {
         phone.simulate_day(day);
     }
@@ -71,11 +75,7 @@ fn boot_records_agree_with_beats_file() {
     for boot in boots.iter().skip(1) {
         // The beats written strictly before this boot; the last one is
         // what the Panic Detector saw.
-        let last_beat = ds
-            .beats()
-            .iter()
-            .filter(|(at, _)| *at < boot.boot_at)
-            .next_back();
+        let last_beat = ds.beats().iter().rfind(|(at, _)| *at < boot.boot_at);
         let Some(&(at, ev)) = last_beat else { continue };
         assert_eq!(
             boot.last_event, ev,
@@ -120,7 +120,11 @@ fn lowbt_and_freeze_sessions_never_become_shutdown_events() {
 
 #[test]
 fn raw_flash_lines_all_parse() {
-    let mut phone = Phone::new(0, stressed_params(), SimRng::seed_from(13).fork("stress", 0));
+    let mut phone = Phone::new(
+        0,
+        stressed_params(),
+        SimRng::seed_from(13).fork("stress", 0),
+    );
     for day in 0..30 {
         phone.simulate_day(day);
     }

@@ -8,6 +8,7 @@ use symfail::core::analysis::dataset::FleetDataset;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::flashfs::FlashFs;
 use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::corruption::CorruptionProfile;
 use symfail::phone::fleet::FleetCampaign;
 
 fn params() -> CalibrationParams {
@@ -56,20 +57,55 @@ fn harvest_is_byte_identical_for_any_worker_count() {
 #[test]
 fn analysis_output_identical_across_worker_counts() {
     let campaign = FleetCampaign::new(7, params());
-    let render = |workers: usize| {
-        let harvest = campaign.run_parallel(workers);
-        let flash: Vec<(u32, &FlashFs)> =
-            harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
-        let fleet = FleetDataset::from_flash_parallel(&flash, workers);
-        let report = StudyReport::analyze(&fleet, AnalysisConfig::default());
-        report.render_all() + &report.render_per_phone(&fleet)
-    };
-    let base = render(1);
+    let base = render_study(&campaign, 1);
     for workers in [2usize, 4, 8] {
         assert_eq!(
             base,
-            render(workers),
+            render_study(&campaign, workers),
             "rendered study differs with {workers} workers"
+        );
+    }
+}
+
+fn render_study(campaign: &FleetCampaign, workers: usize) -> String {
+    let harvest = campaign.run_parallel(workers);
+    let flash: Vec<(u32, &FlashFs)> = harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+    let fleet = FleetDataset::from_flash_parallel(&flash, workers);
+    let report = StudyReport::analyze(&fleet, AnalysisConfig::default());
+    report.render_all() + &report.render_per_phone(&fleet)
+}
+
+#[test]
+fn corrupted_harvest_is_byte_identical_for_any_worker_count() {
+    // Corruption draws from a per-phone fork of the campaign seed, so
+    // the damage — like the simulation itself — must not see the
+    // thread schedule.
+    let campaign = FleetCampaign::new(2005, params()).with_corruption(CorruptionProfile::Worst);
+    let seq = campaign.run();
+    assert!(
+        seq.iter().any(|h| h.injected.total_observable() > 0),
+        "worst profile must inject observable damage"
+    );
+    for workers in [2usize, 4] {
+        let par = campaign.run_parallel(workers);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let ctx = format!("phone {} with {} workers", a.phone_id, workers);
+            assert_eq!(a.injected, b.injected, "{ctx}");
+            assert_flash_identical(&a.flashfs, &b.flashfs, &ctx);
+        }
+    }
+}
+
+#[test]
+fn corrupted_analysis_identical_across_worker_counts() {
+    let campaign = FleetCampaign::new(7, params()).with_corruption(CorruptionProfile::Moderate);
+    let base = render_study(&campaign, 1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            base,
+            render_study(&campaign, workers),
+            "corrupted rendered study differs with {workers} workers"
         );
     }
 }

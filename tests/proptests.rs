@@ -455,3 +455,177 @@ proptest! {
         prop_assert_eq!(fleet.panics().len() as u64, truth.panics);
     }
 }
+
+// ---------------------------------------------------------------
+// Corruption injection vs. lossy parsing: for any seed the parser
+// survives arbitrary worst-profile damage, and the observed
+// `DefectReport` counts pin the injected counts — exactly when one
+// damage channel runs alone, and within the truncation-ambiguity
+// bound when every channel runs at once.
+// ---------------------------------------------------------------
+
+/// Harvests a tiny clean fleet, damages every phone's flash with the
+/// given rates (one forked stream per phone, mirroring the campaign's
+/// own wiring), and parses the damaged flash back. Returns the total
+/// injected counters and the fleet-wide observed defect counters.
+fn inject_and_parse(
+    seed: u64,
+    rates: symfail::phone::corruption::CorruptionRates,
+) -> (
+    symfail::phone::corruption::InjectedDefects,
+    symfail::core::analysis::defects::PhoneDefects,
+) {
+    use symfail::phone::calibration::CalibrationParams;
+    use symfail::phone::corruption::{CorruptionModel, InjectedDefects};
+    use symfail::phone::fleet::FleetCampaign;
+
+    let params = CalibrationParams {
+        phones: 2,
+        campaign_days: 25,
+        enrollment_spread_days: 3,
+        attrition_spread_days: 3,
+        background_episode_rate_per_hour: 0.02,
+        ..CalibrationParams::default()
+    };
+    let mut harvest = FleetCampaign::new(seed, params).run();
+    let model = CorruptionModel::new(rates);
+    let mut injected = InjectedDefects::default();
+    for h in &mut harvest {
+        let mut rng = SimRng::seed_from(seed).fork("proptest-corruption", h.phone_id as u64);
+        injected.merge(&model.inject(&mut h.flashfs, &mut rng));
+    }
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    (injected, fleet.defect_report().fleet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Worst-profile damage never panics the parse or the analysis,
+    /// and the rendered report carries a defects section.
+    #[test]
+    fn corrupted_campaign_never_panics(seed in 0u64..10_000) {
+        use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+        use symfail::phone::calibration::CalibrationParams;
+        use symfail::phone::corruption::CorruptionProfile;
+        use symfail::phone::fleet::FleetCampaign;
+        let params = CalibrationParams {
+            phones: 2,
+            campaign_days: 25,
+            enrollment_spread_days: 3,
+            attrition_spread_days: 3,
+            background_episode_rate_per_hour: 0.02,
+            ..CalibrationParams::default()
+        };
+        let harvest = FleetCampaign::new(seed, params)
+            .with_corruption(CorruptionProfile::Worst)
+            .run();
+        let fleet = FleetDataset::from_flash(
+            harvest.iter().map(|h| (h.phone_id, &h.flashfs)),
+        );
+        let report = StudyReport::analyze(&fleet, AnalysisConfig::default());
+        prop_assert!(report.render_all().contains("Parse defects"));
+    }
+
+    /// Tail loss deletes whole trailing lines — by design invisible to
+    /// the parser, so a tail-only profile observes zero defects.
+    #[test]
+    fn tail_loss_only_is_invisible(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let rates = CorruptionRates {
+            p_tail_loss: 1.0,
+            max_tail_lines: 8,
+            ..CorruptionRates::default()
+        };
+        let (_, d) = inject_and_parse(seed, rates);
+        prop_assert!(d.is_clean(), "tail loss must stay silent: {:?}", d);
+    }
+
+    /// Mid-record truncation alone is counted exactly: one `truncated`
+    /// defect per cut file, nothing else.
+    #[test]
+    fn truncate_only_counts_are_exact(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let rates = CorruptionRates { p_truncate: 1.0, ..CorruptionRates::default() };
+        let (inj, d) = inject_and_parse(seed, rates);
+        prop_assert_eq!(d.truncated, inj.truncated);
+        prop_assert_eq!(d.checksum_mismatch + d.duplicate + d.out_of_order + d.unknown_tag, 0);
+    }
+
+    /// Bit flips alone are counted exactly as checksum mismatches: the
+    /// flip stays inside the payload, so the trailer shape survives
+    /// and the FNV check catches every garbled record.
+    #[test]
+    fn bitflip_only_counts_are_exact(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let rates = CorruptionRates { p_bitflip: 0.4, ..CorruptionRates::default() };
+        let (inj, d) = inject_and_parse(seed, rates);
+        prop_assert_eq!(d.checksum_mismatch, inj.checksum_garbled);
+        prop_assert_eq!(d.truncated + d.duplicate + d.out_of_order + d.unknown_tag, 0);
+    }
+
+    /// Duplicated heartbeat blocks alone are counted exactly: every
+    /// injected copy re-reads a (timestamp, event) pair the parser has
+    /// already kept.
+    #[test]
+    fn duplicate_only_counts_are_exact(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let rates = CorruptionRates {
+            p_dup_block: 1.0,
+            dup_attempts: 3,
+            ..CorruptionRates::default()
+        };
+        let (inj, d) = inject_and_parse(seed, rates);
+        prop_assert_eq!(d.duplicate, inj.duplicated);
+        prop_assert_eq!(d.truncated + d.checksum_mismatch + d.out_of_order + d.unknown_tag, 0);
+    }
+
+    /// Swapped heartbeat blocks alone are counted exactly: the
+    /// injector decodes the displaced lines itself and predicts how
+    /// many land behind the parser's running timestamp maximum.
+    #[test]
+    fn reorder_only_counts_are_exact(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let rates = CorruptionRates {
+            p_reorder_block: 1.0,
+            reorder_attempts: 3,
+            ..CorruptionRates::default()
+        };
+        let (inj, d) = inject_and_parse(seed, rates);
+        prop_assert_eq!(d.out_of_order, inj.out_of_order);
+        prop_assert_eq!(d.truncated + d.checksum_mismatch + d.duplicate + d.unknown_tag, 0);
+    }
+
+    /// All channels at once: truncation runs last and can mask at most
+    /// one already-damaged line per cut file, so every class must land
+    /// within `inj.truncated` of its injected count — and truncation
+    /// itself stays exact.
+    #[test]
+    fn worst_profile_counts_within_truncation_bound(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionProfile;
+        let (inj, d) = inject_and_parse(seed, CorruptionProfile::Worst.rates());
+        let slack = inj.truncated;
+        let within = |obs: u64, exp: u64| obs.abs_diff(exp) <= slack;
+        prop_assert_eq!(d.truncated, inj.truncated);
+        prop_assert!(within(d.checksum_mismatch, inj.checksum_garbled),
+            "checksum: observed {} vs injected {} (slack {})",
+            d.checksum_mismatch, inj.checksum_garbled, slack);
+        prop_assert!(within(d.duplicate, inj.duplicated),
+            "duplicate: observed {} vs injected {} (slack {})",
+            d.duplicate, inj.duplicated, slack);
+        prop_assert!(within(d.out_of_order, inj.out_of_order),
+            "out-of-order: observed {} vs injected {} (slack {})",
+            d.out_of_order, inj.out_of_order, slack);
+        prop_assert_eq!(d.unknown_tag, 0);
+    }
+
+    /// A campaign with corruption disabled parses back perfectly
+    /// clean — the defect taxonomy never fires on undamaged flash.
+    #[test]
+    fn clean_campaign_has_zero_defects(seed in 0u64..10_000) {
+        use symfail::phone::corruption::CorruptionRates;
+        let (inj, d) = inject_and_parse(seed, CorruptionRates::default());
+        prop_assert_eq!(inj.total_observable(), 0);
+        prop_assert!(d.is_clean(), "clean harvest must have no defects: {:?}", d);
+    }
+}
