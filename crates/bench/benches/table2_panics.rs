@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut d = CategoricalDist::new();
             for (_, p) in fleet.panics() {
-                d.add(p.panic.code.to_string());
+                d.add(p.code.to_string());
             }
             black_box(d.total())
         })

@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--exp all|table1|table2|table3|table4|fig2|fig3|fig5|fig6|mtbf|forum_marginals|ablations|targets]
 //!       [--seed N] [--phones N] [--days N] [--workers N] [--sweep]
+//!       [--pipeline fused|staged]
 //!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
 //! ```
@@ -16,12 +17,18 @@
 //! byte-identical for any worker count — including under
 //! `--corruption`, which injects deterministic flash-log damage
 //! (truncation, tail loss, bit-flips, duplicated/reordered heartbeat
-//! blocks) per phone before parsing. `--defects-json` dumps the fleet
+//! blocks) per phone before parsing. `--pipeline fused` (the default)
+//! removes the campaign→parse barrier: each worker parses a phone's
+//! flash right after simulating it; `--pipeline staged` keeps the two
+//! stages separate, which is what isolates parse wall-clock for
+//! throughput measurement. `--defects-json` dumps the fleet
 //! parse-defect report; `--timing-json` writes per-stage wall-clock
-//! timings (campaign, parse, each analysis stage) plus parse
-//! throughput counters to the given path.
+//! timings plus allocation and parse-throughput counters to the given
+//! path.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use symfail_core::analysis::bursts::BurstAnalysis;
@@ -36,6 +43,62 @@ use symfail_phone::corruption::CorruptionProfile;
 use symfail_phone::fleet::{FleetCampaign, PhoneHarvest};
 use symfail_sim_core::SimDuration;
 
+/// A counting wrapper around the system allocator: lets
+/// `--timing-json` attribute heap-allocation counts and bytes to each
+/// pipeline stage, which is the direct evidence for the zero-copy
+/// codec (the parse stage's allocs scale with distinct names, not with
+/// records).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// updates are side-effect-only atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `(allocation calls, allocated bytes)` so far, process-wide.
+fn alloc_now() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pipeline {
+    Fused,
+    Staged,
+}
+
+impl Pipeline {
+    fn as_str(self) -> &'static str {
+        match self {
+            Pipeline::Fused => "fused",
+            Pipeline::Staged => "staged",
+        }
+    }
+}
+
 struct Args {
     exp: String,
     seed: u64,
@@ -43,6 +106,7 @@ struct Args {
     days: u32,
     workers: usize,
     sweep: bool,
+    pipeline: Pipeline,
     corruption: CorruptionProfile,
     defects_json: Option<String>,
     timing_json: Option<String>,
@@ -62,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
         days: 425,
         workers: default_workers(),
         sweep: false,
+        pipeline: Pipeline::Fused,
         corruption: CorruptionProfile::None,
         defects_json: None,
         timing_json: None,
@@ -96,6 +161,15 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a positive integer")?
             }
             "--sweep" => args.sweep = true,
+            "--pipeline" => {
+                args.pipeline = match it.next().as_deref() {
+                    Some("fused") => Pipeline::Fused,
+                    Some("staged") => Pipeline::Staged,
+                    other => {
+                        return Err(format!("--pipeline needs fused or staged, got {other:?}"))
+                    }
+                }
+            }
             "--corruption" => {
                 let profile = it.next().ok_or("--corruption needs a profile name")?;
                 args.corruption = CorruptionProfile::parse(&profile).ok_or(format!(
@@ -111,7 +185,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
-                     [--workers N] [--sweep] [--corruption none|light|moderate|worst] \
+                     [--workers N] [--sweep] [--pipeline fused|staged] \
+                     [--corruption none|light|moderate|worst] \
                      [--defects-json PATH] [--timing-json PATH]"
                         .to_string(),
                 )
@@ -122,15 +197,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// One timed pipeline stage: wall-clock seconds plus the
+/// heap-allocation calls and bytes the stage performed (process-wide
+/// deltas from the counting allocator).
+struct StageTiming {
+    name: &'static str,
+    seconds: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
 /// A fully-run campaign: the harvest, the parsed dataset, the analysis
-/// report, and the wall-clock seconds each pipeline stage took.
+/// report, and the per-stage timing/allocation record.
 struct CampaignRun {
     report: StudyReport,
     fleet: FleetDataset,
     harvest: Vec<PhoneHarvest>,
-    timings: Vec<(&'static str, f64)>,
+    timings: Vec<StageTiming>,
     /// Flash bytes fed to the parser (throughput numerator).
     parse_bytes: u64,
+    /// Seconds attributable to flash parsing: the parse stage's
+    /// wall-clock under `--pipeline staged`; the per-phone parse time
+    /// summed across workers under `--pipeline fused` (where parse
+    /// wall-clock overlaps simulation by design).
+    parse_seconds: f64,
 }
 
 /// Runs the fleet campaign and the full analysis pipeline, timing each
@@ -142,18 +232,38 @@ fn run_campaign(args: &Args) -> CampaignRun {
         ..CalibrationParams::default()
     };
     let campaign = FleetCampaign::new(args.seed, params).with_corruption(args.corruption);
-    let mut timings = Vec::new();
-    let mut stage = |name, t: Instant| timings.push((name, t.elapsed().as_secs_f64()));
+    let mut timings: Vec<StageTiming> = Vec::new();
+    let mut stage = |name, t: Instant, a0: (u64, u64)| {
+        let (a1, b1) = alloc_now();
+        timings.push(StageTiming {
+            name,
+            seconds: t.elapsed().as_secs_f64(),
+            allocs: a1 - a0.0,
+            alloc_bytes: b1 - a0.1,
+        });
+    };
 
-    let t = Instant::now();
-    let harvest = campaign.run_parallel(args.workers);
-    stage("campaign", t);
-
+    let (harvest, fleet, parse_seconds) = match args.pipeline {
+        Pipeline::Fused => {
+            let (t, a) = (Instant::now(), alloc_now());
+            let fused = campaign.run_fused(args.workers);
+            stage("campaign+parse", t, a);
+            (fused.harvests, fused.dataset, fused.parse_cpu_seconds)
+        }
+        Pipeline::Staged => {
+            let (t, a) = (Instant::now(), alloc_now());
+            let harvest = campaign.run_parallel(args.workers);
+            stage("campaign", t, a);
+            let (t, a) = (Instant::now(), alloc_now());
+            let flash: Vec<(u32, &FlashFs)> =
+                harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+            let fleet = FleetDataset::from_flash_parallel(&flash, args.workers);
+            let parse_seconds = t.elapsed().as_secs_f64();
+            stage("parse", t, a);
+            (harvest, fleet, parse_seconds)
+        }
+    };
     let parse_bytes: u64 = harvest.iter().map(|h| h.flashfs.total_size()).sum();
-    let t = Instant::now();
-    let flash: Vec<(u32, &FlashFs)> = harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
-    let fleet = FleetDataset::from_flash_parallel(&flash, args.workers);
-    stage("parse", t);
 
     let config = AnalysisConfig {
         uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
@@ -163,26 +273,26 @@ fn run_campaign(args: &Args) -> CampaignRun {
     // Individual analysis stages, timed in isolation before the full
     // report bundles them (the report re-runs them; these measure each
     // stage's own cost on the indexed dataset).
-    let t = Instant::now();
+    let (t, a) = (Instant::now(), alloc_now());
     let shutdowns = ShutdownAnalysis::new(&fleet, config.self_shutdown_threshold);
-    stage("shutdown", t);
+    stage("shutdown", t, a);
 
     let hl = shutdown::merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
-    let t = Instant::now();
+    let (t, a) = (Instant::now(), alloc_now());
     let _ = coalesce::CoalescenceAnalysis::new(&fleet, &hl, config.coalescence_window);
-    stage("coalescence", t);
+    stage("coalescence", t, a);
 
-    let t = Instant::now();
+    let (t, a) = (Instant::now(), alloc_now());
     let _ = MtbfAnalysis::new(&fleet, shutdowns.self_shutdowns().len(), config.uptime_gap);
-    stage("mtbf", t);
+    stage("mtbf", t, a);
 
-    let t = Instant::now();
+    let (t, a) = (Instant::now(), alloc_now());
     let _ = BurstAnalysis::new(&fleet, config.burst_gap);
-    stage("bursts", t);
+    stage("bursts", t, a);
 
-    let t = Instant::now();
+    let (t, a) = (Instant::now(), alloc_now());
     let report = StudyReport::analyze(&fleet, config);
-    stage("report_total", t);
+    stage("report_total", t, a);
 
     CampaignRun {
         report,
@@ -190,33 +300,53 @@ fn run_campaign(args: &Args) -> CampaignRun {
         harvest,
         timings,
         parse_bytes,
+        parse_seconds,
     }
 }
 
-/// Hand-formats the stage timings plus the parse-throughput counters
-/// as JSON (no serializer dependency).
+/// Hand-formats the stage timings plus the allocation and
+/// parse-throughput counters as JSON (no serializer dependency).
 fn timing_json(args: &Args, run: &CampaignRun) -> String {
     let stages: Vec<String> = run
         .timings
         .iter()
-        .map(|(name, secs)| format!("    {{\"stage\": \"{name}\", \"seconds\": {secs:.6}}}"))
+        .map(|s| {
+            format!(
+                "    {{\"stage\": \"{}\", \"seconds\": {:.6}, \
+                 \"allocs\": {}, \"alloc_bytes\": {}}}",
+                s.name, s.seconds, s.allocs, s.alloc_bytes
+            )
+        })
         .collect();
     let defects = &run.report.defects.fleet;
+    let (total_allocs, total_alloc_bytes) = alloc_now();
+    let parse_bytes_per_sec = if run.parse_seconds > 0.0 {
+        run.parse_bytes as f64 / run.parse_seconds
+    } else {
+        0.0
+    };
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/2\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"symfail-pipeline-timing/3\",\n  \"seed\": {},\n  \
          \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
-         \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
+         \"pipeline\": \"{}\",\n  \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
          \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
-         \"parse_defects\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+         \"parse_defects\": {},\n  \"parse_seconds\": {:.6},\n  \
+         \"parse_bytes_per_sec\": {:.0},\n  \"total_allocs\": {},\n  \
+         \"total_alloc_bytes\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
         args.seed,
         args.phones,
         args.days,
         args.workers,
+        args.pipeline.as_str(),
         args.corruption.as_str(),
         run.parse_bytes,
         defects.lines_seen,
         defects.records_kept,
         defects.total(),
+        run.parse_seconds,
+        parse_bytes_per_sec,
+        total_allocs,
+        total_alloc_bytes,
         stages.join(",\n")
     )
 }

@@ -48,7 +48,7 @@ impl ActivityAnalysis {
                 }
                 None => UNSPECIFIED,
             };
-            table.add(row, p.panic.panic.code.category.as_str());
+            table.add(row, p.panic.code.category.as_str());
         }
         Self {
             table,

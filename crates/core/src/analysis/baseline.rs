@@ -94,10 +94,7 @@ impl BaselineComparison {
     /// Compares the tools over an analyzed campaign.
     pub fn new(fleet: &FleetDataset, report: &StudyReport) -> Self {
         let panics_with_activity = fleet.panics().filter(|(_, p)| p.activity.is_some()).count();
-        let panics_with_running_apps = fleet
-            .panics()
-            .filter(|(_, p)| !p.running_apps.is_empty())
-            .count();
+        let panics_with_running_apps = fleet.panics().filter(|(_, p)| !p.apps.is_empty()).count();
         let hl_events_full = report.mtbf.freezes + report.shutdowns.self_shutdowns().len();
         let supported = ARTIFACT_SUPPORT.iter().filter(|a| a.dexc).count();
         Self {

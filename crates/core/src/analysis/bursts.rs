@@ -13,7 +13,6 @@ use symfail_sim_core::SimDuration;
 use symfail_stats::CategoricalDist;
 
 use super::dataset::FleetDataset;
-use crate::records::PanicRecord;
 
 /// Default gap under which two subsequent panics on the same phone
 /// belong to one cascade.
@@ -43,7 +42,7 @@ impl BurstAnalysis {
         let mut cascades = Vec::new();
         let mut total = 0;
         for phone in fleet.phones() {
-            let panics: &[PanicRecord] = phone.panics();
+            let panics = phone.panics();
             total += panics.len();
             let mut size = 0usize;
             let mut last_at = None;

@@ -27,8 +27,7 @@ use serde::{Deserialize, Serialize};
 use symfail_sim_core::{SimDuration, SimTime};
 use symfail_stats::CategoricalDist;
 
-use super::dataset::{FleetDataset, HlEvent, HlKind};
-use crate::records::PanicRecord;
+use super::dataset::{FleetDataset, HlEvent, HlKind, PanicEvent};
 
 /// The paper's coalescence window.
 pub const COALESCENCE_WINDOW: SimDuration = SimDuration::from_mins(5);
@@ -38,8 +37,9 @@ pub const COALESCENCE_WINDOW: SimDuration = SimDuration::from_mins(5);
 pub struct CoalescedPanic {
     /// Phone the panic occurred on.
     pub phone_id: u32,
-    /// The panic record.
-    pub panic: PanicRecord,
+    /// The panic event (intern ids resolve against the fleet's
+    /// [`NameTable`](crate::intern::NameTable)).
+    pub panic: PanicEvent,
     /// The HL event it coalesced with, if any.
     pub related: Option<HlKind>,
 }
@@ -79,7 +79,7 @@ fn nearest_hl(slice: &[HlEvent], t: SimTime) -> Option<(u64, HlKind)> {
 }
 
 /// Gap in ms from `t` to the nearest panic in a time-sorted slice.
-fn nearest_panic_gap(panics: &[PanicRecord], t: SimTime) -> Option<u64> {
+fn nearest_panic_gap(panics: &[PanicEvent], t: SimTime) -> Option<u64> {
     if panics.is_empty() {
         return None;
     }
@@ -246,7 +246,7 @@ impl CoalescenceAnalysis {
         let mut related = CategoricalDist::new();
         let mut isolated = CategoricalDist::new();
         for p in &self.panics {
-            let cat = p.panic.panic.code.category.as_str();
+            let cat = p.panic.code.category.as_str();
             match p.related {
                 Some(_) => related.add(cat),
                 None => isolated.add(cat),
@@ -262,7 +262,7 @@ impl CoalescenceAnalysis {
         let mut d = CategoricalDist::new();
         for p in &self.panics {
             if let Some(kind) = p.related {
-                d.add(format!("{}|{}", p.panic.panic.code, kind.as_str()));
+                d.add(format!("{}|{}", p.panic.code, kind.as_str()));
             }
         }
         d
@@ -395,7 +395,7 @@ impl CoalescenceGaps {
 mod tests {
     use super::*;
     use crate::analysis::dataset::PhoneDataset;
-    use crate::records::LogRecord;
+    use crate::records::{LogRecord, PanicRecord};
     use symfail_sim_core::SimTime;
     use symfail_symbian::panic::codes;
     use symfail_symbian::{Panic, PanicCode};

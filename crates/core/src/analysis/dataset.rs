@@ -16,12 +16,102 @@ use serde::{Deserialize, Serialize};
 
 use symfail_sim_core::{SimDuration, SimTime};
 
+use symfail_symbian::servers::logdb::ActivityKind;
+use symfail_symbian::{Panic, PanicCode};
+
 use crate::analysis::defects::{DefectReport, PhoneDefects};
 use crate::flashfs::FlashFs;
+use crate::intern::{NameId, NameIds, NameTable};
 use crate::logger::files;
 use crate::records::{
-    decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord, ParseDefect,
+    decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord, PanicRef, ParseDefect,
+    RecordRef,
 };
+
+/// A panic with its context as stored in the dataset: the hot-path
+/// representation of a [`PanicRecord`] with every string field
+/// interned into the dataset's [`NameTable`]. Intern ids keep the
+/// event small and comparison/grouping cheap; the running-app list is
+/// a [`NameIds`] (inline up to 10 entries, no heap allocation for
+/// essentially every real record). Use [`Self::to_record`] /
+/// [`Self::to_panic`] at boundaries that need owned strings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PanicEvent {
+    /// When the panic was notified.
+    pub at: SimTime,
+    /// The panic code.
+    pub code: PanicCode,
+    /// Interned name of the raising component.
+    pub raised_by: NameId,
+    /// Interned reason text.
+    pub reason: NameId,
+    /// Interned running-application names at panic time.
+    pub apps: NameIds,
+    /// Phone activity at panic time, if any.
+    pub activity: Option<ActivityKind>,
+    /// Battery level at panic time.
+    pub battery: u8,
+}
+
+impl PanicEvent {
+    /// Interns a borrowed zero-copy record — the parse hot path.
+    pub fn from_ref(r: &PanicRef<'_>, names: &mut NameTable) -> Self {
+        Self {
+            at: r.at,
+            code: r.code,
+            raised_by: names.intern(r.raised_by),
+            reason: names.intern(r.reason),
+            apps: r.apps().map(|a| names.intern(a)).collect(),
+            activity: r.activity,
+            battery: r.battery,
+        }
+    }
+
+    /// Interns an owned record (hand-built datasets, tests).
+    pub fn from_record(rec: &PanicRecord, names: &mut NameTable) -> Self {
+        Self {
+            at: rec.at,
+            code: rec.panic.code,
+            raised_by: names.intern(&rec.panic.raised_by),
+            reason: names.intern(&rec.panic.reason),
+            apps: rec.running_apps.iter().map(|a| names.intern(a)).collect(),
+            activity: rec.activity,
+            battery: rec.battery,
+        }
+    }
+
+    /// Materializes the owned [`PanicRecord`].
+    pub fn to_record(&self, names: &NameTable) -> PanicRecord {
+        PanicRecord {
+            at: self.at,
+            panic: self.to_panic(names),
+            running_apps: self
+                .apps
+                .iter()
+                .map(|id| names.resolve(id).to_string())
+                .collect(),
+            activity: self.activity,
+            battery: self.battery,
+        }
+    }
+
+    /// Materializes the owned [`Panic`].
+    pub fn to_panic(&self, names: &NameTable) -> Panic {
+        Panic::new(
+            self.code,
+            names.resolve(self.raised_by),
+            names.resolve(self.reason),
+        )
+    }
+
+    /// Rewrites every intern id through `remap` (as produced by
+    /// [`NameTable::absorb`]) when the event moves to a merged table.
+    pub fn remap(&mut self, remap: &[u16]) {
+        self.raised_by = NameId(remap[self.raised_by.0 as usize]);
+        self.reason = NameId(remap[self.reason.0 as usize]);
+        self.apps.remap(remap);
+    }
+}
 
 /// A high-level failure event — the user-visible failures the logger
 /// can detect automatically (Section 5: freezes and self-shutdowns).
@@ -80,7 +170,11 @@ pub struct ShutdownEvent {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhoneDataset {
     phone_id: u32,
-    panics: Vec<PanicRecord>,
+    panics: Vec<PanicEvent>,
+    /// Intern table the panic events' ids resolve against. Built
+    /// per-phone during the parse; replaced by (a clone of) the merged
+    /// fleet table when the phone joins a [`FleetDataset`].
+    names: NameTable,
     boots: Vec<BootRecord>,
     beats: Vec<(SimTime, HeartbeatEvent)>,
     // Derived index, built once in `index()`:
@@ -102,17 +196,19 @@ impl PhoneDataset {
         records: Vec<LogRecord>,
         beats: Vec<(SimTime, HeartbeatEvent)>,
     ) -> Self {
+        let mut names = NameTable::default();
         let mut panics = Vec::new();
         let mut boots = Vec::new();
         for rec in records {
             match rec {
-                LogRecord::Panic(p) => panics.push(p),
+                LogRecord::Panic(p) => panics.push(PanicEvent::from_record(&p, &mut names)),
                 LogRecord::Boot(b) => boots.push(b),
             }
         }
         let mut ds = Self {
             phone_id,
             panics,
+            names,
             boots,
             beats,
             ..Self::default()
@@ -135,16 +231,20 @@ impl PhoneDataset {
     pub fn from_flashfs(phone_id: u32, fs: &FlashFs) -> Self {
         let mut defects = PhoneDefects::default();
 
-        // Consolidated log: checksum-verified records. Out-of-order
-        // records (timestamp below the running maximum) are kept but
-        // counted; the max does not advance past them so one displaced
-        // block counts each displaced line exactly once.
-        let mut records = Vec::new();
+        // Consolidated log: checksum-verified records, decoded through
+        // the zero-copy [`RecordRef`] path and interned straight into
+        // the event index — no owned `LogRecord` exists on this path.
+        // Out-of-order records (timestamp below the running maximum)
+        // are kept but counted; the max does not advance past them so
+        // one displaced block counts each displaced line exactly once.
+        let mut names = NameTable::default();
+        let mut panics = Vec::new();
+        let mut boots = Vec::new();
         let log_text = lossy_text(fs, files::LOG, &mut defects);
         let mut last_ms: Option<u64> = None;
         for line in log_text.lines() {
             defects.lines_seen += 1;
-            match LogRecord::decode(line) {
+            match RecordRef::decode(line) {
                 Ok(rec) => {
                     let ms = rec.at().as_millis();
                     if last_ms.is_some_and(|max| ms < max) {
@@ -153,7 +253,10 @@ impl PhoneDataset {
                         last_ms = Some(ms);
                     }
                     defects.records_kept += 1;
-                    records.push(rec);
+                    match rec {
+                        RecordRef::Panic(p) => panics.push(PanicEvent::from_ref(&p, &mut names)),
+                        RecordRef::Boot(b) => boots.push(b),
+                    }
                 }
                 Err(e) => defects.record(e.defect),
             }
@@ -161,23 +264,39 @@ impl PhoneDataset {
 
         // Beats: exact `(timestamp, event)` repeats are duplicates and
         // dropped — checked before the order check, so a duplicated
-        // block is counted as duplication, not also as reordering.
-        let mut beats = Vec::new();
+        // block is counted as duplication, not also as reordering. The
+        // duplicate set is built lazily: while timestamps strictly
+        // increase (every clean harvest) no set exists at all; the
+        // first non-increasing timestamp materializes it from the
+        // beats kept so far, which are exactly the entries the eager
+        // set would contain.
         let beats_text = lossy_text(fs, files::BEATS, &mut defects);
-        let mut seen: HashSet<(u64, HeartbeatEvent)> = HashSet::new();
+        let mut beats: Vec<(SimTime, HeartbeatEvent)> = Vec::with_capacity(beats_text.len() / 12);
+        let mut seen: Option<HashSet<(u64, HeartbeatEvent)>> = None;
         let mut last_ms: Option<u64> = None;
         for line in beats_text.lines() {
             defects.lines_seen += 1;
             match decode_beat(line) {
                 Ok((at, event)) => {
-                    if !seen.insert((at.as_millis(), event)) {
+                    let ms = at.as_millis();
+                    if seen.is_none() {
+                        if last_ms.is_none_or(|max| ms > max) {
+                            last_ms = Some(ms);
+                            defects.records_kept += 1;
+                            beats.push((at, event));
+                            continue;
+                        }
+                        seen = Some(beats.iter().map(|&(t, e)| (t.as_millis(), e)).collect());
+                    }
+                    let set = seen.as_mut().expect("just materialized");
+                    if !set.insert((ms, event)) {
                         defects.record(ParseDefect::Duplicate);
                         continue;
                     }
-                    if last_ms.is_some_and(|max| at.as_millis() < max) {
+                    if last_ms.is_some_and(|max| ms < max) {
                         defects.record(ParseDefect::OutOfOrder);
                     } else {
-                        last_ms = Some(at.as_millis());
+                        last_ms = Some(ms);
                     }
                     defects.records_kept += 1;
                     beats.push((at, event));
@@ -187,8 +306,16 @@ impl PhoneDataset {
         }
 
         defects.unusable = defects.lines_seen > 0 && defects.records_kept == 0;
-        let mut ds = Self::new(phone_id, records, beats);
-        ds.defects = defects;
+        let mut ds = Self {
+            phone_id,
+            panics,
+            names,
+            boots,
+            beats,
+            defects,
+            ..Self::default()
+        };
+        ds.index();
         ds
     }
 
@@ -253,9 +380,14 @@ impl PhoneDataset {
         self.phone_id
     }
 
-    /// All panic records, in time order.
-    pub fn panics(&self) -> &[PanicRecord] {
+    /// All panic events, in time order.
+    pub fn panics(&self) -> &[PanicEvent] {
         &self.panics
+    }
+
+    /// The intern table the panic events' name ids resolve against.
+    pub fn names(&self) -> &NameTable {
+        &self.names
     }
 
     /// All boot records, in time order.
@@ -316,6 +448,10 @@ fn lossy_text<'a>(fs: &'a FlashFs, file: &str, defects: &mut PhoneDefects) -> Co
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FleetDataset {
     phones: Vec<PhoneDataset>,
+    /// The merged fleet-wide intern table (per-phone tables absorbed
+    /// in phone order, so the ids are identical for any parse-worker
+    /// count).
+    names: NameTable,
     /// `(phone index, panic index)` pairs in `(phone, time)` order —
     /// a flat view over the per-phone panic storage.
     panic_locs: Vec<(u32, u32)>,
@@ -375,9 +511,29 @@ impl FleetDataset {
         Self::from_phones(parsed.into_iter().map(|(_, ds)| ds).collect())
     }
 
-    /// Builds a fleet dataset from already-parsed phones, deriving the
-    /// fleet-wide event indexes.
-    pub fn from_phones(phones: Vec<PhoneDataset>) -> Self {
+    /// Builds a fleet dataset from already-parsed phones, merging the
+    /// per-phone intern tables and deriving the fleet-wide event
+    /// indexes.
+    ///
+    /// The merge absorbs tables in phone (vector) order, so the
+    /// resulting fleet ids depend only on the phones' own contents —
+    /// never on how many workers parsed them. Every phone then gets a
+    /// clone of the merged table, keeping per-phone and fleet-level
+    /// id resolution interchangeable.
+    pub fn from_phones(mut phones: Vec<PhoneDataset>) -> Self {
+        let mut names = NameTable::default();
+        for phone in &mut phones {
+            let remap = names.absorb(&phone.names);
+            let identity = remap.iter().enumerate().all(|(i, &n)| n as usize == i);
+            if !identity {
+                for p in &mut phone.panics {
+                    p.remap(&remap);
+                }
+            }
+        }
+        for phone in &mut phones {
+            phone.names = names.clone();
+        }
         let mut panic_locs = Vec::new();
         let mut shutdowns = Vec::new();
         let mut freezes = Vec::new();
@@ -388,6 +544,7 @@ impl FleetDataset {
         }
         Self {
             phones,
+            names,
             panic_locs,
             shutdowns,
             freezes,
@@ -409,10 +566,15 @@ impl FleetDataset {
         &self.phones
     }
 
-    /// All panics across the fleet as `(phone_id, record)` pairs,
+    /// The merged fleet-wide intern table.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// All panics across the fleet as `(phone_id, event)` pairs,
     /// `(phone, time)`-ordered. Borrows the per-phone index — no
     /// allocation; the iterator is exact-size (`.len()` works).
-    pub fn panics(&self) -> impl ExactSizeIterator<Item = (u32, &PanicRecord)> + Clone + '_ {
+    pub fn panics(&self) -> impl ExactSizeIterator<Item = (u32, &PanicEvent)> + Clone + '_ {
         self.panic_locs.iter().map(move |&(pi, ri)| {
             let phone = &self.phones[pi as usize];
             (phone.phone_id, &phone.panics[ri as usize])

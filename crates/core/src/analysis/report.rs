@@ -83,7 +83,7 @@ impl StudyReport {
         let runapps = RunningAppsAnalysis::new(fleet, &coalescence);
         let mut panic_distribution = CategoricalDist::new();
         for (_, p) in fleet.panics() {
-            panic_distribution.add(p.panic.code.to_string());
+            panic_distribution.add(p.code.to_string());
         }
         Self {
             config,

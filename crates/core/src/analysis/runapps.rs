@@ -36,24 +36,26 @@ impl RunningAppsAnalysis {
         let mut concurrency = CategoricalDist::new();
         let mut total = 0;
         for (_, p) in fleet.panics() {
-            concurrency.add(p.running_apps.len().to_string());
+            concurrency.add(p.apps.len().to_string());
             total += 1;
         }
+        let names = fleet.names();
         let mut table = ContingencyTable::new();
         let mut app_share = CategoricalDist::new();
         for p in coalescence.panics() {
             let row = match p.related {
                 Some(HlKind::Freeze) => {
-                    format!("{} freeze", p.panic.panic.code.category.as_str())
+                    format!("{} freeze", p.panic.code.category.as_str())
                 }
                 Some(HlKind::SelfShutdown) => {
-                    format!("{} self-shutdown", p.panic.panic.code.category.as_str())
+                    format!("{} self-shutdown", p.panic.code.category.as_str())
                 }
-                None => format!("{} (no HL event)", p.panic.panic.code.category.as_str()),
+                None => format!("{} (no HL event)", p.panic.code.category.as_str()),
             };
-            for app in &p.panic.running_apps {
-                table.add(row.clone(), app.clone());
-                app_share.add(app.clone());
+            for app in p.panic.apps.iter() {
+                let app = names.resolve(app);
+                table.add(row.clone(), app.to_string());
+                app_share.add(app);
             }
         }
         Self {

@@ -39,10 +39,27 @@ impl FlashFs {
     /// construction).
     pub fn append_line(&mut self, file: &str, line: &str) {
         debug_assert!(!line.contains('\n'), "records must be single lines");
-        let buf = self.files.entry(file.to_string()).or_default();
+        let buf = ensure_file(&mut self.files, file);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
         self.bytes_written += line.len() as u64 + 1;
+    }
+
+    /// Appends one line to `file` by letting `write` encode it
+    /// directly into the file's own buffer — the zero-allocation twin
+    /// of [`Self::append_line`] used by the logger's hot write paths.
+    /// The newline is added afterwards and the wear counter advances by
+    /// exactly the bytes appended.
+    pub fn append_line_with(&mut self, file: &str, write: impl FnOnce(&mut Vec<u8>)) {
+        let buf = ensure_file(&mut self.files, file);
+        let start = buf.len();
+        write(buf);
+        debug_assert!(
+            !buf[start..].contains(&b'\n'),
+            "records must be single lines"
+        );
+        buf.push(b'\n');
+        self.bytes_written += (buf.len() - start) as u64;
     }
 
     /// Iterator over the lines of `file` (empty for a missing file).
@@ -112,6 +129,16 @@ impl FlashFs {
     }
 }
 
+/// Returns the buffer for `file`, creating it if needed — without the
+/// per-call `String` key allocation that `entry(file.to_string())`
+/// would pay on the (overwhelmingly common) existing-file case.
+fn ensure_file<'a>(files: &'a mut BTreeMap<String, Vec<u8>>, file: &str) -> &'a mut Vec<u8> {
+    if !files.contains_key(file) {
+        files.insert(file.to_string(), Vec::new());
+    }
+    files.get_mut(file).expect("just ensured present")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +191,18 @@ mod tests {
         assert_eq!(fs.size_of("b"), 3);
         assert_eq!(fs.total_size(), 5);
         assert_eq!(fs.bytes_written(), 5);
+    }
+
+    #[test]
+    fn append_line_with_matches_append_line() {
+        let mut a = FlashFs::new();
+        let mut b = FlashFs::new();
+        a.append_line("log", "hello|42");
+        a.append_line("log", "");
+        b.append_line_with("log", |buf| buf.extend_from_slice(b"hello|42"));
+        b.append_line_with("log", |_| {});
+        assert_eq!(a.read_bytes("log"), b.read_bytes("log"));
+        assert_eq!(a.bytes_written(), b.bytes_written());
     }
 
     #[test]

@@ -49,5 +49,6 @@
 
 pub mod analysis;
 pub mod flashfs;
+pub mod intern;
 pub mod logger;
 pub mod records;

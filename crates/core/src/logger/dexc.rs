@@ -18,6 +18,7 @@ use symfail_sim_core::SimTime;
 use symfail_symbian::{Panic, PanicCode};
 
 use crate::flashfs::FlashFs;
+use crate::records::push_u64;
 
 /// Flash file used by the baseline collector.
 pub const DEXC_FILE: &str = "dexc";
@@ -61,15 +62,13 @@ impl DExcLogger {
     /// running applications, activity, battery — `D_EXC` has no access
     /// to the other servers.
     pub fn on_panic(&mut self, fs: &mut FlashFs, now: SimTime, panic: &Panic) {
-        fs.append_line(
-            DEXC_FILE,
-            &format!(
-                "{}|{}~{}",
-                now.as_millis(),
-                panic.code.category.as_str(),
-                panic.code.panic_type
-            ),
-        );
+        fs.append_line_with(DEXC_FILE, |buf| {
+            push_u64(buf, now.as_millis());
+            buf.push(b'|');
+            buf.extend_from_slice(panic.code.category.as_str().as_bytes());
+            buf.push(b'~');
+            push_u64(buf, u64::from(panic.code.panic_type));
+        });
         self.panics_recorded += 1;
     }
 

@@ -10,7 +10,7 @@
 use symfail_sim_core::SimTime;
 
 use crate::flashfs::FlashFs;
-use crate::records::{encode_beat, HeartbeatEvent};
+use crate::records::{encode_beat_into, HeartbeatEvent};
 
 use super::files;
 
@@ -28,14 +28,16 @@ impl HeartbeatAo {
 
     /// Writes an `ALIVE` beat.
     pub fn beat(&mut self, fs: &mut FlashFs, now: SimTime) {
-        fs.append_line(files::BEATS, &encode_beat(now, HeartbeatEvent::Alive));
+        fs.append_line_with(files::BEATS, |buf| {
+            encode_beat_into(buf, now, HeartbeatEvent::Alive);
+        });
         self.beats_written += 1;
     }
 
     /// Writes the final event of a clean shutdown.
     pub fn final_event(&mut self, fs: &mut FlashFs, now: SimTime, event: HeartbeatEvent) {
         debug_assert!(event != HeartbeatEvent::Alive, "final event is never ALIVE");
-        fs.append_line(files::BEATS, &encode_beat(now, event));
+        fs.append_line_with(files::BEATS, |buf| encode_beat_into(buf, now, event));
     }
 
     /// Number of ALIVE beats written (log-volume metric).

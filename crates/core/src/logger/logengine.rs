@@ -8,6 +8,7 @@ use symfail_sim_core::SimTime;
 use symfail_symbian::servers::logdb::ActivityKind;
 
 use crate::flashfs::FlashFs;
+use crate::records::push_u64;
 
 use super::files;
 
@@ -30,10 +31,13 @@ impl LogEngine {
             ActivityKind::Message => 'M',
             ActivityKind::DataSession => 'D',
         };
-        fs.append_line(
-            files::ACTIVITY,
-            &format!("{}|{}|{code}", start.as_millis(), end.as_millis()),
-        );
+        fs.append_line_with(files::ACTIVITY, |buf| {
+            push_u64(buf, start.as_millis());
+            buf.push(b'|');
+            push_u64(buf, end.as_millis());
+            buf.push(b'|');
+            buf.push(code as u8);
+        });
         self.records += 1;
     }
 

@@ -17,7 +17,9 @@ use symfail_sim_core::SimTime;
 use symfail_symbian::Panic;
 
 use crate::flashfs::FlashFs;
-use crate::records::{decode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord};
+use crate::records::{
+    decode_beat, encode_boot_into, encode_panic_into, BootRecord, HeartbeatEvent,
+};
 
 use super::{files, PhoneContext};
 
@@ -41,14 +43,16 @@ impl PanicDetector {
     /// Consolidates a notified panic with the context sampled from the
     /// other active objects, and appends it to the log file.
     pub fn on_panic(&mut self, fs: &mut FlashFs, now: SimTime, panic: &Panic, ctx: &PhoneContext) {
-        let record = LogRecord::Panic(PanicRecord {
-            at: now,
-            panic: panic.clone(),
-            running_apps: ctx.running_apps.clone(),
-            activity: ctx.activity,
-            battery: ctx.battery_percent,
+        fs.append_line_with(files::LOG, |buf| {
+            encode_panic_into(
+                buf,
+                now,
+                panic,
+                &ctx.running_apps,
+                ctx.activity,
+                ctx.battery_percent,
+            );
         });
-        fs.append_line(files::LOG, &record.encode());
         self.panics_recorded += 1;
     }
 
@@ -82,14 +86,14 @@ impl PanicDetector {
                 freeze_detected: false,
             },
         };
-        fs.append_line(files::LOG, &LogRecord::Boot(record).encode());
+        fs.append_line_with(files::LOG, |buf| encode_boot_into(buf, &record));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::encode_beat;
+    use crate::records::{encode_beat, LogRecord};
     use symfail_symbian::panic::codes;
 
     #[test]

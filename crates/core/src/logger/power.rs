@@ -8,6 +8,7 @@
 use symfail_sim_core::SimTime;
 
 use crate::flashfs::FlashFs;
+use crate::records::push_u64;
 
 use super::files;
 
@@ -25,15 +26,13 @@ impl PowerManager {
 
     /// Writes one sample line: `<ms>|<percent>|<LOW or OK>`.
     pub fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, percent: u8, low: bool) {
-        fs.append_line(
-            files::POWER,
-            &format!(
-                "{}|{}|{}",
-                now.as_millis(),
-                percent,
-                if low { "LOW" } else { "OK" }
-            ),
-        );
+        fs.append_line_with(files::POWER, |buf| {
+            push_u64(buf, now.as_millis());
+            buf.push(b'|');
+            push_u64(buf, u64::from(percent));
+            buf.push(b'|');
+            buf.extend_from_slice(if low { b"LOW" } else { b"OK" });
+        });
         self.samples += 1;
     }
 

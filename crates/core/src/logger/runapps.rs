@@ -9,6 +9,7 @@
 use symfail_sim_core::SimTime;
 
 use crate::flashfs::FlashFs;
+use crate::records::push_u64;
 
 use super::files;
 
@@ -26,10 +27,16 @@ impl RunningAppsDetector {
 
     /// Writes one snapshot line: `<ms>|app1,app2,…`.
     pub fn snapshot(&mut self, fs: &mut FlashFs, now: SimTime, apps: &[String]) {
-        fs.append_line(
-            files::RUNAPP,
-            &format!("{}|{}", now.as_millis(), apps.join(",")),
-        );
+        fs.append_line_with(files::RUNAPP, |buf| {
+            push_u64(buf, now.as_millis());
+            buf.push(b'|');
+            for (i, app) in apps.iter().enumerate() {
+                if i > 0 {
+                    buf.push(b',');
+                }
+                buf.extend_from_slice(app.as_bytes());
+            }
+        });
         self.snapshots += 1;
     }
 

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use symfail_sim_core::{SimDuration, SimTime};
 use symfail_symbian::servers::logdb::ActivityKind;
-use symfail_symbian::{Panic, PanicCode};
+use symfail_symbian::{Panic, PanicCategory, PanicCode};
 
 /// Events the Heartbeat active object writes to the `beats` file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -110,12 +110,64 @@ impl fmt::Display for ParseDefect {
 /// the `|cXXXX` trailer on every consolidated-log line so the parser
 /// can tell a garbled record from a well-formed one.
 pub fn line_checksum(payload: &str) -> u16 {
+    line_checksum_bytes(payload.as_bytes())
+}
+
+/// [`line_checksum`] over raw bytes — the writer-side entry point (the
+/// encoders checksum the payload slice they just appended to the
+/// output buffer).
+pub fn line_checksum_bytes(payload: &[u8]) -> u16 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in payload.bytes() {
+    for &b in payload {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     ((h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) & 0xffff) as u16
+}
+
+/// Appends the decimal digits of `v` to `out` — the writer path's
+/// replacement for `format!("{v}")`, allocation- and fmt-machinery
+/// free.
+pub fn push_u64(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Appends `v` as exactly four lowercase hex digits (the checksum
+/// trailer's `XXXX`).
+fn push_hex4(out: &mut Vec<u8>, v: u16) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    out.extend_from_slice(&[
+        HEX[(v >> 12) as usize & 0xf],
+        HEX[(v >> 8) as usize & 0xf],
+        HEX[(v >> 4) as usize & 0xf],
+        HEX[v as usize & 0xf],
+    ]);
+}
+
+/// Parses the four-hex-digit checksum value of an already
+/// shape-checked trailer (see [`is_checksum_shaped`]) without
+/// allocating the expected string.
+fn parse_hex4(s: &str) -> Option<u16> {
+    let mut v: u16 = 0;
+    for b in s.bytes() {
+        let nibble = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            _ => return None,
+        };
+        v = (v << 4) | u16::from(nibble);
+    }
+    Some(v)
 }
 
 /// True when `field` has the exact `cXXXX` (lowercase hex) shape of a
@@ -240,11 +292,28 @@ impl LogRecord {
     /// Decodes a log-file line: verifies the checksum trailer first,
     /// then parses the payload.
     ///
+    /// This delegates to [`Self::parse_owned`]; the allocation-free
+    /// hot path used by the dataset build is [`RecordRef::decode`],
+    /// which is property-tested to agree with this one on every input
+    /// (see `tests/proptests.rs`).
+    ///
     /// # Errors
     ///
     /// Returns a [`RecordParseError`] describing the malformed field
     /// and carrying its [`ParseDefect`] classification.
     pub fn decode(line: &str) -> Result<LogRecord, RecordParseError> {
+        Self::parse_owned(line)
+    }
+
+    /// The original owned-`String` decode path, kept verbatim as the
+    /// oracle the zero-copy [`RecordRef::decode`] is verified against.
+    /// Allocates per field; do not use on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordParseError`] describing the malformed field
+    /// and carrying its [`ParseDefect`] classification.
+    pub fn parse_owned(line: &str) -> Result<LogRecord, RecordParseError> {
         let err = |what: &str, defect: ParseDefect| RecordParseError {
             line: line.to_string(),
             what: what.to_string(),
@@ -347,6 +416,303 @@ impl LogRecord {
             }),
         }
     }
+
+    /// Appends the encoded line (checksum trailer included, no
+    /// newline) to `out`. Byte-identical to [`Self::encode`] but
+    /// allocation-free: the logger's write path reuses the flash
+    /// file's own buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::Panic(p) => {
+                encode_panic_into(out, p.at, &p.panic, &p.running_apps, p.activity, p.battery)
+            }
+            LogRecord::Boot(b) => encode_boot_into(out, b),
+        }
+    }
+}
+
+/// Appends the `|cXXXX` checksum trailer over the payload written
+/// since `start`.
+fn finish_line(out: &mut Vec<u8>, start: usize) {
+    let check = line_checksum_bytes(&out[start..]);
+    out.extend_from_slice(b"|c");
+    push_hex4(out, check);
+}
+
+/// Appends one encoded panic line (checksum trailer included, no
+/// newline) to `out`, straight from the context fields — the Panic
+/// Detector's write path, which never materializes a [`PanicRecord`].
+pub fn encode_panic_into(
+    out: &mut Vec<u8>,
+    at: SimTime,
+    panic: &Panic,
+    running_apps: &[String],
+    activity: Option<ActivityKind>,
+    battery: u8,
+) {
+    debug_assert!(!panic.reason.contains('|'));
+    let start = out.len();
+    out.extend_from_slice(b"P|");
+    push_u64(out, at.as_millis());
+    out.push(b'|');
+    out.extend_from_slice(panic.code.category.as_str().as_bytes());
+    out.push(b'~');
+    push_u64(out, u64::from(panic.code.panic_type));
+    out.push(b'|');
+    out.extend_from_slice(panic.raised_by.as_bytes());
+    out.push(b'|');
+    out.push(activity.map(activity_code).unwrap_or('-') as u8);
+    out.push(b'|');
+    push_u64(out, u64::from(battery));
+    out.push(b'|');
+    for (i, app) in running_apps.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(app.as_bytes());
+    }
+    out.push(b'|');
+    out.extend_from_slice(panic.reason.as_bytes());
+    finish_line(out, start);
+}
+
+/// Appends one encoded boot line (checksum trailer included, no
+/// newline) to `out`.
+pub fn encode_boot_into(out: &mut Vec<u8>, b: &BootRecord) {
+    let start = out.len();
+    out.extend_from_slice(b"B|");
+    push_u64(out, b.boot_at.as_millis());
+    out.push(b'|');
+    out.extend_from_slice(b.last_event.token().as_bytes());
+    out.push(b'|');
+    push_u64(out, b.last_event_at.as_millis());
+    out.push(b'|');
+    match b.off_duration {
+        Some(d) => push_u64(out, d.as_millis()),
+        None => out.push(b'-'),
+    }
+    out.push(b'|');
+    out.push(b'0' + u8::from(b.freeze_detected));
+    finish_line(out, start);
+}
+
+/// A zero-copy view of one decoded log line: every string field
+/// borrows from the flash buffer. This is the hot-path twin of
+/// [`LogRecord`]; the dataset build consumes it directly (interning
+/// the string fields) so owned records are never allocated while
+/// parsing a harvest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordRef<'a> {
+    /// A panic with its context, fields borrowed from the line.
+    Panic(PanicRef<'a>),
+    /// A boot-time reconstruction record ([`BootRecord`] is already
+    /// `Copy`; nothing to borrow).
+    Boot(BootRecord),
+}
+
+/// The borrowed twin of [`PanicRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanicRef<'a> {
+    /// When the panic was notified.
+    pub at: SimTime,
+    /// The panic code.
+    pub code: PanicCode,
+    /// The raising component, borrowed from the line.
+    pub raised_by: &'a str,
+    /// The reason text, borrowed from the line.
+    pub reason: &'a str,
+    /// The raw comma-separated running-apps field (empty string for no
+    /// apps); iterate with [`Self::apps`].
+    pub apps: &'a str,
+    /// Phone activity at panic time, if any.
+    pub activity: Option<ActivityKind>,
+    /// Battery level at panic time.
+    pub battery: u8,
+}
+
+impl<'a> PanicRef<'a> {
+    /// Iterates the running-application names (empty field ⇒ empty
+    /// iterator, matching the owned decode's semantics).
+    pub fn apps(&self) -> impl Iterator<Item = &'a str> {
+        let field = self.apps;
+        (!field.is_empty())
+            .then(|| field.split(','))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Materializes the owned record (dataset-boundary escape hatch
+    /// and oracle-comparison helper).
+    pub fn to_record(&self) -> PanicRecord {
+        PanicRecord {
+            at: self.at,
+            panic: Panic::new(self.code, self.raised_by, self.reason),
+            running_apps: self.apps().map(str::to_string).collect(),
+            activity: self.activity,
+            battery: self.battery,
+        }
+    }
+}
+
+/// A malformed log line, classified — the allocation-free twin of
+/// [`RecordParseError`] (no line copy, static field name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefParseError {
+    /// Which field failed to parse.
+    pub what: &'static str,
+    /// Taxonomy classification of the defect.
+    pub defect: ParseDefect,
+}
+
+impl fmt::Display for RefParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {} ({})", self.what, self.defect)
+    }
+}
+
+impl std::error::Error for RefParseError {}
+
+/// Reconstructs a [`PanicCode`] from the payload's `cat~ty` halves
+/// with the exact semantics of the owned path's
+/// `PanicCode::parse(&format!("{cat} {ty}"))` — including the corner
+/// where the category itself contains a space ("MSGS Client") — but
+/// without building the combined string. `PanicCode::parse` splits the
+/// combined string at its *last* space: that space lies inside `ty` if
+/// `ty` contains one, and is the inserted separator otherwise.
+fn parse_code_fields(cat: &str, ty: &str) -> Option<PanicCode> {
+    match ty.rsplit_once(' ') {
+        None => {
+            let category = PanicCategory::parse(cat)?;
+            let panic_type = ty.parse::<u16>().ok()?;
+            Some(PanicCode::new(category, panic_type))
+        }
+        Some((head, tail)) => {
+            // Combined category string would be "{cat} {head}".
+            let category = PanicCategory::ALL.into_iter().find(|c| {
+                let s = c.as_str().as_bytes();
+                s.len() == cat.len() + 1 + head.len()
+                    && &s[..cat.len()] == cat.as_bytes()
+                    && s[cat.len()] == b' '
+                    && &s[cat.len() + 1..] == head.as_bytes()
+            })?;
+            let panic_type = tail.parse::<u16>().ok()?;
+            Some(PanicCode::new(category, panic_type))
+        }
+    }
+}
+
+impl<'a> RecordRef<'a> {
+    /// Timestamp of the record.
+    pub fn at(&self) -> SimTime {
+        match self {
+            RecordRef::Panic(p) => p.at,
+            RecordRef::Boot(b) => b.boot_at,
+        }
+    }
+
+    /// Materializes the owned [`LogRecord`].
+    pub fn to_owned_record(&self) -> LogRecord {
+        match self {
+            RecordRef::Panic(p) => LogRecord::Panic(p.to_record()),
+            RecordRef::Boot(b) => LogRecord::Boot(*b),
+        }
+    }
+
+    /// Decodes a log-file line without allocating: checksum trailer
+    /// first (compared numerically), then the payload, with every
+    /// string field borrowed from `line`. Agrees with
+    /// [`LogRecord::parse_owned`] on every input — accepted records
+    /// match after [`Self::to_owned_record`], rejected lines carry the
+    /// same [`ParseDefect`] class (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefParseError`] carrying the defect classification.
+    pub fn decode(line: &'a str) -> Result<RecordRef<'a>, RefParseError> {
+        let err = |what: &'static str, defect: ParseDefect| RefParseError { what, defect };
+        let Some((payload, trailer)) = line.rsplit_once('|') else {
+            return Err(err("checksum trailer", ParseDefect::Truncated));
+        };
+        if !is_checksum_shaped(trailer) {
+            return Err(err("checksum trailer", ParseDefect::Truncated));
+        }
+        if parse_hex4(&trailer[1..]) != Some(line_checksum(payload)) {
+            return Err(err("checksum", ParseDefect::ChecksumMismatch));
+        }
+        let err = |what: &'static str| RefParseError {
+            what,
+            defect: ParseDefect::Truncated,
+        };
+        let mut parts = payload.splitn(8, '|');
+        match parts.next() {
+            Some("P") => {
+                let at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("timestamp"))?;
+                let code_str = parts.next().ok_or_else(|| err("panic code"))?;
+                let (cat, ty) = code_str.split_once('~').ok_or_else(|| err("panic code"))?;
+                let code = parse_code_fields(cat, ty).ok_or_else(|| err("panic code"))?;
+                let raised_by = parts.next().ok_or_else(|| err("raised_by"))?;
+                let activity = parts
+                    .next()
+                    .and_then(activity_from_code)
+                    .ok_or_else(|| err("activity"))?;
+                let battery = parts
+                    .next()
+                    .and_then(|s| s.parse::<u8>().ok())
+                    .ok_or_else(|| err("battery"))?;
+                let apps = parts.next().ok_or_else(|| err("running apps"))?;
+                let reason = parts.next().ok_or_else(|| err("reason"))?;
+                Ok(RecordRef::Panic(PanicRef {
+                    at: SimTime::from_millis(at),
+                    code,
+                    raised_by,
+                    reason,
+                    apps,
+                    activity,
+                    battery,
+                }))
+            }
+            Some("B") => {
+                let boot_at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("boot timestamp"))?;
+                let last_event = parts
+                    .next()
+                    .and_then(HeartbeatEvent::parse)
+                    .ok_or_else(|| err("last event"))?;
+                let last_event_at = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("last event timestamp"))?;
+                let off_field = parts.next().ok_or_else(|| err("off duration"))?;
+                let off_duration = match off_field {
+                    "-" => None,
+                    ms => Some(SimDuration::from_millis(
+                        ms.parse::<u64>().map_err(|_| err("off duration"))?,
+                    )),
+                };
+                let freeze = match parts.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => return Err(err("freeze flag")),
+                };
+                Ok(RecordRef::Boot(BootRecord {
+                    boot_at: SimTime::from_millis(boot_at),
+                    last_event,
+                    last_event_at: SimTime::from_millis(last_event_at),
+                    off_duration,
+                    freeze_detected: freeze,
+                }))
+            }
+            _ => Err(RefParseError {
+                what: "record tag",
+                defect: ParseDefect::UnknownTag,
+            }),
+        }
+    }
 }
 
 /// A malformed log line.
@@ -378,6 +744,14 @@ impl std::error::Error for RecordParseError {}
 /// either whole, a cut prefix, or unknown).
 pub fn encode_beat(at: SimTime, event: HeartbeatEvent) -> String {
     format!("{}|{}", at.as_millis(), event.token())
+}
+
+/// Appends one encoded beats-file line (no newline) to `out` —
+/// byte-identical to [`encode_beat`] without the per-beat `String`.
+pub fn encode_beat_into(out: &mut Vec<u8>, at: SimTime, event: HeartbeatEvent) {
+    push_u64(out, at.as_millis());
+    out.push(b'|');
+    out.extend_from_slice(event.token().as_bytes());
 }
 
 /// True when `s` is a proper prefix of some heartbeat token — the
@@ -585,5 +959,127 @@ mod tests {
         assert_eq!(HeartbeatEvent::Reboot.token(), "REBOOT");
         assert_eq!(HeartbeatEvent::ManualOff.token(), "MAOFF");
         assert_eq!(HeartbeatEvent::LowBattery.token(), "LOWBT");
+    }
+
+    fn sample_boot() -> LogRecord {
+        LogRecord::Boot(BootRecord {
+            boot_at: SimTime::from_secs(1000),
+            last_event: HeartbeatEvent::Reboot,
+            last_event_at: SimTime::from_secs(900),
+            off_duration: Some(SimDuration::from_secs(82)),
+            freeze_detected: false,
+        })
+    }
+
+    #[test]
+    fn encode_into_matches_format_encoders() {
+        for rec in [sample_panic(), sample_boot()] {
+            let mut buf = Vec::new();
+            rec.encode_into(&mut buf);
+            assert_eq!(buf, rec.encode().into_bytes());
+        }
+        let mut buf = b"prefix".to_vec();
+        sample_panic().encode_into(&mut buf);
+        assert_eq!(
+            &buf[6..],
+            sample_panic().encode().as_bytes(),
+            "appends after existing content, checksum unaffected"
+        );
+        let mut beat = Vec::new();
+        encode_beat_into(&mut beat, SimTime::from_secs(42), HeartbeatEvent::ManualOff);
+        assert_eq!(
+            beat,
+            encode_beat(SimTime::from_secs(42), HeartbeatEvent::ManualOff).into_bytes()
+        );
+    }
+
+    #[test]
+    fn push_u64_matches_display() {
+        for v in [0, 1, 9, 10, 999, 1_000_000, u64::MAX] {
+            let mut buf = Vec::new();
+            push_u64(&mut buf, v);
+            assert_eq!(buf, v.to_string().into_bytes());
+        }
+    }
+
+    #[test]
+    fn record_ref_round_trips_owned_records() {
+        for rec in [sample_panic(), sample_boot()] {
+            let line = rec.encode();
+            let r = RecordRef::decode(&line).unwrap();
+            assert_eq!(r.to_owned_record(), rec);
+            assert_eq!(r.at(), rec.at());
+        }
+    }
+
+    #[test]
+    fn record_ref_borrows_and_splits_apps() {
+        let line = sample_panic().encode();
+        let RecordRef::Panic(p) = RecordRef::decode(&line).unwrap() else {
+            panic!("expected panic record");
+        };
+        assert_eq!(p.raised_by, "Camera");
+        assert_eq!(p.reason, "dereferenced NULL");
+        assert_eq!(p.apps, "Camera,Log");
+        assert_eq!(p.apps().collect::<Vec<_>>(), ["Camera", "Log"]);
+        // Empty apps field ⇒ empty iterator, like the owned decode.
+        let bare = LogRecord::Panic(PanicRecord {
+            at: SimTime::ZERO,
+            panic: Panic::new(codes::USER_11, "descriptor", "overflow"),
+            running_apps: Vec::new(),
+            activity: None,
+            battery: 0,
+        });
+        let line = bare.encode();
+        let RecordRef::Panic(p) = RecordRef::decode(&line).unwrap() else {
+            panic!("expected panic record");
+        };
+        assert_eq!(p.apps().count(), 0);
+    }
+
+    #[test]
+    fn record_ref_handles_spaced_category() {
+        // "MSGS Client" contains a space; the owned path re-joins
+        // cat~ty with a space and rsplits, so the zero-copy path must
+        // reproduce that quirk exactly.
+        let rec = LogRecord::Panic(PanicRecord {
+            at: SimTime::from_millis(7),
+            panic: Panic::new(
+                PanicCode::new(PanicCategory::MsgsClient, 11),
+                "Messaging",
+                "bad session",
+            ),
+            running_apps: vec!["Messages".into()],
+            activity: None,
+            battery: 50,
+        });
+        let line = rec.encode();
+        assert!(line.contains("MSGS Client~11"));
+        assert_eq!(RecordRef::decode(&line).unwrap().to_owned_record(), rec);
+        assert_eq!(LogRecord::parse_owned(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn record_ref_classifies_like_owned_decode() {
+        let line = sample_panic().encode();
+        for cut in 1..line.len() {
+            let short = &line[..line.len() - cut];
+            let zc = RecordRef::decode(short).unwrap_err();
+            let owned = LogRecord::parse_owned(short).unwrap_err();
+            assert_eq!(zc.defect, owned.defect, "cut {cut}");
+        }
+        let mut bytes = line.clone().into_bytes();
+        bytes[2] ^= 0x01;
+        let garbled = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            RecordRef::decode(&garbled).unwrap_err().defect,
+            ParseDefect::ChecksumMismatch
+        );
+        let payload = "X|123|whatever";
+        let unknown = format!("{payload}|c{:04x}", line_checksum(payload));
+        assert_eq!(
+            RecordRef::decode(&unknown).unwrap_err().defect,
+            ParseDefect::UnknownTag
+        );
     }
 }

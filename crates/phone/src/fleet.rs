@@ -12,7 +12,9 @@
 //! determinism: the harvest is identical to the sequential run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
+use symfail_core::analysis::dataset::{FleetDataset, PhoneDataset};
 use symfail_core::flashfs::FlashFs;
 use symfail_sim_core::SimRng;
 
@@ -195,6 +197,92 @@ impl FleetCampaign {
         harvests.sort_unstable_by_key(|h| h.phone_id);
         harvests
     }
+
+    /// Runs the campaign with the campaign→parse barrier removed: each
+    /// work-stealing worker parses a phone's flash immediately after
+    /// simulating it, so simulation and parsing interleave across the
+    /// pool instead of the whole fleet simulating before the first
+    /// byte is parsed.
+    ///
+    /// Equivalence: phones own forked RNG streams and parsing is a
+    /// pure function of each phone's flash bytes, so the harvests are
+    /// byte-identical — and the datasets value-identical — to the
+    /// staged `run_parallel` + `FleetDataset::from_flash_parallel`
+    /// path for any worker count. The intern-table merge inside
+    /// [`FleetDataset::from_phones`] happens after sorting by phone
+    /// id, so fleet name ids are schedule-independent too.
+    pub fn run_fused(&self, workers: usize) -> FusedRun {
+        let phones = self.params.phones as usize;
+        if phones == 0 {
+            return FusedRun {
+                harvests: Vec::new(),
+                dataset: FleetDataset::default(),
+                parse_cpu_seconds: 0.0,
+                parse_bytes: 0,
+            };
+        }
+        let workers = workers.clamp(1, phones);
+        let next = AtomicUsize::new(0);
+        let mut runs: Vec<(PhoneHarvest, PhoneDataset, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let id = next.fetch_add(1, Ordering::Relaxed);
+                            if id >= phones {
+                                break;
+                            }
+                            let harvest = self.run_phone(id as u32);
+                            let start = Instant::now();
+                            let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
+                            out.push((harvest, ds, start.elapsed().as_secs_f64()));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fused worker panicked"))
+                .collect()
+        });
+        runs.sort_unstable_by_key(|(h, _, _)| h.phone_id);
+        let mut harvests = Vec::with_capacity(runs.len());
+        let mut datasets = Vec::with_capacity(runs.len());
+        let mut parse_cpu_seconds = 0.0;
+        for (h, ds, secs) in runs {
+            harvests.push(h);
+            datasets.push(ds);
+            parse_cpu_seconds += secs;
+        }
+        let parse_bytes = harvests.iter().map(|h| h.flashfs.total_size()).sum();
+        FusedRun {
+            harvests,
+            dataset: FleetDataset::from_phones(datasets),
+            parse_cpu_seconds,
+            parse_bytes,
+        }
+    }
+}
+
+/// The result of a fused campaign→parse run
+/// ([`FleetCampaign::run_fused`]).
+#[derive(Debug)]
+pub struct FusedRun {
+    /// Per-phone harvests, sorted by phone id — byte-identical to
+    /// [`FleetCampaign::run_parallel`]'s output.
+    pub harvests: Vec<PhoneHarvest>,
+    /// The fleet dataset parsed from those harvests — value-identical
+    /// to `FleetDataset::from_flash_parallel` over the same flashes.
+    pub dataset: FleetDataset,
+    /// CPU seconds spent inside flash parsing, summed across workers
+    /// (wall-clock parse cost is hidden inside the simulation overlap;
+    /// this counter is what the timing report can still attribute).
+    pub parse_cpu_seconds: f64,
+    /// Total flash bytes parsed.
+    pub parse_bytes: u64,
 }
 
 /// Per-firmware panic counts across a harvest, for the version
@@ -312,6 +400,35 @@ mod tests {
             assert_eq!(x.injected, y.injected);
             assert_eq!(x.flashfs.read_bytes("beats"), y.flashfs.read_bytes("beats"));
             assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
+        }
+    }
+
+    #[test]
+    fn fused_equals_staged_pipeline() {
+        let c = FleetCampaign::new(13, tiny_params()).with_corruption(CorruptionProfile::Worst);
+        let staged_harvest = c.run_parallel(3);
+        let systems: Vec<(u32, &FlashFs)> = staged_harvest
+            .iter()
+            .map(|h| (h.phone_id, &h.flashfs))
+            .collect();
+        let staged = FleetDataset::from_flash_parallel(&systems, 3);
+        for workers in [1, 2, 3] {
+            let fused = c.run_fused(workers);
+            assert_eq!(fused.harvests.len(), staged_harvest.len());
+            for (x, y) in fused.harvests.iter().zip(&staged_harvest) {
+                assert_eq!(x.phone_id, y.phone_id);
+                assert_eq!(x.stats, y.stats);
+                assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
+                assert_eq!(x.flashfs.read_bytes("beats"), y.flashfs.read_bytes("beats"));
+            }
+            assert_eq!(fused.dataset.names(), staged.names());
+            assert_eq!(fused.dataset.panic_count(), staged.panic_count());
+            for (f, s) in fused.dataset.phones().iter().zip(staged.phones()) {
+                assert_eq!(f.panics(), s.panics());
+                assert_eq!(f.beats(), s.beats());
+                assert_eq!(f.defects(), s.defects());
+            }
+            assert!(fused.parse_bytes > 0);
         }
     }
 

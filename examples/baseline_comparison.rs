@@ -44,8 +44,8 @@ fn main() {
     // the same RDebug hook, none of the context.
     let mut dexc_fs = FlashFs::new();
     let mut dexc = DExcLogger::new();
-    for (_, panic_record) in fleet.panics() {
-        dexc.on_panic(&mut dexc_fs, panic_record.at, &panic_record.panic);
+    for (_, event) in fleet.panics() {
+        dexc.on_panic(&mut dexc_fs, event.at, &event.to_panic(fleet.names()));
     }
     let collected = DExcLogger::parse(&dexc_fs);
     let dexc_dist: CategoricalDist = collected.iter().map(|(_, c)| c.to_string()).collect();

@@ -58,8 +58,7 @@ fn main() {
     let mut timeline: Vec<LogRecord> = dataset
         .panics()
         .iter()
-        .cloned()
-        .map(LogRecord::Panic)
+        .map(|e| LogRecord::Panic(e.to_record(dataset.names())))
         .chain(dataset.boots().iter().cloned().map(LogRecord::Boot))
         .collect();
     timeline.sort_by_key(|r| match r {

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Fleet-scale codec/pipeline datapoints: for each phone count in
+# PHONES_LIST, runs the campaign twice — staged (isolating the parse
+# stage's wall clock, which is what the throughput number means) and
+# fused (campaign+parse on the same workers, the production path) —
+# and assembles the per-scale numbers into one JSON document.
+#
+# If a previous document exists (the committed baseline, or $BASELINE),
+# the script gates on it: any phone count whose staged parse MB/s falls
+# below MIN_RATIO of the baseline fails the run. The fresh document is
+# only written once the gate passes, so a failing run never overwrites
+# the baseline it was judged against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_scale.json}"
+SEED="${SEED:-2005}"
+DAYS="${DAYS:-425}"
+WORKERS="${WORKERS:-4}"
+PHONES_LIST="${PHONES_LIST:-25 250 1000}"
+BASELINE="${BASELINE:-BENCH_scale.json}"
+MIN_RATIO="${MIN_RATIO:-0.8}"
+
+cargo build --release -p symfail-bench --bin repro >/dev/null
+BIN=target/release/repro
+
+tmp_staged="$(mktemp)"
+tmp_fused="$(mktemp)"
+tmp_out="$(mktemp)"
+trap 'rm -f "$tmp_staged" "$tmp_fused" "$tmp_out"' EXIT
+
+# First numeric value of a key in a timing-JSON dump.
+jget() { grep -o "\"$2\": [0-9.]*" "$1" | head -n1 | awk '{print $2}'; }
+# Wall-clock total: the sum of every stage's seconds.
+jwall() {
+    awk -F'"seconds": ' '/"stage"/ { split($2, a, ","); s += a[1] }
+        END { printf "%.6f", s }' "$1"
+}
+
+{
+    printf '{\n'
+    printf '  "schema": "symfail-bench-scale/1",\n'
+    printf '  "seed": %s,\n' "$SEED"
+    printf '  "days": %s,\n' "$DAYS"
+    printf '  "workers": %s,\n' "$WORKERS"
+    printf '  "points": [\n'
+    first=1
+    for phones in $PHONES_LIST; do
+        echo "bench_scale: $phones phones x $DAYS days..." >&2
+        "$BIN" --exp defects --seed "$SEED" --phones "$phones" --days "$DAYS" \
+            --workers "$WORKERS" --pipeline staged \
+            --timing-json "$tmp_staged" >/dev/null 2>&1
+        "$BIN" --exp defects --seed "$SEED" --phones "$phones" --days "$DAYS" \
+            --workers "$WORKERS" --pipeline fused \
+            --timing-json "$tmp_fused" >/dev/null 2>&1
+
+        parse_seconds="$(jget "$tmp_staged" parse_seconds)"
+        parse_bytes="$(jget "$tmp_staged" parse_bytes)"
+        parse_lines="$(jget "$tmp_staged" parse_lines)"
+        mbps="$(awk -v b="$parse_bytes" -v s="$parse_seconds" \
+            'BEGIN { printf "%.2f", (s > 0) ? b / s / 1048576 : 0 }')"
+
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        printf '    {"phones": %s,\n' "$phones"
+        printf '     "parse_seconds": %s,\n' "$parse_seconds"
+        printf '     "parse_bytes": %s,\n' "$parse_bytes"
+        printf '     "parse_lines": %s,\n' "$parse_lines"
+        printf '     "parse_mb_per_s": %s,\n' "$mbps"
+        printf '     "staged_wall_seconds": %s,\n' "$(jwall "$tmp_staged")"
+        printf '     "fused_wall_seconds": %s,\n' "$(jwall "$tmp_fused")"
+        printf '     "fused_parse_cpu_seconds": %s,\n' "$(jget "$tmp_fused" parse_seconds)"
+        printf '     "fused_total_allocs": %s}' "$(jget "$tmp_fused" total_allocs)"
+    done
+    printf '\n  ]\n}\n'
+} >"$tmp_out"
+
+# Regression gate: staged parse MB/s per phone count vs the baseline.
+pairs() {
+    awk -F'[:,]' '/"phones"/ { p = $2 + 0 }
+        /"parse_mb_per_s"/ { printf "%d %s\n", p, $2 + 0 }' "$1"
+}
+if [ -f "$BASELINE" ]; then
+    fail=0
+    while read -r phones new_mbps; do
+        base_mbps="$(pairs "$BASELINE" | awk -v p="$phones" '$1 == p { print $2 }')"
+        [ -n "$base_mbps" ] || continue
+        if ! awk -v a="$new_mbps" -v b="$base_mbps" -v r="$MIN_RATIO" \
+            'BEGIN { exit !(a + 0 >= r * b) }'; then
+            echo "bench_scale: REGRESSION at $phones phones:" \
+                "$new_mbps MB/s < $MIN_RATIO x baseline $base_mbps MB/s" >&2
+            fail=1
+        else
+            echo "bench_scale: $phones phones: $new_mbps MB/s" \
+                "(baseline $base_mbps MB/s) ok" >&2
+        fi
+    done < <(pairs "$tmp_out")
+    [ "$fail" = 0 ] || exit 1
+fi
+
+cp "$tmp_out" "$OUT"
+echo "wrote $OUT"

@@ -109,3 +109,36 @@ fn corrupted_analysis_identical_across_worker_counts() {
         );
     }
 }
+
+#[test]
+fn fused_pipeline_report_identical_across_worker_counts() {
+    // The fused pipeline parses each phone on the worker that
+    // simulated it, so the thread schedule decides *where* parsing
+    // happens — but must not decide anything about the result. Pin
+    // the whole rendered study, worst-case corruption included,
+    // across worker counts.
+    let campaign = FleetCampaign::new(2005, params()).with_corruption(CorruptionProfile::Worst);
+    let render_fused = |workers: usize| {
+        let run = campaign.run_fused(workers);
+        let report = StudyReport::analyze(&run.dataset, AnalysisConfig::default());
+        report.render_all() + &report.render_per_phone(&run.dataset)
+    };
+    let base = render_fused(1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            base,
+            render_fused(workers),
+            "fused-pipeline study differs with {workers} workers"
+        );
+    }
+    // And the fused dataset agrees with the staged path end to end.
+    let harvest = campaign.run_parallel(4);
+    let flash: Vec<(u32, &FlashFs)> = harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
+    let staged = FleetDataset::from_flash_parallel(&flash, 4);
+    let staged_report = StudyReport::analyze(&staged, AnalysisConfig::default());
+    assert_eq!(
+        base,
+        staged_report.render_all() + &staged_report.render_per_phone(&staged),
+        "fused and staged pipelines render different studies"
+    );
+}

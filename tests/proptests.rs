@@ -5,7 +5,9 @@ use proptest::test_runner::Config as ProptestConfig;
 
 use symfail::core::analysis::coalesce::CoalescenceAnalysis;
 use symfail::core::analysis::dataset::{FleetDataset, HlEvent, HlKind, PhoneDataset};
-use symfail::core::records::{decode_beat, encode_beat, HeartbeatEvent, LogRecord, PanicRecord};
+use symfail::core::records::{
+    decode_beat, encode_beat, BootRecord, HeartbeatEvent, LogRecord, PanicRecord, RecordRef,
+};
 use symfail::sim::{EventQueue, SimDuration, SimRng, SimTime};
 use symfail::stats::{CategoricalDist, Histogram, OnlineSummary};
 use symfail::symbian::cleanup::CleanupStack;
@@ -269,6 +271,101 @@ proptest! {
         let (t, e) = decode_beat(&encode_beat(SimTime::from_millis(at), ev)).unwrap();
         prop_assert_eq!(t, SimTime::from_millis(at));
         prop_assert_eq!(e, ev);
+    }
+}
+
+// ---------------------------------------------------------------
+// Zero-copy decode oracle: `RecordRef::decode` must agree with the
+// owned-String `LogRecord::parse_owned` path on every line — accepted
+// records value-identical, rejected lines carrying the same
+// `ParseDefect` class — under arbitrary damage.
+// ---------------------------------------------------------------
+
+proptest! {
+    /// For any encoded line (panic or boot, arbitrary field content)
+    /// and any damage (none, a cut at an arbitrary byte, a garbled
+    /// byte, or full replacement with garbage), the zero-copy decoder
+    /// and the owned oracle agree: same accept/reject verdict,
+    /// value-identical records on accept, same defect class on reject.
+    #[test]
+    fn zero_copy_decode_matches_owned_oracle(
+        is_boot in 0usize..2,
+        at in 0u64..10_000_000_000,
+        code in arb_panic_code(),
+        raised_by in "[A-Za-z_.]{1,16}",
+        reason in "[a-zA-Z0-9 _:;.~-]{0,60}",
+        apps in prop::collection::vec("[A-Za-z_]{1,10}", 0..5),
+        battery in 0u8..=100,
+        ev_which in 0usize..4,
+        gap in 0u64..10_000_000,
+        off in 0u64..1_000_001,
+        flags in 0usize..4,
+        which in 0usize..4,
+        pos in 0usize..1usize << 16,
+        byte in 0x20u8..0x7f,
+        garbage in "[ -~]{0,40}",
+    ) {
+        let line = if is_boot == 1 {
+            LogRecord::Boot(BootRecord {
+                boot_at: SimTime::from_millis(at + gap),
+                last_event: [
+                    HeartbeatEvent::Alive,
+                    HeartbeatEvent::Reboot,
+                    HeartbeatEvent::ManualOff,
+                    HeartbeatEvent::LowBattery,
+                ][ev_which],
+                last_event_at: SimTime::from_millis(at),
+                off_duration: (flags & 1 == 0).then(|| SimDuration::from_millis(off)),
+                freeze_detected: flags & 2 == 0,
+            })
+            .encode()
+        } else {
+            LogRecord::Panic(PanicRecord {
+                at: SimTime::from_millis(at),
+                panic: Panic::new(code, raised_by, reason),
+                running_apps: apps,
+                activity: [
+                    None,
+                    Some(ActivityKind::VoiceCall),
+                    Some(ActivityKind::Message),
+                    Some(ActivityKind::DataSession),
+                ][ev_which],
+                battery,
+            })
+            .encode()
+        };
+        // Encoded lines are pure ASCII, so the byte-level surgery
+        // below stays valid UTF-8 and every index is a char boundary.
+        prop_assert!(line.is_ascii());
+        let damaged = match which {
+            1 => {
+                let mut s = line;
+                s.truncate(pos % (s.len() + 1));
+                s
+            }
+            2 => {
+                let mut b = line.into_bytes();
+                if !b.is_empty() {
+                    let i = pos % b.len();
+                    b[i] = byte;
+                }
+                String::from_utf8(b).unwrap()
+            }
+            3 => garbage,
+            _ => line,
+        };
+        match (RecordRef::decode(&damaged), LogRecord::parse_owned(&damaged)) {
+            (Ok(r), Ok(o)) => prop_assert_eq!(r.to_owned_record(), o),
+            (Err(z), Err(o)) => prop_assert_eq!(
+                z.defect, o.defect,
+                "defect class diverged on {:?}", damaged
+            ),
+            (z, o) => prop_assert!(
+                false,
+                "verdict diverged on {:?}: zero-copy {:?} vs owned {:?}",
+                damaged, z.map(|r| r.to_owned_record()), o
+            ),
+        }
     }
 }
 
