@@ -11,6 +11,7 @@ use symfail_core::analysis::coalesce::CoalescenceAnalysis;
 use symfail_core::analysis::shutdown::{
     merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD,
 };
+use symfail_core::analysis::{COALESCENCE_ABLATION_WINDOWS_SECS, SHUTDOWN_THRESHOLD_SWEEP_SECS};
 use symfail_phone::fleet::FleetCampaign;
 use symfail_sim_core::SimDuration;
 
@@ -21,11 +22,13 @@ fn bench(c: &mut Criterion) {
 
     // Print the ablation artifacts once.
     println!("--- self-shutdown threshold sweep ---");
-    for (th, n) in shutdowns.threshold_sweep(&[60, 120, 240, 360, 500, 1000, 3600]) {
+    for (th, n) in shutdowns.threshold_sweep(&SHUTDOWN_THRESHOLD_SWEEP_SECS) {
         println!("  threshold {th:>5} s -> {n} self-shutdowns");
     }
     println!("--- coalescence window sweep ---");
-    for (w, frac) in CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000]) {
+    for (w, frac) in
+        CoalescenceAnalysis::window_sweep(&fleet, &hl, &COALESCENCE_ABLATION_WINDOWS_SECS)
+    {
         println!("  window {w:>6} s -> {:.1}% related", 100.0 * frac);
     }
     println!("--- heartbeat period vs log volume (30-day single phone) ---");
@@ -44,10 +47,12 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.bench_function("threshold_sweep", |b| {
-        b.iter(|| shutdowns.threshold_sweep(&[60, 120, 240, 360, 500, 1000, 3600]))
+        b.iter(|| shutdowns.threshold_sweep(&SHUTDOWN_THRESHOLD_SWEEP_SECS))
     });
     g.bench_function("window_sweep", |b| {
-        b.iter(|| CoalescenceAnalysis::window_sweep(&fleet, &hl, &[10, 60, 300, 1800, 36_000]))
+        b.iter(|| {
+            CoalescenceAnalysis::window_sweep(&fleet, &hl, &COALESCENCE_ABLATION_WINDOWS_SECS)
+        })
     });
     g.bench_function("campaign_30d_single_phone", |b| {
         let mut params = bench_params();

@@ -9,6 +9,7 @@ use symfail_core::analysis::report::StudyReport;
 use symfail_core::analysis::shutdown::{
     merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD,
 };
+use symfail_core::analysis::COALESCENCE_SWEEP_WINDOWS_SECS;
 use symfail_sim_core::SimDuration;
 
 fn bench(c: &mut Criterion) {
@@ -34,12 +35,17 @@ fn bench(c: &mut Criterion) {
             b.iter(|| CoalescenceAnalysis::new(&fleet, &hl, SimDuration::from_secs(w)))
         });
     }
-    const SWEEP_WINDOWS: [u64; 9] = [10, 30, 60, 120, 300, 600, 1800, 7200, 36_000];
     g.bench_function("window_sweep_9_points", |b| {
-        b.iter(|| CoalescenceAnalysis::window_sweep(&fleet, &hl, &SWEEP_WINDOWS))
+        b.iter(|| CoalescenceAnalysis::window_sweep(&fleet, &hl, &COALESCENCE_SWEEP_WINDOWS_SECS))
     });
     g.bench_function("window_sweep_9_points_brute_force", |b| {
-        b.iter(|| CoalescenceAnalysis::window_sweep_brute_force(&fleet, &hl, &SWEEP_WINDOWS))
+        b.iter(|| {
+            CoalescenceAnalysis::window_sweep_brute_force(
+                &fleet,
+                &hl,
+                &COALESCENCE_SWEEP_WINDOWS_SECS,
+            )
+        })
     });
     let analysis = CoalescenceAnalysis::new(&fleet, &hl, COALESCENCE_WINDOW);
     g.bench_function("category_breakdown", |b| b.iter(|| analysis.by_category()));
@@ -53,7 +59,7 @@ fn bench(c: &mut Criterion) {
         black_box(CoalescenceAnalysis::window_sweep(
             &fleet,
             &hl,
-            &SWEEP_WINDOWS,
+            &COALESCENCE_SWEEP_WINDOWS_SECS,
         ));
     }
     let fast = t.elapsed();
@@ -62,7 +68,7 @@ fn bench(c: &mut Criterion) {
         black_box(CoalescenceAnalysis::window_sweep_brute_force(
             &fleet,
             &hl,
-            &SWEEP_WINDOWS,
+            &COALESCENCE_SWEEP_WINDOWS_SECS,
         ));
     }
     let brute = t.elapsed();

@@ -5,7 +5,8 @@
 //! ```text
 //! repro [--exp all|table1|table2|table3|table4|fig2|fig3|fig5|fig6|mtbf|forum_marginals|ablations|targets]
 //!       [--seed N] [--phones N] [--days N] [--workers N] [--sweep]
-//!       [--pipeline fused|staged]
+//!       [--pipeline fused|staged] [--engine batch|streaming]
+//!       [--analyses all|comma-list]
 //!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
 //! ```
@@ -21,10 +22,16 @@
 //! removes the campaign→parse barrier: each worker parses a phone's
 //! flash right after simulating it; `--pipeline staged` keeps the two
 //! stages separate, which is what isolates parse wall-clock for
-//! throughput measurement. `--defects-json` dumps the fleet
-//! parse-defect report; `--timing-json` writes per-stage wall-clock
-//! timings plus allocation and parse-throughput counters to the given
-//! path.
+//! throughput measurement. `--engine streaming` goes further: each
+//! worker folds every analysis pass over the phone's dataset and drops
+//! both the flash and the dataset before taking the next phone, so no
+//! fleet dataset is ever materialized — the report stays
+//! byte-identical to `--engine batch` for any worker count.
+//! `--analyses` restricts the pass registry to a comma-list of pass
+//! names. `--defects-json` dumps the fleet parse-defect report;
+//! `--timing-json` writes per-stage wall-clock timings plus
+//! allocation (cumulative and peak-live) and parse-throughput
+//! counters to the given path.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -34,24 +41,40 @@ use std::time::Instant;
 use symfail_core::analysis::bursts::BurstAnalysis;
 use symfail_core::analysis::dataset::FleetDataset;
 use symfail_core::analysis::mtbf::MtbfAnalysis;
+use symfail_core::analysis::passes::PassRegistry;
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::analysis::shutdown::ShutdownAnalysis;
-use symfail_core::analysis::{coalesce, shutdown, targets};
+use symfail_core::analysis::{
+    coalesce, targets, COALESCENCE_SWEEP_WINDOWS_SECS, SHUTDOWN_THRESHOLD_SWEEP_SECS,
+};
 use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
 use symfail_phone::corruption::CorruptionProfile;
-use symfail_phone::fleet::{FleetCampaign, PhoneHarvest};
+use symfail_phone::fleet::{harvest_metas, FleetCampaign, PhoneMeta};
 use symfail_sim_core::SimDuration;
 
 /// A counting wrapper around the system allocator: lets
 /// `--timing-json` attribute heap-allocation counts and bytes to each
 /// pipeline stage, which is the direct evidence for the zero-copy
 /// codec (the parse stage's allocs scale with distinct names, not with
-/// records).
+/// records) — and track the **live/peak** footprint, which is the
+/// direct evidence for the streaming engine (peak stays bounded by
+/// `workers × per-phone state` instead of the whole fleet).
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_LIVE: AtomicU64 = AtomicU64::new(0);
+static ALLOC_PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn live_add(n: u64) {
+    let live = ALLOC_LIVE.fetch_add(n, Ordering::Relaxed) + n;
+    ALLOC_PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn live_sub(n: u64) {
+    ALLOC_LIVE.fetch_sub(n, Ordering::Relaxed);
+}
 
 // SAFETY: delegates every operation verbatim to `System`; the counter
 // updates are side-effect-only atomics.
@@ -59,16 +82,23 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        live_add(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        live_sub(layout.size() as u64);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        if new_size as u64 >= layout.size() as u64 {
+            live_add(new_size as u64 - layout.size() as u64);
+        } else {
+            live_sub(layout.size() as u64 - new_size as u64);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -82,6 +112,11 @@ fn alloc_now() -> (u64, u64) {
         ALLOC_CALLS.load(Ordering::Relaxed),
         ALLOC_BYTES.load(Ordering::Relaxed),
     )
+}
+
+/// High-water mark of live heap bytes so far, process-wide.
+fn alloc_peak() -> u64 {
+    ALLOC_PEAK.load(Ordering::Relaxed)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +134,27 @@ impl Pipeline {
     }
 }
 
+/// How the analysis layer consumes the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Materialize the whole [`FleetDataset`], then run the pass
+    /// registry over it (the oracle path).
+    Batch,
+    /// Fold each phone's dataset into the pass accumulators as soon as
+    /// it is parsed, dropping the flash and the dataset before the
+    /// worker takes the next phone — no fleet is ever materialized.
+    Streaming,
+}
+
+impl Engine {
+    fn as_str(self) -> &'static str {
+        match self {
+            Engine::Batch => "batch",
+            Engine::Streaming => "streaming",
+        }
+    }
+}
+
 struct Args {
     exp: String,
     seed: u64,
@@ -107,6 +163,8 @@ struct Args {
     workers: usize,
     sweep: bool,
     pipeline: Pipeline,
+    engine: Engine,
+    analyses: String,
     corruption: CorruptionProfile,
     defects_json: Option<String>,
     timing_json: Option<String>,
@@ -127,10 +185,13 @@ fn parse_args() -> Result<Args, String> {
         workers: default_workers(),
         sweep: false,
         pipeline: Pipeline::Fused,
+        engine: Engine::Batch,
+        analyses: "all".to_string(),
         corruption: CorruptionProfile::None,
         defects_json: None,
         timing_json: None,
     };
+    let mut pipeline_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -162,6 +223,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sweep" => args.sweep = true,
             "--pipeline" => {
+                pipeline_set = true;
                 args.pipeline = match it.next().as_deref() {
                     Some("fused") => Pipeline::Fused,
                     Some("staged") => Pipeline::Staged,
@@ -170,6 +232,16 @@ fn parse_args() -> Result<Args, String> {
                     }
                 }
             }
+            "--engine" => {
+                args.engine = match it.next().as_deref() {
+                    Some("batch") => Engine::Batch,
+                    Some("streaming") => Engine::Streaming,
+                    other => {
+                        return Err(format!("--engine needs batch or streaming, got {other:?}"))
+                    }
+                }
+            }
+            "--analyses" => args.analyses = it.next().ok_or("--analyses needs a comma-list")?,
             "--corruption" => {
                 let profile = it.next().ok_or("--corruption needs a profile name")?;
                 args.corruption = CorruptionProfile::parse(&profile).ok_or(format!(
@@ -183,16 +255,27 @@ fn parse_args() -> Result<Args, String> {
                 args.timing_json = Some(it.next().ok_or("--timing-json needs a path")?)
             }
             "--help" | "-h" => {
-                return Err(
+                return Err(format!(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
                      [--workers N] [--sweep] [--pipeline fused|staged] \
+                     [--engine batch|streaming] [--analyses LIST] \
                      [--corruption none|light|moderate|worst] \
-                     [--defects-json PATH] [--timing-json PATH]"
-                        .to_string(),
-                )
+                     [--defects-json PATH] [--timing-json PATH]\n\
+                     --analyses takes a comma-list of pass names \
+                     (default all): {}",
+                    PassRegistry::NAMES.join(",")
+                ))
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.engine == Engine::Streaming {
+        if pipeline_set && args.pipeline == Pipeline::Staged {
+            return Err("--engine streaming implies the fused pipeline; \
+                        drop --pipeline staged"
+                .to_string());
+        }
+        args.pipeline = Pipeline::Fused;
     }
     Ok(args)
 }
@@ -207,12 +290,14 @@ struct StageTiming {
     alloc_bytes: u64,
 }
 
-/// A fully-run campaign: the harvest, the parsed dataset, the analysis
-/// report, and the per-stage timing/allocation record.
+/// A fully-run campaign: per-phone metadata, the analysis report, and
+/// the per-stage timing/allocation record. The materialized fleet
+/// dataset exists only under `--engine batch`; the streaming engine
+/// never builds it.
 struct CampaignRun {
     report: StudyReport,
-    fleet: FleetDataset,
-    harvest: Vec<PhoneHarvest>,
+    fleet: Option<FleetDataset>,
+    metas: Vec<PhoneMeta>,
     timings: Vec<StageTiming>,
     /// Flash bytes fed to the parser (throughput numerator).
     parse_bytes: u64,
@@ -221,11 +306,14 @@ struct CampaignRun {
     /// summed across workers under `--pipeline fused` (where parse
     /// wall-clock overlaps simulation by design).
     parse_seconds: f64,
+    /// Flash bytes freed phone-by-phone instead of living for the
+    /// whole run (fused/streaming pipelines; zero under staged).
+    reclaimed_flash_bytes: u64,
 }
 
-/// Runs the fleet campaign and the full analysis pipeline, timing each
-/// stage.
-fn run_campaign(args: &Args) -> CampaignRun {
+/// Runs the fleet campaign and the analysis pipeline selected by
+/// `--engine` / `--analyses`, timing each stage.
+fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
     let params = CalibrationParams {
         phones: args.phones,
         campaign_days: args.days,
@@ -243,12 +331,37 @@ fn run_campaign(args: &Args) -> CampaignRun {
         });
     };
 
-    let (harvest, fleet, parse_seconds) = match args.pipeline {
+    let config = AnalysisConfig {
+        uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
+        ..AnalysisConfig::default()
+    };
+
+    if args.engine == Engine::Streaming {
+        let (t, a) = (Instant::now(), alloc_now());
+        let run = campaign.run_streaming(args.workers, config, registry);
+        stage("campaign+parse+fold", t, a);
+        return CampaignRun {
+            report: run.report,
+            fleet: None,
+            metas: run.metas,
+            timings,
+            parse_bytes: run.parse_bytes,
+            parse_seconds: run.parse_cpu_seconds,
+            reclaimed_flash_bytes: run.reclaimed_flash_bytes,
+        };
+    }
+
+    let (metas, fleet, parse_seconds, reclaimed_flash_bytes) = match args.pipeline {
         Pipeline::Fused => {
             let (t, a) = (Instant::now(), alloc_now());
             let fused = campaign.run_fused(args.workers);
             stage("campaign+parse", t, a);
-            (fused.harvests, fused.dataset, fused.parse_cpu_seconds)
+            (
+                fused.metas,
+                fused.dataset,
+                fused.parse_cpu_seconds,
+                fused.reclaimed_flash_bytes,
+            )
         }
         Pipeline::Staged => {
             let (t, a) = (Instant::now(), alloc_now());
@@ -260,15 +373,12 @@ fn run_campaign(args: &Args) -> CampaignRun {
             let fleet = FleetDataset::from_flash_parallel(&flash, args.workers);
             let parse_seconds = t.elapsed().as_secs_f64();
             stage("parse", t, a);
-            (harvest, fleet, parse_seconds)
+            // The flash lived for the whole campaign+parse span: no
+            // early reclaim to report on this path.
+            (harvest_metas(&harvest), fleet, parse_seconds, 0)
         }
     };
-    let parse_bytes: u64 = harvest.iter().map(|h| h.flashfs.total_size()).sum();
-
-    let config = AnalysisConfig {
-        uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
-        ..AnalysisConfig::default()
-    };
+    let parse_bytes: u64 = metas.iter().map(|m| m.flash_bytes).sum();
 
     // Individual analysis stages, timed in isolation before the full
     // report bundles them (the report re-runs them; these measure each
@@ -277,7 +387,10 @@ fn run_campaign(args: &Args) -> CampaignRun {
     let shutdowns = ShutdownAnalysis::new(&fleet, config.self_shutdown_threshold);
     stage("shutdown", t, a);
 
-    let hl = shutdown::merge_hl_events(fleet.freezes(), &shutdowns.self_shutdown_hl_events());
+    let hl = symfail_core::analysis::shutdown::merge_hl_events(
+        fleet.freezes(),
+        &shutdowns.self_shutdown_hl_events(),
+    );
     let (t, a) = (Instant::now(), alloc_now());
     let _ = coalesce::CoalescenceAnalysis::new(&fleet, &hl, config.coalescence_window);
     stage("coalescence", t, a);
@@ -291,16 +404,17 @@ fn run_campaign(args: &Args) -> CampaignRun {
     stage("bursts", t, a);
 
     let (t, a) = (Instant::now(), alloc_now());
-    let report = StudyReport::analyze(&fleet, config);
+    let report = StudyReport::analyze_with(&fleet, config, registry);
     stage("report_total", t, a);
 
     CampaignRun {
         report,
-        fleet,
-        harvest,
+        fleet: Some(fleet),
+        metas,
         timings,
         parse_bytes,
         parse_seconds,
+        reclaimed_flash_bytes,
     }
 }
 
@@ -326,18 +440,21 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
         0.0
     };
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/3\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"symfail-pipeline-timing/4\",\n  \"seed\": {},\n  \
          \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
-         \"pipeline\": \"{}\",\n  \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
+         \"pipeline\": \"{}\",\n  \"engine\": \"{}\",\n  \
+         \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
          \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
          \"parse_defects\": {},\n  \"parse_seconds\": {:.6},\n  \
          \"parse_bytes_per_sec\": {:.0},\n  \"total_allocs\": {},\n  \
-         \"total_alloc_bytes\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+         \"total_alloc_bytes\": {},\n  \"peak_alloc_bytes\": {},\n  \
+         \"reclaimed_flash_bytes\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
         args.seed,
         args.phones,
         args.days,
         args.workers,
         args.pipeline.as_str(),
+        args.engine.as_str(),
         args.corruption.as_str(),
         run.parse_bytes,
         defects.lines_seen,
@@ -347,6 +464,8 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
         parse_bytes_per_sec,
         total_allocs,
         total_alloc_bytes,
+        alloc_peak(),
+        run.reclaimed_flash_bytes,
         stages.join(",\n")
     )
 }
@@ -371,8 +490,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let registry = match PassRegistry::select(&args.analyses) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Experiments that walk the materialized fleet dataset cannot run
+    // on the streaming engine, which never builds one.
+    let needs_fleet = args.exp == "ablations" || (args.exp == "fig5" && args.sweep);
+    if needs_fleet && args.engine == Engine::Streaming {
+        eprintln!(
+            "--exp {}{} needs the materialized fleet; run it with --engine batch",
+            args.exp,
+            if args.sweep { " --sweep" } else { "" }
+        );
+        return ExitCode::FAILURE;
+    }
     let needs_campaign = args.exp != "table1" && args.exp != "forum_marginals";
-    let run = needs_campaign.then(|| run_campaign(&args));
+    let run = needs_campaign.then(|| run_campaign(&args, &registry));
     if let (Some(path), Some(run)) = (&args.timing_json, &run) {
         let json = timing_json(&args, run);
         if let Err(e) = std::fs::write(path, json) {
@@ -389,14 +526,14 @@ fn main() -> ExitCode {
         eprintln!("wrote defect report to {path}");
     }
     let (report, fleet) = match &run {
-        Some(run) => (Some(&run.report), Some(&run.fleet)),
+        Some(run) => (Some(&run.report), run.fleet.as_ref()),
         None => (None, None),
     };
     match args.exp.as_str() {
         "all" => {
             let report = report.expect("campaign ran");
             println!("{}", report.render_all());
-            println!("{}", report.render_per_phone(fleet.expect("fleet present")));
+            println!("{}", report.render_per_phone());
             println!("{}", forum_report(args.seed));
             println!("\n=== campaign paper-vs-measured shape report ===");
             println!("{}", report.shape_report());
@@ -417,7 +554,7 @@ fn main() -> ExitCode {
             println!("{}", report.render_fig5());
             if args.sweep {
                 let fleet = fleet.expect("fleet present");
-                let hl = shutdown::merge_hl_events(
+                let hl = symfail_core::analysis::shutdown::merge_hl_events(
                     fleet.freezes(),
                     &report.shutdowns.self_shutdown_hl_events(),
                 );
@@ -425,7 +562,7 @@ fn main() -> ExitCode {
                 for (w, frac) in coalesce::CoalescenceAnalysis::window_sweep(
                     fleet,
                     &hl,
-                    &[10, 30, 60, 120, 300, 600, 1800, 7200, 36_000],
+                    &COALESCENCE_SWEEP_WINDOWS_SECS,
                 ) {
                     println!("  window {w:>6} s -> {:.1}% related", 100.0 * frac);
                 }
@@ -437,19 +574,19 @@ fn main() -> ExitCode {
             println!("--- self-shutdown threshold sweep (Fig. 2's 360 s choice) ---");
             for (th, n) in report
                 .shutdowns
-                .threshold_sweep(&[60, 120, 240, 360, 500, 1000, 3600])
+                .threshold_sweep(&SHUTDOWN_THRESHOLD_SWEEP_SECS)
             {
                 println!("  threshold {th:>5} s -> {n} self-shutdowns");
             }
             println!("--- coalescence window sweep (Fig. 4/5's 5-minute choice) ---");
-            let hl = shutdown::merge_hl_events(
+            let hl = symfail_core::analysis::shutdown::merge_hl_events(
                 fleet.freezes(),
                 &report.shutdowns.self_shutdown_hl_events(),
             );
             for (w, frac) in coalesce::CoalescenceAnalysis::window_sweep(
                 fleet,
                 &hl,
-                &[10, 30, 60, 120, 300, 600, 1800, 7200, 36_000],
+                &COALESCENCE_SWEEP_WINDOWS_SECS,
             ) {
                 println!("  window {w:>6} s -> {:.1}% related", 100.0 * frac);
             }
@@ -462,34 +599,27 @@ fn main() -> ExitCode {
         }
         "perphone" => {
             let report = report.expect("campaign ran");
-            let fleet = fleet.expect("fleet present");
-            println!("{}", report.render_per_phone(fleet));
+            println!("{}", report.render_per_phone());
         }
         "extensions" => {
             // Post-paper extensions: baseline comparison, temporal
             // behaviour, and the user-report channel (future work).
-            // All of them reuse the primary campaign's harvest — the
-            // campaign is deterministic in the seed, so re-running it
-            // would only burn time producing identical bytes.
+            // All of them run off the report and the per-phone metas —
+            // no materialized fleet — so they work under both engines.
             let run = run.as_ref().expect("campaign ran");
-            let harvest = &run.harvest;
+            let metas = &run.metas;
             let report = &run.report;
-            let fleet = &run.fleet;
             println!(
                 "{}",
-                symfail_core::analysis::baseline::BaselineComparison::new(fleet, report).render()
-            );
-            let hl = shutdown::merge_hl_events(
-                fleet.freezes(),
-                &report.shutdowns.self_shutdown_hl_events(),
+                symfail_core::analysis::baseline::BaselineComparison::new(report).render()
             );
             if let Some(ia) =
-                symfail_core::analysis::interarrival::InterArrivalAnalysis::new(fleet, &hl)
+                symfail_core::analysis::interarrival::InterArrivalAnalysis::new(&report.hl_events)
             {
                 println!("{}", ia.render("freezes + self-shutdowns"));
             }
             println!("panic counts by firmware (ground truth):");
-            for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(harvest) {
+            for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(metas) {
                 let per_phone = if phones > 0 {
                     panics as f64 / phones as f64
                 } else {
@@ -498,22 +628,22 @@ fn main() -> ExitCode {
                 println!("  {version:<12} {phones:>2} phones  {panics:>4} panics  ({per_phone:.1}/phone)");
             }
             println!();
-            let sev = symfail_core::analysis::severity::SeverityAnalysis::new(
-                fleet,
-                &report.shutdowns,
+            let sev = symfail_core::analysis::severity::SeverityAnalysis::from_counts(
+                report.mtbf.freezes,
+                report.mtbf.self_shutdowns,
                 report.mtbf.total_hours,
             );
             println!("{}", sev.render());
-            let truth = symfail_phone::fleet::total_stats(harvest);
+            let truth = symfail_phone::fleet::total_stats(metas);
             let ureports =
-                symfail_core::analysis::output_failures::OutputFailureAnalysis::from_flash(
-                    harvest.iter().map(|h| (h.phone_id, &h.flashfs)),
+                symfail_core::analysis::output_failures::OutputFailureAnalysis::from_reports(
+                    metas.iter().map(|m| (m.phone_id, m.ureports.as_slice())),
                 );
             println!("{}", ureports.render(Some(truth.output_failures)));
         }
         "stats" => {
             let run = run.as_ref().expect("campaign ran");
-            println!("{:#?}", symfail_phone::fleet::total_stats(&run.harvest));
+            println!("{:#?}", symfail_phone::fleet::total_stats(&run.metas));
         }
         "targets" => {
             let report = report.expect("campaign ran");

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use symfail_stats::ContingencyTable;
 use symfail_symbian::servers::logdb::ActivityKind;
 
-use super::coalesce::CoalescenceAnalysis;
+use super::coalesce::{CoalescedPanic, CoalescenceAnalysis};
 
 /// Row label for panics with no registered activity.
 pub const UNSPECIFIED: &str = "unspecified";
@@ -31,10 +31,17 @@ impl ActivityAnalysis {
     /// considering only panics that led to an HL event (as the paper
     /// does for Table 3).
     pub fn new(coalescence: &CoalescenceAnalysis) -> Self {
+        Self::from_coalesced(coalescence.panics())
+    }
+
+    /// Builds the table from a coalesced-panic slice directly — the
+    /// per-phone fold of the streaming
+    /// [`AnalysisPass`](crate::analysis::passes::AnalysisPass) engine.
+    pub fn from_coalesced(panics: &[CoalescedPanic]) -> Self {
         let mut table = ContingencyTable::new();
         let mut total = 0;
         let mut real_time = 0;
-        for p in coalescence.panics() {
+        for p in panics {
             if p.related.is_none() {
                 continue;
             }
@@ -55,6 +62,15 @@ impl ActivityAnalysis {
             total,
             real_time,
         }
+    }
+
+    /// Merges another phone's fold into this accumulator. Counts are
+    /// additive and the table is order-insensitive, so absorbing folds
+    /// in any associative grouping yields the batch result.
+    pub fn absorb(&mut self, other: &ActivityAnalysis) {
+        self.table.merge(&other.table);
+        self.total += other.total;
+        self.real_time += other.real_time;
     }
 
     /// The activity × panic-category contingency table.

@@ -12,7 +12,6 @@ use serde::{Deserialize, Serialize};
 
 use symfail_stats::{AsciiTable, CategoricalDist, CellAlign};
 
-use super::dataset::FleetDataset;
 use super::report::StudyReport;
 
 /// One artifact of the study and whether each tool can produce it.
@@ -91,10 +90,24 @@ pub struct BaselineComparison {
 }
 
 impl BaselineComparison {
-    /// Compares the tools over an analyzed campaign.
-    pub fn new(fleet: &FleetDataset, report: &StudyReport) -> Self {
-        let panics_with_activity = fleet.panics().filter(|(_, p)| p.activity.is_some()).count();
-        let panics_with_running_apps = fleet.panics().filter(|(_, p)| !p.apps.is_empty()).count();
+    /// Compares the tools over an analyzed campaign. Context counts
+    /// come from the report's coalescence section (one
+    /// [`CoalescedPanic`](super::coalesce::CoalescedPanic) per fleet
+    /// panic), so no materialized fleet is needed — the streaming
+    /// report suffices.
+    pub fn new(report: &StudyReport) -> Self {
+        let panics_with_activity = report
+            .coalescence
+            .panics()
+            .iter()
+            .filter(|p| p.panic.activity.is_some())
+            .count();
+        let panics_with_running_apps = report
+            .coalescence
+            .panics()
+            .iter()
+            .filter(|p| !p.panic.apps.is_empty())
+            .count();
         let hl_events_full = report.mtbf.freezes + report.shutdowns.self_shutdowns().len();
         let supported = ARTIFACT_SUPPORT.iter().filter(|a| a.dexc).count();
         Self {
@@ -147,7 +160,7 @@ impl BaselineComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::dataset::PhoneDataset;
+    use crate::analysis::dataset::{FleetDataset, PhoneDataset};
     use crate::analysis::report::AnalysisConfig;
     use crate::flashfs::FlashFs;
     use crate::logger::{FailureLogger, LoggerConfig, PhoneContext, ShutdownKind};
@@ -187,7 +200,7 @@ mod tests {
     fn comparison_counts_context() {
         let f = fleet();
         let report = StudyReport::analyze(&f, AnalysisConfig::default());
-        let cmp = BaselineComparison::new(&f, &report);
+        let cmp = BaselineComparison::new(&report);
         assert_eq!(cmp.panics_collected, 2);
         assert_eq!(cmp.panics_with_activity, 1);
         assert_eq!(cmp.panics_with_running_apps, 1);
@@ -203,7 +216,7 @@ mod tests {
     fn render_contains_matrix() {
         let f = fleet();
         let report = StudyReport::analyze(&f, AnalysisConfig::default());
-        let s = BaselineComparison::new(&f, &report).render();
+        let s = BaselineComparison::new(&report).render();
         assert!(s.contains("D_EXC"));
         assert!(s.contains("Table 2"));
         assert!(s.contains("freeze detection"));

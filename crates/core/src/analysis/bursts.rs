@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use symfail_sim_core::SimDuration;
 use symfail_stats::CategoricalDist;
 
-use super::dataset::FleetDataset;
+use super::dataset::{FleetDataset, PanicEvent};
 
 /// Default gap under which two subsequent panics on the same phone
 /// belong to one cascade.
@@ -35,6 +35,32 @@ pub struct BurstAnalysis {
     total_panics: usize,
 }
 
+/// Groups one phone's time-ordered panics into cascades — the
+/// per-phone unit of work shared by the batch analysis and the
+/// streaming [`AnalysisPass`](crate::analysis::passes::AnalysisPass)
+/// engine.
+pub fn phone_cascades(phone_id: u32, panics: &[PanicEvent], gap: SimDuration) -> Vec<Cascade> {
+    let mut cascades = Vec::new();
+    let mut size = 0usize;
+    let mut last_at = None;
+    for p in panics {
+        match last_at {
+            Some(prev) if p.at.saturating_since(prev) <= gap => size += 1,
+            _ => {
+                if size > 0 {
+                    cascades.push(Cascade { phone_id, size });
+                }
+                size = 1;
+            }
+        }
+        last_at = Some(p.at);
+    }
+    if size > 0 {
+        cascades.push(Cascade { phone_id, size });
+    }
+    cascades
+}
+
 impl BurstAnalysis {
     /// Groups each phone's time-ordered panics into cascades using the
     /// given gap.
@@ -42,35 +68,21 @@ impl BurstAnalysis {
         let mut cascades = Vec::new();
         let mut total = 0;
         for phone in fleet.phones() {
-            let panics = phone.panics();
-            total += panics.len();
-            let mut size = 0usize;
-            let mut last_at = None;
-            for p in panics {
-                match last_at {
-                    Some(prev) if p.at.saturating_since(prev) <= gap => size += 1,
-                    _ => {
-                        if size > 0 {
-                            cascades.push(Cascade {
-                                phone_id: phone.phone_id(),
-                                size,
-                            });
-                        }
-                        size = 1;
-                    }
-                }
-                last_at = Some(p.at);
-            }
-            if size > 0 {
-                cascades.push(Cascade {
-                    phone_id: phone.phone_id(),
-                    size,
-                });
-            }
+            total += phone.panics().len();
+            cascades.extend(phone_cascades(phone.phone_id(), phone.panics(), gap));
         }
         Self {
             cascades,
             total_panics: total,
+        }
+    }
+
+    /// Reassembles an analysis from per-phone cascade folds — the
+    /// streaming engine's `finish` step.
+    pub fn from_parts(cascades: Vec<Cascade>, total_panics: usize) -> Self {
+        Self {
+            cascades,
+            total_panics,
         }
     }
 

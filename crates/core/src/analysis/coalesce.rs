@@ -110,6 +110,55 @@ fn phone_slice(hl: &[HlEvent], phone_id: u32) -> &[HlEvent] {
     &hl[lo..hi]
 }
 
+/// One phone's coalescence fold: the per-phone unit of work shared by
+/// the batch analysis and the streaming
+/// [`AnalysisPass`](crate::analysis::passes::AnalysisPass) engine, so
+/// both paths run literally the same kernel.
+#[derive(Debug, Clone, Default)]
+pub struct PhoneCoalesce {
+    /// The phone's panics with their coalescence outcome, in time
+    /// order.
+    pub panics: Vec<CoalescedPanic>,
+    /// HL events considered on this phone.
+    pub hl_total: usize,
+    /// HL events with at least one panic in their window.
+    pub hl_with_panic: usize,
+}
+
+/// Coalesces one phone's time-sorted panics against its time-sorted
+/// HL slice. Tie discipline matches the fleet merge: equidistant (or
+/// same-instant) events resolve to the earliest in slice order.
+pub fn coalesce_phone(
+    phone_id: u32,
+    panics: &[PanicEvent],
+    hl: &[HlEvent],
+    window: SimDuration,
+) -> PhoneCoalesce {
+    let window_ms = window.as_millis();
+    let mut out = Vec::with_capacity(panics.len());
+    for rec in panics {
+        let related = nearest_hl(hl, rec.at)
+            .filter(|&(gap, _)| gap <= window_ms)
+            .map(|(_, kind)| kind);
+        out.push(CoalescedPanic {
+            phone_id,
+            panic: rec.clone(),
+            related,
+        });
+    }
+    // HL-side view: how many of this phone's HL events have at least
+    // one panic in their window.
+    let hl_with_panic = hl
+        .iter()
+        .filter(|e| nearest_panic_gap(panics, e.at).is_some_and(|gap| gap <= window_ms))
+        .count();
+    PhoneCoalesce {
+        panics: out,
+        hl_total: hl.len(),
+        hl_with_panic,
+    }
+}
+
 impl CoalescenceAnalysis {
     /// Coalesces each panic with the HL events of the same phone
     /// within `window`. If several HL events fall in the window, the
@@ -117,34 +166,34 @@ impl CoalescenceAnalysis {
     /// O((P+H)·log H); see [`Self::new_brute_force`] for the oracle.
     pub fn new(fleet: &FleetDataset, hl_events: &[HlEvent], window: SimDuration) -> Self {
         let hl = sorted_hl(hl_events);
-        let window_ms = window.as_millis();
         let mut panics = Vec::with_capacity(fleet.panic_count());
         let mut hl_with_panic = 0;
         for phone in fleet.phones() {
             let slice = phone_slice(&hl, phone.phone_id());
-            for rec in phone.panics() {
-                let related = nearest_hl(slice, rec.at)
-                    .filter(|&(gap, _)| gap <= window_ms)
-                    .map(|(_, kind)| kind);
-                panics.push(CoalescedPanic {
-                    phone_id: phone.phone_id(),
-                    panic: rec.clone(),
-                    related,
-                });
-            }
-            // HL-side view: how many of this phone's HL events have at
-            // least one panic in their window.
-            hl_with_panic += slice
-                .iter()
-                .filter(|e| {
-                    nearest_panic_gap(phone.panics(), e.at).is_some_and(|gap| gap <= window_ms)
-                })
-                .count();
+            let fold = coalesce_phone(phone.phone_id(), phone.panics(), slice, window);
+            panics.extend(fold.panics);
+            hl_with_panic += fold.hl_with_panic;
         }
         Self {
             window,
             panics,
             hl_total: hl_events.len(),
+            hl_with_panic,
+        }
+    }
+
+    /// Reassembles an analysis from per-phone folds merged in phone-id
+    /// order — the streaming engine's `finish` step.
+    pub fn from_parts(
+        window: SimDuration,
+        panics: Vec<CoalescedPanic>,
+        hl_total: usize,
+        hl_with_panic: usize,
+    ) -> Self {
+        Self {
+            window,
+            panics,
+            hl_total,
             hl_with_panic,
         }
     }

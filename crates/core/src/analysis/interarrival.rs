@@ -11,11 +11,14 @@
 //! process (consistent with the error-propagation finding of
 //! Figure 3).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
+use symfail_sim_core::SimTime;
 use symfail_stats::{Ecdf, OnlineSummary};
 
-use super::dataset::{FleetDataset, HlEvent};
+use super::dataset::HlEvent;
 
 /// Inter-arrival analysis over the fleet's high-level failures.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,16 +31,17 @@ pub struct InterArrivalAnalysis {
 
 impl InterArrivalAnalysis {
     /// Builds the analysis from HL events (wall-clock inter-arrival
-    /// per phone, pooled over the fleet). Returns `None` when fewer
-    /// than two events exist on every phone.
-    pub fn new(fleet: &FleetDataset, events: &[HlEvent]) -> Option<Self> {
+    /// per phone, pooled over the fleet). Events are grouped by
+    /// `phone_id`, so the caller needs no materialized fleet — the
+    /// streaming report's `hl_events` section is enough. Returns
+    /// `None` when fewer than two events exist on every phone.
+    pub fn new(events: &[HlEvent]) -> Option<Self> {
+        let mut by_phone: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
+        for e in events {
+            by_phone.entry(e.phone_id).or_default().push(e.at);
+        }
         let mut gaps_hours: Vec<f64> = Vec::new();
-        for phone in fleet.phones() {
-            let mut times: Vec<_> = events
-                .iter()
-                .filter(|e| e.phone_id == phone.phone_id())
-                .map(|e| e.at)
-                .collect();
+        for (_, mut times) in by_phone {
             times.sort();
             for pair in times.windows(2) {
                 let gap = pair[1].saturating_since(pair[0]).as_hours_f64();
@@ -128,16 +132,7 @@ fn ks_to_exponential(gaps: &[f64], mean: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::dataset::{HlKind, PhoneDataset};
-    use symfail_sim_core::SimTime;
-
-    fn fleet(n_phones: u32) -> FleetDataset {
-        FleetDataset::from_phones(
-            (0..n_phones)
-                .map(|id| PhoneDataset::new(id, Vec::new(), Vec::new()))
-                .collect(),
-        )
-    }
+    use crate::analysis::dataset::HlKind;
 
     fn event(phone: u32, hours: u64) -> HlEvent {
         HlEvent {
@@ -149,27 +144,24 @@ mod tests {
 
     #[test]
     fn needs_two_events_somewhere() {
-        let f = fleet(2);
-        assert!(InterArrivalAnalysis::new(&f, &[]).is_none());
-        assert!(InterArrivalAnalysis::new(&f, &[event(0, 1)]).is_none());
-        assert!(InterArrivalAnalysis::new(&f, &[event(0, 1), event(1, 2)]).is_none());
-        assert!(InterArrivalAnalysis::new(&f, &[event(0, 1), event(0, 2)]).is_some());
+        assert!(InterArrivalAnalysis::new(&[]).is_none());
+        assert!(InterArrivalAnalysis::new(&[event(0, 1)]).is_none());
+        assert!(InterArrivalAnalysis::new(&[event(0, 1), event(1, 2)]).is_none());
+        assert!(InterArrivalAnalysis::new(&[event(0, 1), event(0, 2)]).is_some());
     }
 
     #[test]
     fn gaps_are_per_phone() {
-        let f = fleet(2);
         let events = [event(0, 0), event(0, 10), event(1, 5), event(1, 25)];
-        let a = InterArrivalAnalysis::new(&f, &events).unwrap();
+        let a = InterArrivalAnalysis::new(&events).unwrap();
         assert_eq!(a.len(), 2);
         assert!((a.mean_hours() - 15.0).abs() < 1e-9);
     }
 
     #[test]
     fn regular_gaps_have_zero_cv_and_large_ks() {
-        let f = fleet(1);
         let events: Vec<HlEvent> = (0..20).map(|i| event(0, 10 * i)).collect();
-        let a = InterArrivalAnalysis::new(&f, &events).unwrap();
+        let a = InterArrivalAnalysis::new(&events).unwrap();
         assert!(a.coefficient_of_variation() < 1e-9);
         // A deterministic process is far from exponential.
         assert!(a.ks_to_exponential() > 0.3);
@@ -178,7 +170,6 @@ mod tests {
     #[test]
     fn exponential_gaps_fit_well() {
         use symfail_sim_core::SimRng;
-        let f = fleet(1);
         let mut rng = SimRng::seed_from(9);
         let mut t = 0.0;
         let mut events = Vec::new();
@@ -190,7 +181,7 @@ mod tests {
                 kind: HlKind::Freeze,
             });
         }
-        let a = InterArrivalAnalysis::new(&f, &events).unwrap();
+        let a = InterArrivalAnalysis::new(&events).unwrap();
         assert!(
             (a.coefficient_of_variation() - 1.0).abs() < 0.1,
             "cv {}",
@@ -202,9 +193,8 @@ mod tests {
 
     #[test]
     fn quantiles_and_render() {
-        let f = fleet(1);
         let events = [event(0, 0), event(0, 10), event(0, 30)];
-        let a = InterArrivalAnalysis::new(&f, &events).unwrap();
+        let a = InterArrivalAnalysis::new(&events).unwrap();
         assert!((a.quantile_hours(0.5).unwrap() - 15.0).abs() < 1e-9);
         let s = a.render("freezes");
         assert!(s.contains("n=2"));

@@ -19,6 +19,12 @@
 //!    (Table 4, Figure 6);
 //! 8. [`report`] bundles everything into a printable study report and
 //!    compares it against the paper's numbers ([`targets`]).
+//!
+//! Every step is expressed as an [`passes::AnalysisPass`] — a
+//! per-phone fold with a phone-ordered merge — so the same code runs
+//! both as the batch driver over a materialized
+//! [`dataset::FleetDataset`] and as the streaming engine fused with
+//! the campaign (peak memory bounded by `workers × per-phone state`).
 
 pub mod activity;
 pub mod baseline;
@@ -29,8 +35,24 @@ pub mod defects;
 pub mod interarrival;
 pub mod mtbf;
 pub mod output_failures;
+pub mod passes;
 pub mod report;
 pub mod runapps;
 pub mod severity;
 pub mod shutdown;
 pub mod targets;
+
+/// Candidate coalescence windows (seconds) for the Figure 4/5 sweep
+/// that justifies the five-minute choice. Single source of truth for
+/// `repro --exp fig5 --sweep`, the ablation experiment, and the
+/// `fig5_coalescence` bench.
+pub const COALESCENCE_SWEEP_WINDOWS_SECS: [u64; 9] =
+    [10, 30, 60, 120, 300, 600, 1800, 7200, 36_000];
+
+/// Reduced window list used by the ablation benches, bracketing the
+/// paper's 300 s choice at log-ish spacing.
+pub const COALESCENCE_ABLATION_WINDOWS_SECS: [u64; 5] = [10, 60, 300, 1800, 36_000];
+
+/// Candidate self-shutdown thresholds (seconds) for the Figure 2
+/// classification ablation, bracketing the paper's 360 s choice.
+pub const SHUTDOWN_THRESHOLD_SWEEP_SECS: [u64; 7] = [60, 120, 240, 360, 500, 1000, 3600];

@@ -39,8 +39,19 @@ impl MtbfAnalysis {
     /// count produced by the Figure 2 classification (it is a
     /// *derived* quantity, so it is passed in rather than recomputed).
     pub fn new(fleet: &FleetDataset, self_shutdowns: usize, uptime_gap: SimDuration) -> Self {
-        let total_hours = fleet.powered_on_time(uptime_gap).as_hours_f64();
-        let freezes = fleet.freezes().len();
+        Self::from_totals(
+            fleet.powered_on_time(uptime_gap),
+            fleet.freezes().len(),
+            self_shutdowns,
+        )
+    }
+
+    /// Derives the estimates from already-summed fleet totals — the
+    /// streaming engine's `finish` step. Summing per-phone
+    /// [`SimDuration`]s (integer milliseconds) before the single
+    /// float conversion keeps this bit-identical to the batch path.
+    pub fn from_totals(powered_on: SimDuration, freezes: usize, self_shutdowns: usize) -> Self {
+        let total_hours = powered_on.as_hours_f64();
         let div = |n: usize| (n > 0).then(|| total_hours / n as f64);
         Self {
             total_hours,

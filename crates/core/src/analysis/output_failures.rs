@@ -30,10 +30,23 @@ impl OutputFailureAnalysis {
     where
         I: IntoIterator<Item = (u32, &'a FlashFs)>,
     {
+        let parsed: Vec<(u32, Vec<(SimTime, UserReportKind)>)> = filesystems
+            .into_iter()
+            .map(|(phone_id, fs)| (phone_id, UserReportChannel::parse(fs)))
+            .collect();
+        Self::from_reports(parsed.iter().map(|(p, r)| (*p, r.as_slice())))
+    }
+
+    /// Builds the summary from already-parsed reports — the streaming
+    /// pipeline keeps these per-phone while dropping the flash itself.
+    pub fn from_reports<'a, I>(per_phone: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, &'a [(SimTime, UserReportKind)])>,
+    {
         let mut reports = Vec::new();
         let mut by_kind = CategoricalDist::new();
-        for (phone_id, fs) in filesystems {
-            for (at, kind) in UserReportChannel::parse(fs) {
+        for (phone_id, parsed) in per_phone {
+            for &(at, kind) in parsed {
                 by_kind.add(kind.token());
                 reports.push((phone_id, at, kind));
             }

@@ -1,0 +1,814 @@
+//! The composable analysis-pass framework: per-phone map-fold with a
+//! deterministic phone-ordered merge.
+//!
+//! Every study section is an [`AnalysisPass`]: it folds one
+//! [`PhoneDataset`] into a small per-phone summary
+//! ([`AnalysisPass::fold_phone`]), merges summaries into a fleet
+//! accumulator ([`AnalysisPass::merge`]), and finishes the accumulator
+//! into its report section ([`AnalysisPass::finish`]). The contract
+//! that makes streaming safe:
+//!
+//! - **merge is associative over phone order**: merging folds
+//!   `0, 1, …, n` one at a time must equal the batch analysis over the
+//!   whole fleet. Passes achieve this either by concatenating
+//!   per-phone vectors in phone-id order (shutdowns, cascades,
+//!   coalesced panics, defects) or by using order-insensitive additive
+//!   counters (`CategoricalDist`/`ContingencyTable` are
+//!   `BTreeMap`-backed).
+//! - **name ids never leak unmapped**: only coalesced panics carry
+//!   interned [`NameId`](crate::intern::NameId)s. The merge context
+//!   provides the phone's remap table (built by absorbing per-phone
+//!   [`NameTable`]s in phone-id order — the PR 3 interner discipline),
+//!   so streamed ids are bit-identical to the batch fleet table's.
+//!   Passes that need strings (running apps) resolve them at fold
+//!   time instead.
+//!
+//! [`StreamMerger`] drives the streaming side: workers push
+//! [`PhoneFolds`] in any order; folds are buffered and absorbed
+//! strictly in phone-id order, so the report is byte-identical for any
+//! worker count — and byte-identical to the batch driver
+//! ([`StudyReport::analyze`]), which runs the *same* passes over a
+//! materialized fleet with an identity remap. Peak memory of the
+//! streaming engine is `workers × per-phone state` plus the folded
+//! summaries; flash bytes and datasets are dropped phone by phone.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use symfail_sim_core::SimDuration;
+use symfail_stats::CategoricalDist;
+
+use crate::intern::NameTable;
+
+use super::activity::ActivityAnalysis;
+use super::bursts::{phone_cascades, BurstAnalysis, Cascade};
+use super::coalesce::{coalesce_phone, CoalescenceAnalysis, PhoneCoalesce};
+use super::dataset::{HlEvent, HlKind, PhoneDataset, ShutdownEvent};
+use super::defects::{DefectReport, PhoneDefects};
+use super::mtbf::MtbfAnalysis;
+use super::report::{AnalysisConfig, PhoneRow, StudyReport};
+use super::runapps::RunningAppsAnalysis;
+use super::shutdown::ShutdownAnalysis;
+
+/// Type-erased per-phone summary produced by [`AnalysisPass::fold_phone`].
+pub type DynFold = Box<dyn Any + Send>;
+
+/// Type-erased fleet accumulator produced by [`AnalysisPass::new_acc`].
+pub type DynAcc = Box<dyn Any + Send>;
+
+/// Merge-time context: which phone is being absorbed and how its name
+/// ids map into the fleet table.
+pub struct MergeCtx<'a> {
+    /// Phone id of the fold being merged.
+    pub phone_id: u32,
+    /// `remap[phone_local_id] = fleet_id`, or `None` when the fold's
+    /// ids are already fleet ids (batch driver, or an identity remap).
+    pub remap: Option<&'a [u16]>,
+}
+
+/// One section of the study as a per-phone fold + ordered merge.
+///
+/// Implementations must keep `merge` associative over phone-id order
+/// (see the module docs); the framework guarantees folds arrive in
+/// phone-id order regardless of which worker produced them.
+pub trait AnalysisPass: Send + Sync {
+    /// Stable pass name, used by `--analyses` selection.
+    fn name(&self) -> &'static str;
+
+    /// Whether this pass consumes the per-phone coalescence fold (so
+    /// [`PhoneLens::new`] can skip computing it when nothing does).
+    fn needs_coalesce(&self) -> bool {
+        false
+    }
+
+    /// A fresh, empty fleet accumulator.
+    fn new_acc(&self) -> DynAcc;
+
+    /// Folds one phone into a summary. Must not retain references into
+    /// the dataset: the streaming engine drops the phone right after.
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold;
+
+    /// Merges a phone's fold into the fleet accumulator.
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, ctx: &MergeCtx<'_>);
+
+    /// Finishes the accumulator into the pass's report section.
+    fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput;
+}
+
+/// A finished report section, one variant per pass.
+#[derive(Debug, Clone)]
+pub enum PassOutput {
+    /// Figure 2 section.
+    Shutdowns(ShutdownAnalysis),
+    /// MTBF section.
+    Mtbf(MtbfAnalysis),
+    /// Figure 3 section.
+    Bursts(BurstAnalysis),
+    /// Figures 4/5 sections plus the merged HL event stream.
+    Coalescence {
+        /// Coalescence against freezes + filtered self-shutdowns.
+        filtered: CoalescenceAnalysis,
+        /// The robustness variant including all shutdown events.
+        all_shutdowns: CoalescenceAnalysis,
+        /// Freezes + self-shutdown HL events, `(phone, time)`-sorted.
+        hl_events: Vec<HlEvent>,
+    },
+    /// Table 3 section.
+    Activity(ActivityAnalysis),
+    /// Table 4 / Figure 6 section.
+    RunningApps(RunningAppsAnalysis),
+    /// Table 2 panic distribution.
+    PanicDistribution(CategoricalDist),
+    /// Parse-defect accounting.
+    Defects(DefectReport),
+    /// Per-phone breakdown rows.
+    PerPhone(Vec<PhoneRow>),
+}
+
+/// Everything a pass may want from one phone, computed once and shared
+/// by all passes: the dataset view plus the derived per-phone HL
+/// stream and coalescence folds (skipped when no selected pass needs
+/// them).
+pub struct PhoneLens<'a> {
+    phone: &'a PhoneDataset,
+    config: AnalysisConfig,
+    /// Shutdowns classified as self-shutdowns by the config threshold.
+    self_shutdowns: usize,
+    /// Freezes + self-shutdown HL events, time-sorted (freezes first
+    /// on ties — the fleet merge's stable-sort discipline).
+    hl: Vec<HlEvent>,
+    coalesced: PhoneCoalesce,
+    coalesced_all: PhoneCoalesce,
+}
+
+impl<'a> PhoneLens<'a> {
+    /// Precomputes the shared per-phone views. `needs_coalesce` gates
+    /// the HL merge + coalescence folds (use
+    /// [`PassRegistry::needs_coalesce`]).
+    pub fn new(phone: &'a PhoneDataset, config: AnalysisConfig, needs_coalesce: bool) -> Self {
+        let self_shutdowns = phone
+            .shutdown_events()
+            .iter()
+            .filter(|e| e.duration <= config.self_shutdown_threshold)
+            .count();
+        let (hl, coalesced, coalesced_all) = if needs_coalesce {
+            let shutdown_hl = |e: &ShutdownEvent| HlEvent {
+                phone_id: e.phone_id,
+                at: e.off_at,
+                kind: HlKind::SelfShutdown,
+            };
+            // Chain freezes before shutdown events, then stable-sort
+            // by time: per phone this is exactly the slice the fleet
+            // `merge_hl_events` + `(phone, time)` sort produces, so
+            // nearest-HL tie-breaking is identical.
+            let mut hl: Vec<HlEvent> = phone
+                .freezes()
+                .iter()
+                .copied()
+                .chain(
+                    phone
+                        .shutdown_events()
+                        .iter()
+                        .filter(|e| e.duration <= config.self_shutdown_threshold)
+                        .map(shutdown_hl),
+                )
+                .collect();
+            hl.sort_by_key(|e| e.at);
+            let mut hl_all: Vec<HlEvent> = phone
+                .freezes()
+                .iter()
+                .copied()
+                .chain(phone.shutdown_events().iter().map(shutdown_hl))
+                .collect();
+            hl_all.sort_by_key(|e| e.at);
+            let window = config.coalescence_window;
+            let coalesced = coalesce_phone(phone.phone_id(), phone.panics(), &hl, window);
+            let coalesced_all = coalesce_phone(phone.phone_id(), phone.panics(), &hl_all, window);
+            (hl, coalesced, coalesced_all)
+        } else {
+            (
+                Vec::new(),
+                PhoneCoalesce::default(),
+                PhoneCoalesce::default(),
+            )
+        };
+        Self {
+            phone,
+            config,
+            self_shutdowns,
+            hl,
+            coalesced,
+            coalesced_all,
+        }
+    }
+
+    /// The phone under the lens.
+    pub fn phone(&self) -> &PhoneDataset {
+        self.phone
+    }
+}
+
+/// One phone's folds for every registered pass, plus the phone's name
+/// table for the ordered interner merge. Workers produce these; the
+/// [`StreamMerger`] consumes them in phone-id order.
+pub struct PhoneFolds {
+    /// The phone the folds describe.
+    pub phone_id: u32,
+    /// The phone's name table, absorbed into the fleet table at merge.
+    pub names: NameTable,
+    folds: Vec<DynFold>,
+}
+
+/// An ordered set of passes: the unit `StudyReport` drives.
+pub struct PassRegistry {
+    passes: Vec<Box<dyn AnalysisPass>>,
+}
+
+impl PassRegistry {
+    /// Every pass name, in canonical (registry) order.
+    pub const NAMES: [&'static str; 9] = [
+        "shutdown", "mtbf", "bursts", "coalesce", "activity", "runapps", "panics", "defects",
+        "perphone",
+    ];
+
+    /// The full registry: every pass, in canonical order.
+    pub fn all() -> Self {
+        Self::select("all").expect("full registry is always valid")
+    }
+
+    /// Builds a registry from a comma-separated pass list (`"all"`
+    /// selects everything). Names are deduplicated and reordered into
+    /// canonical order, so selection never changes merge semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown pass and the valid names.
+    pub fn select(spec: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        if tokens.is_empty() {
+            return Err(format!(
+                "no passes selected; valid passes: {}",
+                Self::NAMES.join(", ")
+            ));
+        }
+        let want_all = tokens.contains(&"all");
+        for t in &tokens {
+            if *t != "all" && !Self::NAMES.contains(t) {
+                return Err(format!(
+                    "unknown analysis pass `{t}`; valid passes: all, {}",
+                    Self::NAMES.join(", ")
+                ));
+            }
+        }
+        let passes: Vec<Box<dyn AnalysisPass>> = Self::NAMES
+            .iter()
+            .filter(|name| want_all || tokens.contains(name))
+            .map(|name| Self::build(name))
+            .collect();
+        Ok(Self { passes })
+    }
+
+    fn build(name: &str) -> Box<dyn AnalysisPass> {
+        match name {
+            "shutdown" => Box::new(ShutdownPass),
+            "mtbf" => Box::new(MtbfPass),
+            "bursts" => Box::new(BurstsPass),
+            "coalesce" => Box::new(CoalescePass),
+            "activity" => Box::new(ActivityPass),
+            "runapps" => Box::new(RunningAppsPass),
+            "panics" => Box::new(PanicDistPass),
+            "defects" => Box::new(DefectsPass),
+            "perphone" => Box::new(PerPhonePass),
+            _ => unreachable!("validated pass name"),
+        }
+    }
+
+    /// The registered passes in canonical order.
+    pub fn passes(&self) -> &[Box<dyn AnalysisPass>] {
+        &self.passes
+    }
+
+    /// Whether any registered pass consumes the coalescence fold.
+    pub fn needs_coalesce(&self) -> bool {
+        self.passes.iter().any(|p| p.needs_coalesce())
+    }
+
+    /// Fresh accumulators, one per pass, in registry order.
+    pub fn new_accs(&self) -> Vec<DynAcc> {
+        self.passes.iter().map(|p| p.new_acc()).collect()
+    }
+
+    /// Folds one phone for every pass. The phone's name table rides
+    /// along for the ordered interner merge.
+    pub fn fold_phone(&self, lens: &PhoneLens<'_>) -> PhoneFolds {
+        PhoneFolds {
+            phone_id: lens.phone.phone_id(),
+            names: lens.phone.names().clone(),
+            folds: self.passes.iter().map(|p| p.fold_phone(lens)).collect(),
+        }
+    }
+
+    /// Folds one phone and merges it straight into `accs` — the batch
+    /// driver's inner loop (no buffering, identity remap).
+    pub fn fold_merge(&self, lens: &PhoneLens<'_>, accs: &mut [DynAcc], ctx: &MergeCtx<'_>) {
+        for (pass, acc) in self.passes.iter().zip(accs.iter_mut()) {
+            let fold = pass.fold_phone(lens);
+            pass.merge(acc, fold, ctx);
+        }
+    }
+
+    /// Finishes every accumulator into its report section.
+    pub fn finish(&self, accs: Vec<DynAcc>, config: AnalysisConfig) -> Vec<PassOutput> {
+        self.passes
+            .iter()
+            .zip(accs)
+            .map(|(pass, acc)| pass.finish(acc, config))
+            .collect()
+    }
+}
+
+/// Phone-ordered streaming merge: accepts [`PhoneFolds`] in *any*
+/// arrival order, buffers out-of-order phones, and absorbs strictly by
+/// ascending phone id — the same discipline
+/// [`FleetDataset::from_phones`](super::dataset::FleetDataset::from_phones)
+/// uses for the name interner, which is what makes streamed reports
+/// byte-identical for any worker count.
+pub struct StreamMerger<'r> {
+    registry: &'r PassRegistry,
+    config: AnalysisConfig,
+    names: NameTable,
+    accs: Vec<DynAcc>,
+    pending: BTreeMap<u32, PhoneFolds>,
+    next_id: u32,
+}
+
+impl<'r> StreamMerger<'r> {
+    /// A merger expecting phone ids dense from 0 (gaps are tolerated:
+    /// they are held pending and absorbed, still in id order, at
+    /// [`Self::finish`]).
+    pub fn new(registry: &'r PassRegistry, config: AnalysisConfig) -> Self {
+        Self {
+            registry,
+            config,
+            names: NameTable::default(),
+            accs: registry.new_accs(),
+            pending: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Accepts one phone's folds, absorbing every contiguously-ready
+    /// phone. Out-of-order arrivals are buffered (bounded by worker
+    /// skew: at most `workers - 1` phones wait).
+    pub fn push(&mut self, folds: PhoneFolds) {
+        self.pending.insert(folds.phone_id, folds);
+        while let Some(folds) = self.pending.remove(&self.next_id) {
+            self.absorb(folds);
+            self.next_id = self.next_id.saturating_add(1);
+        }
+    }
+
+    /// Folds currently buffered waiting for an earlier phone.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn absorb(&mut self, folds: PhoneFolds) {
+        let remap = self.names.absorb(&folds.names);
+        // Identity remaps (phone names arrived in fleet order — the
+        // overwhelmingly common case) skip the rewrite entirely.
+        let identity = remap.iter().enumerate().all(|(i, &to)| i == to as usize);
+        let ctx = MergeCtx {
+            phone_id: folds.phone_id,
+            remap: (!identity).then_some(remap.as_slice()),
+        };
+        for (pass, (acc, fold)) in self
+            .registry
+            .passes()
+            .iter()
+            .zip(self.accs.iter_mut().zip(folds.folds))
+        {
+            pass.merge(acc, fold, &ctx);
+        }
+    }
+
+    /// Absorbs any still-pending phones (in id order) and finishes
+    /// every pass into the report.
+    pub fn finish(mut self) -> StudyReport {
+        let pending = std::mem::take(&mut self.pending);
+        for (_, folds) in pending {
+            self.absorb(folds);
+        }
+        let outputs = self.registry.finish(self.accs, self.config);
+        StudyReport::from_outputs(self.config, outputs)
+    }
+
+    /// The fleet name table merged so far (phone-id order).
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+}
+
+fn take<T: 'static>(fold: DynFold) -> T {
+    *fold.downcast::<T>().expect("pass fold/acc type mismatch")
+}
+
+fn acc_of<T: 'static>(acc: &mut DynAcc) -> &mut T {
+    acc.downcast_mut::<T>()
+        .expect("pass fold/acc type mismatch")
+}
+
+/// Figure 2: per-phone shutdown events, concatenated in phone order.
+struct ShutdownPass;
+
+impl AnalysisPass for ShutdownPass {
+    fn name(&self) -> &'static str {
+        "shutdown"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(Vec::<ShutdownEvent>::new())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(lens.phone.shutdown_events().to_vec())
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<Vec<ShutdownEvent>>(acc).extend(take::<Vec<ShutdownEvent>>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput {
+        PassOutput::Shutdowns(ShutdownAnalysis::from_events(
+            config.self_shutdown_threshold,
+            take::<Vec<ShutdownEvent>>(acc),
+        ))
+    }
+}
+
+/// Per-phone MTBF contributions: powered-on time (integer ms, zero for
+/// unusable phones) and failure counts.
+#[derive(Default)]
+struct MtbfFold {
+    powered_on: SimDuration,
+    freezes: usize,
+    self_shutdowns: usize,
+}
+
+struct MtbfPass;
+
+impl AnalysisPass for MtbfPass {
+    fn name(&self) -> &'static str {
+        "mtbf"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(MtbfFold::default())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        let powered_on = if lens.phone.defects().unusable {
+            SimDuration::ZERO
+        } else {
+            lens.phone.powered_on_time(lens.config.uptime_gap)
+        };
+        Box::new(MtbfFold {
+            powered_on,
+            freezes: lens.phone.freezes().len(),
+            self_shutdowns: lens.self_shutdowns,
+        })
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        let fold = take::<MtbfFold>(fold);
+        let acc = acc_of::<MtbfFold>(acc);
+        acc.powered_on += fold.powered_on;
+        acc.freezes += fold.freezes;
+        acc.self_shutdowns += fold.self_shutdowns;
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        let acc = take::<MtbfFold>(acc);
+        PassOutput::Mtbf(MtbfAnalysis::from_totals(
+            acc.powered_on,
+            acc.freezes,
+            acc.self_shutdowns,
+        ))
+    }
+}
+
+/// Figure 3: per-phone cascades, concatenated in phone order.
+#[derive(Default)]
+struct BurstsAcc {
+    cascades: Vec<Cascade>,
+    total_panics: usize,
+}
+
+struct BurstsPass;
+
+impl AnalysisPass for BurstsPass {
+    fn name(&self) -> &'static str {
+        "bursts"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(BurstsAcc::default())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(BurstsAcc {
+            cascades: phone_cascades(
+                lens.phone.phone_id(),
+                lens.phone.panics(),
+                lens.config.burst_gap,
+            ),
+            total_panics: lens.phone.panics().len(),
+        })
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        let fold = take::<BurstsAcc>(fold);
+        let acc = acc_of::<BurstsAcc>(acc);
+        acc.cascades.extend(fold.cascades);
+        acc.total_panics += fold.total_panics;
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        let acc = take::<BurstsAcc>(acc);
+        PassOutput::Bursts(BurstAnalysis::from_parts(acc.cascades, acc.total_panics))
+    }
+}
+
+/// Figures 4/5: per-phone coalescence folds (both the filtered and the
+/// all-shutdowns variant) plus the phone's HL slice. The only fold
+/// that carries interned name ids, hence the only merge that consults
+/// the remap.
+#[derive(Default)]
+struct CoalesceAcc {
+    filtered: PhoneCoalesce,
+    all_shutdowns: PhoneCoalesce,
+    hl_events: Vec<HlEvent>,
+}
+
+struct CoalescePass;
+
+impl AnalysisPass for CoalescePass {
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+
+    fn needs_coalesce(&self) -> bool {
+        true
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(CoalesceAcc::default())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(CoalesceAcc {
+            filtered: lens.coalesced.clone(),
+            all_shutdowns: lens.coalesced_all.clone(),
+            hl_events: lens.hl.clone(),
+        })
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, ctx: &MergeCtx<'_>) {
+        let mut fold = take::<CoalesceAcc>(fold);
+        if let Some(remap) = ctx.remap {
+            for p in fold
+                .filtered
+                .panics
+                .iter_mut()
+                .chain(fold.all_shutdowns.panics.iter_mut())
+            {
+                p.panic.remap(remap);
+            }
+        }
+        let acc = acc_of::<CoalesceAcc>(acc);
+        acc.filtered.panics.extend(fold.filtered.panics);
+        acc.filtered.hl_total += fold.filtered.hl_total;
+        acc.filtered.hl_with_panic += fold.filtered.hl_with_panic;
+        acc.all_shutdowns.panics.extend(fold.all_shutdowns.panics);
+        acc.all_shutdowns.hl_total += fold.all_shutdowns.hl_total;
+        acc.all_shutdowns.hl_with_panic += fold.all_shutdowns.hl_with_panic;
+        acc.hl_events.extend(fold.hl_events);
+    }
+
+    fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput {
+        let acc = take::<CoalesceAcc>(acc);
+        PassOutput::Coalescence {
+            filtered: CoalescenceAnalysis::from_parts(
+                config.coalescence_window,
+                acc.filtered.panics,
+                acc.filtered.hl_total,
+                acc.filtered.hl_with_panic,
+            ),
+            all_shutdowns: CoalescenceAnalysis::from_parts(
+                config.coalescence_window,
+                acc.all_shutdowns.panics,
+                acc.all_shutdowns.hl_total,
+                acc.all_shutdowns.hl_with_panic,
+            ),
+            hl_events: acc.hl_events,
+        }
+    }
+}
+
+/// Table 3: per-phone activity tables, additively merged.
+struct ActivityPass;
+
+impl AnalysisPass for ActivityPass {
+    fn name(&self) -> &'static str {
+        "activity"
+    }
+
+    fn needs_coalesce(&self) -> bool {
+        true
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(ActivityAnalysis::from_coalesced(&[]))
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(ActivityAnalysis::from_coalesced(&lens.coalesced.panics))
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<ActivityAnalysis>(acc).absorb(&take::<ActivityAnalysis>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        PassOutput::Activity(take::<ActivityAnalysis>(acc))
+    }
+}
+
+/// Table 4 / Figure 6: per-phone app tables with names resolved to
+/// strings at fold time (no remapping needed at merge).
+struct RunningAppsPass;
+
+impl AnalysisPass for RunningAppsPass {
+    fn name(&self) -> &'static str {
+        "runapps"
+    }
+
+    fn needs_coalesce(&self) -> bool {
+        true
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(RunningAppsAnalysis::from_events(
+            &NameTable::default(),
+            std::iter::empty(),
+            &[],
+        ))
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(RunningAppsAnalysis::from_events(
+            lens.phone.names(),
+            lens.phone.panics().iter(),
+            &lens.coalesced.panics,
+        ))
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<RunningAppsAnalysis>(acc).absorb(&take::<RunningAppsAnalysis>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        PassOutput::RunningApps(take::<RunningAppsAnalysis>(acc))
+    }
+}
+
+/// Table 2: panic-code distribution, additively merged.
+struct PanicDistPass;
+
+impl AnalysisPass for PanicDistPass {
+    fn name(&self) -> &'static str {
+        "panics"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(CategoricalDist::new())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        let mut d = CategoricalDist::new();
+        for p in lens.phone.panics() {
+            d.add(p.code.to_string());
+        }
+        Box::new(d)
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<CategoricalDist>(acc).merge(&take::<CategoricalDist>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        PassOutput::PanicDistribution(take::<CategoricalDist>(acc))
+    }
+}
+
+/// Parse-defect accounting, concatenated in phone order.
+struct DefectsPass;
+
+impl AnalysisPass for DefectsPass {
+    fn name(&self) -> &'static str {
+        "defects"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(Vec::<(u32, PhoneDefects)>::new())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new((lens.phone.phone_id(), *lens.phone.defects()))
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<Vec<(u32, PhoneDefects)>>(acc).push(take::<(u32, PhoneDefects)>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        PassOutput::Defects(DefectReport::from_phones(take::<Vec<(u32, PhoneDefects)>>(
+            acc,
+        )))
+    }
+}
+
+/// Per-phone breakdown rows, concatenated in phone order.
+struct PerPhonePass;
+
+impl AnalysisPass for PerPhonePass {
+    fn name(&self) -> &'static str {
+        "perphone"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(Vec::<PhoneRow>::new())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(PhoneRow {
+            phone_id: lens.phone.phone_id(),
+            uptime_hours: lens
+                .phone
+                .powered_on_time(lens.config.uptime_gap)
+                .as_hours_f64(),
+            panics: lens.phone.panics().len(),
+            freezes: lens.phone.freezes().len(),
+            self_shutdowns: lens.self_shutdowns,
+        })
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        acc_of::<Vec<PhoneRow>>(acc).push(take::<PhoneRow>(fold));
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        PassOutput::PerPhone(take::<Vec<PhoneRow>>(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_selects_and_dedupes() {
+        let r = PassRegistry::all();
+        assert_eq!(r.passes().len(), PassRegistry::NAMES.len());
+        let r = PassRegistry::select("mtbf,shutdown,mtbf").unwrap();
+        let names: Vec<&str> = r.passes().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["shutdown", "mtbf"], "canonical order, deduped");
+        assert!(!r.needs_coalesce());
+        assert!(PassRegistry::select("coalesce").unwrap().needs_coalesce());
+        assert!(PassRegistry::select("nope").is_err());
+        assert!(PassRegistry::select("").is_err());
+    }
+
+    #[test]
+    fn stream_merger_buffers_out_of_order_phones() {
+        let registry = PassRegistry::select("defects").unwrap();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        let fold = |id: u32| {
+            let phone = PhoneDataset::new(id, Vec::new(), Vec::new());
+            registry.fold_phone(&PhoneLens::new(&phone, config, registry.needs_coalesce()))
+        };
+        merger.push(fold(2));
+        assert_eq!(merger.pending_len(), 1, "phone 2 waits for 0 and 1");
+        merger.push(fold(0));
+        assert_eq!(merger.pending_len(), 1, "phone 0 absorbed, 2 still waits");
+        merger.push(fold(1));
+        assert_eq!(merger.pending_len(), 0, "1 unblocks 2");
+        let report = merger.finish();
+        assert_eq!(report.defects.per_phone.len(), 3);
+    }
+}

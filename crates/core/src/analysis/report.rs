@@ -11,11 +11,12 @@ use symfail_stats::{
 use super::activity::ActivityAnalysis;
 use super::bursts::{BurstAnalysis, DEFAULT_BURST_GAP};
 use super::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
-use super::dataset::FleetDataset;
+use super::dataset::{FleetDataset, HlEvent};
 use super::defects::DefectReport;
 use super::mtbf::{MtbfAnalysis, DEFAULT_UPTIME_GAP};
+use super::passes::{MergeCtx, PassOutput, PassRegistry, PhoneLens};
 use super::runapps::RunningAppsAnalysis;
-use super::shutdown::{merge_hl_events, ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
+use super::shutdown::{ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
 use super::targets;
 
 /// Tunable parameters of the analysis pipeline (the paper's values are
@@ -43,6 +44,22 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// One row of the per-phone breakdown table, folded per phone by the
+/// `perphone` pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhoneRow {
+    /// The phone.
+    pub phone_id: u32,
+    /// Reconstructed powered-on hours.
+    pub uptime_hours: f64,
+    /// Panic events recorded.
+    pub panics: usize,
+    /// Freezes detected.
+    pub freezes: usize,
+    /// Shutdowns classified as self-shutdowns.
+    pub self_shutdowns: usize,
+}
+
 /// The full Section 6 analysis over a harvested fleet dataset.
 #[derive(Debug, Clone)]
 pub struct StudyReport {
@@ -65,38 +82,90 @@ pub struct StudyReport {
     pub panic_distribution: CategoricalDist,
     /// Parse-defect accounting from the lossy flash parse.
     pub defects: DefectReport,
+    /// Per-phone breakdown rows, in phone-id order.
+    pub per_phone: Vec<PhoneRow>,
+    /// Freezes + filtered self-shutdowns as HL events,
+    /// `(phone, time)`-sorted — the coalescence input stream, exposed
+    /// for downstream analyses (inter-arrival, window sweeps).
+    pub hl_events: Vec<HlEvent>,
 }
 
 impl StudyReport {
-    /// Runs the whole pipeline over the fleet dataset.
+    /// Runs the whole pipeline over the fleet dataset: the batch
+    /// driver over the full [`PassRegistry`]. This *is* the streaming
+    /// engine run with an identity name remap, which is what keeps the
+    /// two paths byte-identical by construction.
     pub fn analyze(fleet: &FleetDataset, config: AnalysisConfig) -> Self {
-        let shutdowns = ShutdownAnalysis::new(fleet, config.self_shutdown_threshold);
-        let freezes = fleet.freezes();
-        let hl = merge_hl_events(freezes, &shutdowns.self_shutdown_hl_events());
-        let hl_all = merge_hl_events(freezes, &shutdowns.all_shutdown_hl_events());
-        let coalescence = CoalescenceAnalysis::new(fleet, &hl, config.coalescence_window);
-        let coalescence_all_shutdowns =
-            CoalescenceAnalysis::new(fleet, &hl_all, config.coalescence_window);
-        let mtbf = MtbfAnalysis::new(fleet, shutdowns.self_shutdowns().len(), config.uptime_gap);
-        let bursts = BurstAnalysis::new(fleet, config.burst_gap);
-        let activity = ActivityAnalysis::new(&coalescence);
-        let runapps = RunningAppsAnalysis::new(fleet, &coalescence);
-        let mut panic_distribution = CategoricalDist::new();
-        for (_, p) in fleet.panics() {
-            panic_distribution.add(p.code.to_string());
+        Self::analyze_with(fleet, config, &PassRegistry::all())
+    }
+
+    /// The batch driver over a selected pass registry: folds each
+    /// phone in fleet order and merges immediately. The fleet dataset
+    /// already interned names fleet-wide, so the merge context carries
+    /// no remap.
+    pub fn analyze_with(
+        fleet: &FleetDataset,
+        config: AnalysisConfig,
+        registry: &PassRegistry,
+    ) -> Self {
+        let needs_coalesce = registry.needs_coalesce();
+        let mut accs = registry.new_accs();
+        for phone in fleet.phones() {
+            let lens = PhoneLens::new(phone, config, needs_coalesce);
+            let ctx = MergeCtx {
+                phone_id: phone.phone_id(),
+                remap: None,
+            };
+            registry.fold_merge(&lens, &mut accs, &ctx);
         }
-        Self {
+        Self::from_outputs(config, registry.finish(accs, config))
+    }
+
+    /// Assembles a report from finished pass outputs. Sections whose
+    /// pass was not selected stay empty.
+    pub fn from_outputs(config: AnalysisConfig, outputs: Vec<PassOutput>) -> Self {
+        let empty_coalesce =
+            || CoalescenceAnalysis::from_parts(config.coalescence_window, Vec::new(), 0, 0);
+        let mut report = Self {
             config,
-            shutdowns,
-            mtbf,
-            bursts,
-            coalescence,
-            coalescence_all_shutdowns,
-            activity,
-            runapps,
-            panic_distribution,
-            defects: fleet.defect_report(),
+            shutdowns: ShutdownAnalysis::from_events(config.self_shutdown_threshold, Vec::new()),
+            mtbf: MtbfAnalysis::from_totals(SimDuration::ZERO, 0, 0),
+            bursts: BurstAnalysis::from_parts(Vec::new(), 0),
+            coalescence: empty_coalesce(),
+            coalescence_all_shutdowns: empty_coalesce(),
+            activity: ActivityAnalysis::from_coalesced(&[]),
+            runapps: RunningAppsAnalysis::from_events(
+                &crate::intern::NameTable::default(),
+                std::iter::empty(),
+                &[],
+            ),
+            panic_distribution: CategoricalDist::new(),
+            defects: DefectReport::default(),
+            per_phone: Vec::new(),
+            hl_events: Vec::new(),
+        };
+        for output in outputs {
+            match output {
+                PassOutput::Shutdowns(a) => report.shutdowns = a,
+                PassOutput::Mtbf(a) => report.mtbf = a,
+                PassOutput::Bursts(a) => report.bursts = a,
+                PassOutput::Coalescence {
+                    filtered,
+                    all_shutdowns,
+                    hl_events,
+                } => {
+                    report.coalescence = filtered;
+                    report.coalescence_all_shutdowns = all_shutdowns;
+                    report.hl_events = hl_events;
+                }
+                PassOutput::Activity(a) => report.activity = a,
+                PassOutput::RunningApps(a) => report.runapps = a,
+                PassOutput::PanicDistribution(d) => report.panic_distribution = d,
+                PassOutput::Defects(d) => report.defects = d,
+                PassOutput::PerPhone(rows) => report.per_phone = rows,
+            }
         }
+        report
     }
 
     /// The configuration used.
@@ -291,7 +360,9 @@ impl StudyReport {
 
     /// Renders the per-phone breakdown: failures and panics per
     /// device, showing the heterogeneity behind the fleet averages.
-    pub fn render_per_phone(&self, fleet: &FleetDataset) -> String {
+    /// Rows come from the `perphone` pass, so this works under both
+    /// engines without a materialized fleet.
+    pub fn render_per_phone(&self) -> String {
         let mut t = AsciiTable::new(vec![
             "phone".into(),
             "uptime h".into(),
@@ -299,19 +370,13 @@ impl StudyReport {
             "freezes".into(),
             "self-shutdowns".into(),
         ]);
-        for phone in fleet.phones() {
-            let uptime = phone.powered_on_time(self.config.uptime_gap).as_hours_f64();
-            let self_shutdowns = phone
-                .shutdown_events()
-                .iter()
-                .filter(|e| e.duration <= self.config.self_shutdown_threshold)
-                .count();
+        for row in &self.per_phone {
             t.add_row(vec![
-                phone.phone_id().to_string(),
-                format!("{uptime:.0}"),
-                phone.panics().len().to_string(),
-                phone.freezes().len().to_string(),
-                self_shutdowns.to_string(),
+                row.phone_id.to_string(),
+                format!("{:.0}", row.uptime_hours),
+                row.panics.to_string(),
+                row.freezes.to_string(),
+                row.self_shutdowns.to_string(),
             ]);
         }
         format!(

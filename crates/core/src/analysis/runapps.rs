@@ -12,8 +12,10 @@ use serde::{Deserialize, Serialize};
 
 use symfail_stats::{CategoricalDist, ContingencyTable};
 
-use super::coalesce::CoalescenceAnalysis;
-use super::dataset::{FleetDataset, HlKind};
+use crate::intern::NameTable;
+
+use super::coalesce::{CoalescedPanic, CoalescenceAnalysis};
+use super::dataset::{FleetDataset, HlKind, PanicEvent};
 
 /// The Figure 6 / Table 4 analysis result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,16 +35,32 @@ impl RunningAppsAnalysis {
     /// contingency table (matching the paper's per-application
     /// percentages).
     pub fn new(fleet: &FleetDataset, coalescence: &CoalescenceAnalysis) -> Self {
+        Self::from_events(
+            fleet.names(),
+            fleet.panics().map(|(_, p)| p),
+            coalescence.panics(),
+        )
+    }
+
+    /// Builds the analysis from raw events — the per-phone fold of the
+    /// streaming [`AnalysisPass`](crate::analysis::passes::AnalysisPass)
+    /// engine. Application ids resolve against `names` *at fold time*,
+    /// so per-phone folds carry strings and need no id remapping when
+    /// merged across phones.
+    pub fn from_events<'a>(
+        names: &NameTable,
+        panics: impl Iterator<Item = &'a PanicEvent>,
+        coalesced: &[CoalescedPanic],
+    ) -> Self {
         let mut concurrency = CategoricalDist::new();
         let mut total = 0;
-        for (_, p) in fleet.panics() {
+        for p in panics {
             concurrency.add(p.apps.len().to_string());
             total += 1;
         }
-        let names = fleet.names();
         let mut table = ContingencyTable::new();
         let mut app_share = CategoricalDist::new();
-        for p in coalescence.panics() {
+        for p in coalesced {
             let row = match p.related {
                 Some(HlKind::Freeze) => {
                     format!("{} freeze", p.panic.code.category.as_str())
@@ -64,6 +82,16 @@ impl RunningAppsAnalysis {
             app_share,
             total_panics: total,
         }
+    }
+
+    /// Merges another phone's fold into this accumulator. All four
+    /// components are additive string-keyed counters, so absorbing
+    /// folds in any associative grouping yields the batch result.
+    pub fn absorb(&mut self, other: &RunningAppsAnalysis) {
+        self.concurrency.merge(&other.concurrency);
+        self.table.merge(&other.table);
+        self.app_share.merge(&other.app_share);
+        self.total_panics += other.total_panics;
     }
 
     /// Figure 6: distribution of the number of running applications at

@@ -66,8 +66,18 @@ impl SeverityAnalysis {
     /// observation time (from the MTBF analysis), used to normalize
     /// the burden.
     pub fn new(fleet: &FleetDataset, shutdowns: &ShutdownAnalysis, total_hours: f64) -> Self {
-        let battery_pulls = fleet.freezes().len();
-        let unwanted_reboots = shutdowns.self_shutdowns().len();
+        Self::from_counts(
+            fleet.freezes().len(),
+            shutdowns.self_shutdowns().len(),
+            total_hours,
+        )
+    }
+
+    /// Builds the summary from already-counted failures — lets the
+    /// streaming pipeline derive severity straight from a
+    /// [`StudyReport`](super::report::StudyReport) (whose MTBF section
+    /// carries the same counts) without a materialized fleet.
+    pub fn from_counts(battery_pulls: usize, unwanted_reboots: usize, total_hours: f64) -> Self {
         let mut distribution = CategoricalDist::new();
         distribution.add_n(
             FailureSeverity::Medium.as_str(),

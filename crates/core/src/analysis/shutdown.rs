@@ -32,7 +32,13 @@ impl ShutdownAnalysis {
     /// threshold (use [`SELF_SHUTDOWN_THRESHOLD`] for the paper's
     /// 360 s).
     pub fn new(fleet: &FleetDataset, threshold: SimDuration) -> Self {
-        let events = fleet.shutdown_events().to_vec();
+        Self::from_events(threshold, fleet.shutdown_events().to_vec())
+    }
+
+    /// Classifies an already-collected event list — the streaming
+    /// engine's `finish` step, fed events concatenated in phone-id
+    /// order.
+    pub fn from_events(threshold: SimDuration, events: Vec<ShutdownEvent>) -> Self {
         let self_shutdowns = events
             .iter()
             .copied()

@@ -12,11 +12,15 @@
 //! determinism: the harvest is identical to the sequential run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use symfail_core::analysis::dataset::{FleetDataset, PhoneDataset};
+use symfail_core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
+use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::flashfs::FlashFs;
-use symfail_sim_core::SimRng;
+use symfail_core::logger::{UserReportChannel, UserReportKind};
+use symfail_sim_core::{SimRng, SimTime};
 
 use crate::calibration::CalibrationParams;
 use crate::corruption::{CorruptionModel, CorruptionProfile, InjectedDefects};
@@ -41,6 +45,54 @@ pub struct PhoneHarvest {
     /// Expected-observable defect counts injected into `flashfs` by
     /// the campaign's corruption profile (all zero when disabled).
     pub injected: InjectedDefects,
+}
+
+/// Everything worth keeping about a phone once its flash has been
+/// parsed and dropped: campaign metadata, ground truth, and the few
+/// side-channel payloads (user reports) downstream experiments read
+/// straight from flash. This is what lets the fused and streaming
+/// pipelines reclaim flash buffers phone by phone.
+#[derive(Debug, Clone)]
+pub struct PhoneMeta {
+    /// The phone's identifier.
+    pub phone_id: u32,
+    /// First campaign day the phone participated.
+    pub enrolled_day: u64,
+    /// Day the phone left the study.
+    pub retired_day: u64,
+    /// The Symbian OS release the phone ran.
+    pub firmware: SymbianVersion,
+    /// Simulator ground truth (for validation only).
+    pub stats: PhoneStats,
+    /// Injected-defect counts for the campaign's corruption profile.
+    pub injected: InjectedDefects,
+    /// Flash bytes the phone's filesystem held before it was dropped.
+    pub flash_bytes: u64,
+    /// User failure reports parsed out of the flash before the drop.
+    pub ureports: Vec<(SimTime, UserReportKind)>,
+}
+
+impl PhoneMeta {
+    /// Captures the keepable parts of a harvest (parsing the user
+    /// report channel now, since the flash is about to go away).
+    pub fn from_harvest(h: &PhoneHarvest) -> Self {
+        Self {
+            phone_id: h.phone_id,
+            enrolled_day: h.enrolled_day,
+            retired_day: h.retired_day,
+            firmware: h.firmware,
+            stats: h.stats,
+            injected: h.injected,
+            flash_bytes: h.flashfs.total_size(),
+            ureports: UserReportChannel::parse(&h.flashfs),
+        }
+    }
+}
+
+/// Metadata for every harvest, in the same order — the bridge from the
+/// staged (flash-retaining) pipeline to meta-based aggregations.
+pub fn harvest_metas(harvest: &[PhoneHarvest]) -> Vec<PhoneMeta> {
+    harvest.iter().map(PhoneMeta::from_harvest).collect()
 }
 
 /// A configured fleet campaign.
@@ -215,15 +267,16 @@ impl FleetCampaign {
         let phones = self.params.phones as usize;
         if phones == 0 {
             return FusedRun {
-                harvests: Vec::new(),
+                metas: Vec::new(),
                 dataset: FleetDataset::default(),
                 parse_cpu_seconds: 0.0,
                 parse_bytes: 0,
+                reclaimed_flash_bytes: 0,
             };
         }
         let workers = workers.clamp(1, phones);
         let next = AtomicUsize::new(0);
-        let mut runs: Vec<(PhoneHarvest, PhoneDataset, f64)> = std::thread::scope(|scope| {
+        let mut runs: Vec<(PhoneMeta, PhoneDataset, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
@@ -237,7 +290,13 @@ impl FleetCampaign {
                             let harvest = self.run_phone(id as u32);
                             let start = Instant::now();
                             let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
-                            out.push((harvest, ds, start.elapsed().as_secs_f64()));
+                            let secs = start.elapsed().as_secs_f64();
+                            let meta = PhoneMeta::from_harvest(&harvest);
+                            // The harvest (and its flash buffers) dies
+                            // here: the worker holds at most one
+                            // phone's flash at a time.
+                            drop(harvest);
+                            out.push((meta, ds, secs));
                         }
                         out
                     })
@@ -248,21 +307,105 @@ impl FleetCampaign {
                 .flat_map(|h| h.join().expect("fused worker panicked"))
                 .collect()
         });
-        runs.sort_unstable_by_key(|(h, _, _)| h.phone_id);
-        let mut harvests = Vec::with_capacity(runs.len());
+        runs.sort_unstable_by_key(|(m, _, _)| m.phone_id);
+        let mut metas = Vec::with_capacity(runs.len());
         let mut datasets = Vec::with_capacity(runs.len());
         let mut parse_cpu_seconds = 0.0;
-        for (h, ds, secs) in runs {
-            harvests.push(h);
+        for (m, ds, secs) in runs {
+            metas.push(m);
             datasets.push(ds);
             parse_cpu_seconds += secs;
         }
-        let parse_bytes = harvests.iter().map(|h| h.flashfs.total_size()).sum();
+        let parse_bytes = metas.iter().map(|m| m.flash_bytes).sum();
         FusedRun {
-            harvests,
+            metas,
             dataset: FleetDataset::from_phones(datasets),
             parse_cpu_seconds,
             parse_bytes,
+            reclaimed_flash_bytes: parse_bytes,
+        }
+    }
+
+    /// The fully-streamed pipeline: each worker simulates a phone,
+    /// parses its flash, folds every registered analysis pass over the
+    /// dataset, then drops **both** the flash and the dataset before
+    /// stealing the next phone. Folds drain into a shared
+    /// [`StreamMerger`] that absorbs them strictly in phone-id order,
+    /// so the report is byte-identical to
+    /// [`StudyReport::analyze`] over the batch dataset for any worker
+    /// count — while peak memory stays bounded by
+    /// `workers × per-phone state` plus the folded summaries instead
+    /// of the whole fleet.
+    pub fn run_streaming(
+        &self,
+        workers: usize,
+        config: AnalysisConfig,
+        registry: &PassRegistry,
+    ) -> StreamingRun {
+        let phones = self.params.phones as usize;
+        let merger = Mutex::new(StreamMerger::new(registry, config));
+        if phones == 0 {
+            return StreamingRun {
+                metas: Vec::new(),
+                report: merger.into_inner().expect("merger lock").finish(),
+                parse_cpu_seconds: 0.0,
+                parse_bytes: 0,
+                reclaimed_flash_bytes: 0,
+            };
+        }
+        let workers = workers.clamp(1, phones);
+        let needs_coalesce = registry.needs_coalesce();
+        let next = AtomicUsize::new(0);
+        let mut runs: Vec<(PhoneMeta, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let merger = &merger;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let id = next.fetch_add(1, Ordering::Relaxed);
+                            if id >= phones {
+                                break;
+                            }
+                            let harvest = self.run_phone(id as u32);
+                            let start = Instant::now();
+                            let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
+                            let secs = start.elapsed().as_secs_f64();
+                            let meta = PhoneMeta::from_harvest(&harvest);
+                            drop(harvest);
+                            let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                            let folds = registry.fold_phone(&lens);
+                            drop(lens);
+                            // The dataset dies here too: only the
+                            // folded summaries cross into the merger.
+                            drop(ds);
+                            merger.lock().expect("merger lock").push(folds);
+                            out.push((meta, secs));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("streaming worker panicked"))
+                .collect()
+        });
+        runs.sort_unstable_by_key(|(m, _)| m.phone_id);
+        let mut metas = Vec::with_capacity(runs.len());
+        let mut parse_cpu_seconds = 0.0;
+        for (m, secs) in runs {
+            metas.push(m);
+            parse_cpu_seconds += secs;
+        }
+        let parse_bytes = metas.iter().map(|m| m.flash_bytes).sum();
+        StreamingRun {
+            metas,
+            report: merger.into_inner().expect("merger lock").finish(),
+            parse_cpu_seconds,
+            parse_bytes,
+            reclaimed_flash_bytes: parse_bytes,
         }
     }
 }
@@ -271,9 +414,10 @@ impl FleetCampaign {
 /// ([`FleetCampaign::run_fused`]).
 #[derive(Debug)]
 pub struct FusedRun {
-    /// Per-phone harvests, sorted by phone id — byte-identical to
-    /// [`FleetCampaign::run_parallel`]'s output.
-    pub harvests: Vec<PhoneHarvest>,
+    /// Per-phone metadata (ground truth, firmware, user reports),
+    /// sorted by phone id. Flash buffers are dropped phone by phone
+    /// during the run.
+    pub metas: Vec<PhoneMeta>,
     /// The fleet dataset parsed from those harvests — value-identical
     /// to `FleetDataset::from_flash_parallel` over the same flashes.
     pub dataset: FleetDataset,
@@ -283,47 +427,66 @@ pub struct FusedRun {
     pub parse_cpu_seconds: f64,
     /// Total flash bytes parsed.
     pub parse_bytes: u64,
+    /// Flash bytes freed phone-by-phone instead of being held for the
+    /// run's lifetime (equals `parse_bytes`: every flash is dropped).
+    pub reclaimed_flash_bytes: u64,
 }
 
-/// Per-firmware panic counts across a harvest, for the version
+/// The result of a fully-streamed campaign→parse→fold run
+/// ([`FleetCampaign::run_streaming`]).
+#[derive(Debug)]
+pub struct StreamingRun {
+    /// Per-phone metadata, sorted by phone id.
+    pub metas: Vec<PhoneMeta>,
+    /// The finished study report, byte-identical to the batch path.
+    pub report: StudyReport,
+    /// CPU seconds spent inside flash parsing, summed across workers.
+    pub parse_cpu_seconds: f64,
+    /// Total flash bytes parsed.
+    pub parse_bytes: u64,
+    /// Flash bytes freed phone-by-phone (equals `parse_bytes`).
+    pub reclaimed_flash_bytes: u64,
+}
+
+/// Per-firmware panic counts across a campaign, for the version
 /// breakdown of `repro --exp extensions`.
-pub fn panics_by_firmware(harvest: &[PhoneHarvest]) -> Vec<(SymbianVersion, u64, u64)> {
+pub fn panics_by_firmware(metas: &[PhoneMeta]) -> Vec<(SymbianVersion, u64, u64)> {
     SymbianVersion::ALL
         .iter()
         .map(|&v| {
-            let phones = harvest.iter().filter(|h| h.firmware == v).count() as u64;
-            let panics = harvest
+            let phones = metas.iter().filter(|m| m.firmware == v).count() as u64;
+            let panics = metas
                 .iter()
-                .filter(|h| h.firmware == v)
-                .map(|h| h.stats.panics)
+                .filter(|m| m.firmware == v)
+                .map(|m| m.stats.panics)
                 .sum();
             (v, phones, panics)
         })
         .collect()
 }
 
-/// Aggregate injected-defect counters across a harvest.
-pub fn total_injected(harvest: &[PhoneHarvest]) -> InjectedDefects {
+/// Aggregate injected-defect counters across a campaign.
+pub fn total_injected(metas: &[PhoneMeta]) -> InjectedDefects {
     let mut total = InjectedDefects::default();
-    for h in harvest {
-        total.merge(&h.injected);
+    for m in metas {
+        total.merge(&m.injected);
     }
     total
 }
 
-/// Aggregate ground-truth counters across a harvest (validation only).
-pub fn total_stats(harvest: &[PhoneHarvest]) -> PhoneStats {
+/// Aggregate ground-truth counters across a campaign (validation only).
+pub fn total_stats(metas: &[PhoneMeta]) -> PhoneStats {
     let mut total = PhoneStats::default();
-    for h in harvest {
-        total.panics += h.stats.panics;
-        total.freezes += h.stats.freezes;
-        total.self_shutdowns += h.stats.self_shutdowns;
-        total.user_shutdowns += h.stats.user_shutdowns;
-        total.lowbt_shutdowns += h.stats.lowbt_shutdowns;
-        total.calls += h.stats.calls;
-        total.messages += h.stats.messages;
-        total.output_failures += h.stats.output_failures;
-        total.user_reports += h.stats.user_reports;
+    for m in metas {
+        total.panics += m.stats.panics;
+        total.freezes += m.stats.freezes;
+        total.self_shutdowns += m.stats.self_shutdowns;
+        total.user_shutdowns += m.stats.user_shutdowns;
+        total.lowbt_shutdowns += m.stats.lowbt_shutdowns;
+        total.calls += m.stats.calls;
+        total.messages += m.stats.messages;
+        total.output_failures += m.stats.output_failures;
+        total.user_reports += m.stats.user_reports;
     }
     total
 }
@@ -375,7 +538,7 @@ mod tests {
         let a = dirty.run();
         let b = clean.run();
         assert!(
-            total_injected(&a).total_observable() > 0,
+            total_injected(&harvest_metas(&a)).total_observable() > 0,
             "worst profile must inject something"
         );
         for (x, y) in a.iter().zip(&b) {
@@ -414,12 +577,11 @@ mod tests {
         let staged = FleetDataset::from_flash_parallel(&systems, 3);
         for workers in [1, 2, 3] {
             let fused = c.run_fused(workers);
-            assert_eq!(fused.harvests.len(), staged_harvest.len());
-            for (x, y) in fused.harvests.iter().zip(&staged_harvest) {
+            assert_eq!(fused.metas.len(), staged_harvest.len());
+            for (x, y) in fused.metas.iter().zip(&staged_harvest) {
                 assert_eq!(x.phone_id, y.phone_id);
                 assert_eq!(x.stats, y.stats);
-                assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
-                assert_eq!(x.flashfs.read_bytes("beats"), y.flashfs.read_bytes("beats"));
+                assert_eq!(x.flash_bytes, y.flashfs.total_size());
             }
             assert_eq!(fused.dataset.names(), staged.names());
             assert_eq!(fused.dataset.panic_count(), staged.panic_count());
@@ -429,6 +591,29 @@ mod tests {
                 assert_eq!(f.defects(), s.defects());
             }
             assert!(fused.parse_bytes > 0);
+            assert_eq!(fused.reclaimed_flash_bytes, fused.parse_bytes);
+        }
+    }
+
+    #[test]
+    fn streaming_report_matches_batch() {
+        let c = FleetCampaign::new(13, tiny_params()).with_corruption(CorruptionProfile::Worst);
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let batch = {
+            let fused = c.run_fused(2);
+            StudyReport::analyze_with(&fused.dataset, config, &registry)
+        };
+        for workers in [1, 2, 3] {
+            let streamed = c.run_streaming(workers, config, &registry);
+            assert_eq!(
+                streamed.report.render_all(),
+                batch.render_all(),
+                "streaming ({workers} workers) must be byte-identical to batch"
+            );
+            assert_eq!(streamed.metas.len(), 3);
+            assert_eq!(streamed.reclaimed_flash_bytes, streamed.parse_bytes);
+            assert!(streamed.parse_bytes > 0);
         }
     }
 
@@ -445,7 +630,7 @@ mod tests {
     fn stats_aggregate() {
         let c = FleetCampaign::new(19, tiny_params());
         let harvest = c.run();
-        let total = total_stats(&harvest);
+        let total = total_stats(&harvest_metas(&harvest));
         let manual: u64 = harvest.iter().map(|h| h.stats.calls).sum();
         assert_eq!(total.calls, manual);
         assert!(total.calls > 0);

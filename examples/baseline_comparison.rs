@@ -59,5 +59,5 @@ fn main() {
 
     println!("=== what the paper's logger gives you ===");
     println!("{}", report.render_mtbf());
-    println!("{}", BaselineComparison::new(&fleet, &report).render());
+    println!("{}", BaselineComparison::new(&report).render());
 }

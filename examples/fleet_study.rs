@@ -14,7 +14,7 @@
 use symfail::core::analysis::dataset::FleetDataset;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::phone::calibration::CalibrationParams;
-use symfail::phone::fleet::{total_stats, FleetCampaign};
+use symfail::phone::fleet::{harvest_metas, total_stats, FleetCampaign};
 use symfail::sim::SimDuration;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
     let harvest = campaign.run_parallel(workers);
 
     // Simulator ground truth (the analysis below never touches it).
-    let truth = total_stats(&harvest);
+    let truth = total_stats(&harvest_metas(&harvest));
     eprintln!(
         "ground truth: {} panics, {} freezes, {} self-shutdowns, {} calls, {} messages",
         truth.panics, truth.freezes, truth.self_shutdowns, truth.calls, truth.messages

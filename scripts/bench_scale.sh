@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Fleet-scale codec/pipeline datapoints: for each phone count in
-# PHONES_LIST, runs the campaign twice — staged (isolating the parse
-# stage's wall clock, which is what the throughput number means) and
-# fused (campaign+parse on the same workers, the production path) —
-# and assembles the per-scale numbers into one JSON document.
+# PHONES_LIST, runs the campaign three times — staged (isolating the
+# parse stage's wall clock, which is what the throughput number
+# means), fused (campaign+parse on the same workers, the production
+# batch path) and streaming (campaign+parse+fold with per-phone flash
+# and dataset reclaim, the bounded-memory path) — and assembles the
+# per-scale numbers into one JSON document.
 #
 # If a previous document exists (the committed baseline, or $BASELINE),
 # the script gates on it: any phone count whose staged parse MB/s falls
-# below MIN_RATIO of the baseline fails the run. The fresh document is
-# only written once the gate passes, so a failing run never overwrites
-# the baseline it was judged against.
+# below MIN_RATIO of the baseline fails the run. Two within-run gates
+# cover the streaming engine at every phone count >= STREAM_GATE_MIN:
+# its peak live heap must stay under STREAM_PEAK_RATIO of the batch
+# (fused) peak, and its wall clock must stay within STREAM_WALL_RATIO
+# of the fused wall clock. The fresh document is only written once
+# every gate passes, so a failing run never overwrites the baseline it
+# was judged against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,14 +26,18 @@ WORKERS="${WORKERS:-4}"
 PHONES_LIST="${PHONES_LIST:-25 250 1000}"
 BASELINE="${BASELINE:-BENCH_scale.json}"
 MIN_RATIO="${MIN_RATIO:-0.8}"
+STREAM_GATE_MIN="${STREAM_GATE_MIN:-100}"
+STREAM_PEAK_RATIO="${STREAM_PEAK_RATIO:-0.5}"
+STREAM_WALL_RATIO="${STREAM_WALL_RATIO:-1.25}"
 
 cargo build --release -p symfail-bench --bin repro >/dev/null
 BIN=target/release/repro
 
 tmp_staged="$(mktemp)"
 tmp_fused="$(mktemp)"
+tmp_stream="$(mktemp)"
 tmp_out="$(mktemp)"
-trap 'rm -f "$tmp_staged" "$tmp_fused" "$tmp_out"' EXIT
+trap 'rm -f "$tmp_staged" "$tmp_fused" "$tmp_stream" "$tmp_out"' EXIT
 
 # First numeric value of a key in a timing-JSON dump.
 jget() { grep -o "\"$2\": [0-9.]*" "$1" | head -n1 | awk '{print $2}'; }
@@ -39,7 +49,7 @@ jwall() {
 
 {
     printf '{\n'
-    printf '  "schema": "symfail-bench-scale/1",\n'
+    printf '  "schema": "symfail-bench-scale/2",\n'
     printf '  "seed": %s,\n' "$SEED"
     printf '  "days": %s,\n' "$DAYS"
     printf '  "workers": %s,\n' "$WORKERS"
@@ -53,6 +63,9 @@ jwall() {
         "$BIN" --exp defects --seed "$SEED" --phones "$phones" --days "$DAYS" \
             --workers "$WORKERS" --pipeline fused \
             --timing-json "$tmp_fused" >/dev/null 2>&1
+        "$BIN" --exp defects --seed "$SEED" --phones "$phones" --days "$DAYS" \
+            --workers "$WORKERS" --engine streaming \
+            --timing-json "$tmp_stream" >/dev/null 2>&1
 
         parse_seconds="$(jget "$tmp_staged" parse_seconds)"
         parse_bytes="$(jget "$tmp_staged" parse_bytes)"
@@ -70,10 +83,49 @@ jwall() {
         printf '     "staged_wall_seconds": %s,\n' "$(jwall "$tmp_staged")"
         printf '     "fused_wall_seconds": %s,\n' "$(jwall "$tmp_fused")"
         printf '     "fused_parse_cpu_seconds": %s,\n' "$(jget "$tmp_fused" parse_seconds)"
-        printf '     "fused_total_allocs": %s}' "$(jget "$tmp_fused" total_allocs)"
+        printf '     "fused_total_allocs": %s,\n' "$(jget "$tmp_fused" total_allocs)"
+        printf '     "fused_peak_alloc_bytes": %s,\n' "$(jget "$tmp_fused" peak_alloc_bytes)"
+        printf '     "streaming_wall_seconds": %s,\n' "$(jwall "$tmp_stream")"
+        printf '     "streaming_peak_alloc_bytes": %s,\n' "$(jget "$tmp_stream" peak_alloc_bytes)"
+        printf '     "streaming_reclaimed_flash_bytes": %s}' \
+            "$(jget "$tmp_stream" reclaimed_flash_bytes)"
     done
     printf '\n  ]\n}\n'
 } >"$tmp_out"
+
+# Within-run gates: the streaming engine must actually buy memory
+# (peak < STREAM_PEAK_RATIO x batch peak) without giving up throughput
+# (wall <= STREAM_WALL_RATIO x fused wall) once fleets are big enough
+# for the comparison to be meaningful.
+fail=0
+while read -r phones fpeak speak fwall swall; do
+    [ "$phones" -ge "$STREAM_GATE_MIN" ] || continue
+    if ! awk -v s="$speak" -v f="$fpeak" -v r="$STREAM_PEAK_RATIO" \
+        'BEGIN { exit !(s + 0 < r * f) }'; then
+        echo "bench_scale: MEMORY GATE at $phones phones:" \
+            "streaming peak $speak B >= $STREAM_PEAK_RATIO x batch peak $fpeak B" >&2
+        fail=1
+    else
+        echo "bench_scale: $phones phones: streaming peak $speak B" \
+            "vs batch peak $fpeak B ok" >&2
+    fi
+    if ! awk -v s="$swall" -v f="$fwall" -v r="$STREAM_WALL_RATIO" \
+        'BEGIN { exit !(s + 0 <= r * f) }'; then
+        echo "bench_scale: THROUGHPUT GATE at $phones phones:" \
+            "streaming wall ${swall}s > $STREAM_WALL_RATIO x fused wall ${fwall}s" >&2
+        fail=1
+    fi
+# Values stay strings end to end: awk's %d clamps 64-bit peaks to
+# INT_MAX on some implementations (mawk), which would corrupt the gate
+# inputs at multi-GiB batch peaks.
+done < <(awk -F'[:,]' '/"phones"/ { p = $2 }
+    /"fused_peak_alloc_bytes"/ { fp = $2 }
+    /"streaming_peak_alloc_bytes"/ { sp = $2 }
+    /"fused_wall_seconds"/ { fw = $2 }
+    /"streaming_wall_seconds"/ { sw = $2 }
+    /"streaming_reclaimed_flash_bytes"/ { printf "%s %s %s %s %s\n", p, fp, sp, fw, sw }' \
+    "$tmp_out")
+[ "$fail" = 0 ] || exit 1
 
 # Regression gate: staged parse MB/s per phone count vs the baseline.
 pairs() {

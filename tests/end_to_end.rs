@@ -6,7 +6,7 @@
 use symfail::core::analysis::dataset::{FleetDataset, HlKind};
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::phone::calibration::CalibrationParams;
-use symfail::phone::fleet::{total_stats, FleetCampaign};
+use symfail::phone::fleet::{harvest_metas, total_stats, FleetCampaign};
 use symfail::sim::SimDuration;
 
 fn small_params() -> CalibrationParams {
@@ -34,7 +34,7 @@ fn analyze(
 ) {
     let campaign = FleetCampaign::new(seed, small_params());
     let harvest = campaign.run();
-    let truth = total_stats(&harvest);
+    let truth = total_stats(&harvest_metas(&harvest));
     let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
     let config = AnalysisConfig {
         uptime_gap: SimDuration::from_secs(small_params().heartbeat_period_secs * 3 + 60),

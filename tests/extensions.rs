@@ -8,10 +8,9 @@ use symfail::core::analysis::interarrival::InterArrivalAnalysis;
 use symfail::core::analysis::output_failures::OutputFailureAnalysis;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::analysis::severity::SeverityAnalysis;
-use symfail::core::analysis::shutdown::merge_hl_events;
 use symfail::phone::calibration::CalibrationParams;
 use symfail::phone::firmware::SymbianVersion;
-use symfail::phone::fleet::{panics_by_firmware, total_stats, FleetCampaign};
+use symfail::phone::fleet::{harvest_metas, panics_by_firmware, total_stats, FleetCampaign};
 use symfail::sim::SimDuration;
 
 fn params() -> CalibrationParams {
@@ -41,8 +40,8 @@ fn dexc_baseline_sees_panics_but_nothing_else() {
     let harvest = FleetCampaign::new(31, params()).run();
     let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
     let report = StudyReport::analyze(&fleet, config());
-    let cmp = BaselineComparison::new(&fleet, &report);
-    let truth = total_stats(&harvest);
+    let cmp = BaselineComparison::new(&report);
+    let truth = total_stats(&harvest_metas(&harvest));
     assert_eq!(cmp.panics_collected, truth.panics);
     assert!(cmp.hl_events_full > 0);
     assert_eq!(cmp.hl_events_dexc, 0);
@@ -55,8 +54,7 @@ fn interarrival_analysis_on_campaign() {
     let harvest = FleetCampaign::new(37, params()).run();
     let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
     let report = StudyReport::analyze(&fleet, config());
-    let hl = merge_hl_events(fleet.freezes(), &report.shutdowns.self_shutdown_hl_events());
-    let ia = InterArrivalAnalysis::new(&fleet, &hl).expect("enough events");
+    let ia = InterArrivalAnalysis::new(&report.hl_events).expect("enough events");
     assert!(ia.len() > 20);
     assert!(ia.mean_hours() > 1.0);
     // Wall-clock inter-arrivals of a thinned process with day/night
@@ -76,7 +74,7 @@ fn interarrival_analysis_on_campaign() {
 #[test]
 fn user_reports_undercount_output_failures() {
     let harvest = FleetCampaign::new(41, params()).run();
-    let truth = total_stats(&harvest);
+    let truth = total_stats(&harvest_metas(&harvest));
     assert!(
         truth.output_failures > 20,
         "scenario produces output failures"
@@ -99,6 +97,13 @@ fn severity_burden_matches_detected_failures() {
     let report = StudyReport::analyze(&fleet, config());
     let sev = SeverityAnalysis::new(&fleet, &report.shutdowns, report.mtbf.total_hours);
     assert_eq!(sev.battery_pulls(), report.mtbf.freezes);
+    // The counts-only constructor (the streaming path) agrees.
+    let from_counts = SeverityAnalysis::from_counts(
+        report.mtbf.freezes,
+        report.mtbf.self_shutdowns,
+        report.mtbf.total_hours,
+    );
+    assert_eq!(from_counts.render(), sev.render());
     assert_eq!(
         sev.unwanted_reboots(),
         report.shutdowns.self_shutdowns().len()
@@ -109,7 +114,7 @@ fn severity_burden_matches_detected_failures() {
 #[test]
 fn firmware_mix_and_breakdown() {
     let harvest = FleetCampaign::new(47, params()).run();
-    let breakdown = panics_by_firmware(&harvest);
+    let breakdown = panics_by_firmware(&harvest_metas(&harvest));
     let phones: u64 = breakdown.iter().map(|(_, n, _)| n).sum();
     assert_eq!(phones, params().phones as u64);
     // The majority version is represented.

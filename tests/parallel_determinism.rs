@@ -5,6 +5,7 @@
 //! pin that contract.
 
 use symfail::core::analysis::dataset::FleetDataset;
+use symfail::core::analysis::passes::PassRegistry;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::flashfs::FlashFs;
 use symfail::phone::calibration::CalibrationParams;
@@ -72,7 +73,7 @@ fn render_study(campaign: &FleetCampaign, workers: usize) -> String {
     let flash: Vec<(u32, &FlashFs)> = harvest.iter().map(|h| (h.phone_id, &h.flashfs)).collect();
     let fleet = FleetDataset::from_flash_parallel(&flash, workers);
     let report = StudyReport::analyze(&fleet, AnalysisConfig::default());
-    report.render_all() + &report.render_per_phone(&fleet)
+    report.render_all() + &report.render_per_phone()
 }
 
 #[test]
@@ -121,7 +122,7 @@ fn fused_pipeline_report_identical_across_worker_counts() {
     let render_fused = |workers: usize| {
         let run = campaign.run_fused(workers);
         let report = StudyReport::analyze(&run.dataset, AnalysisConfig::default());
-        report.render_all() + &report.render_per_phone(&run.dataset)
+        report.render_all() + &report.render_per_phone()
     };
     let base = render_fused(1);
     for workers in [2usize, 8] {
@@ -138,7 +139,36 @@ fn fused_pipeline_report_identical_across_worker_counts() {
     let staged_report = StudyReport::analyze(&staged, AnalysisConfig::default());
     assert_eq!(
         base,
-        staged_report.render_all() + &staged_report.render_per_phone(&staged),
+        staged_report.render_all() + &staged_report.render_per_phone(),
         "fused and staged pipelines render different studies"
     );
+}
+
+#[test]
+fn streaming_engine_report_identical_to_batch_for_any_worker_count() {
+    // The streaming engine never materializes the fleet: each worker
+    // folds its phone's analysis passes and drops the flash and the
+    // dataset before stealing the next phone. The phone-ordered merge
+    // must make the rendered study byte-identical to the batch oracle
+    // — for any worker count, under the worst corruption profile.
+    let campaign = FleetCampaign::new(2005, params()).with_corruption(CorruptionProfile::Worst);
+    let config = AnalysisConfig::default();
+    let registry = PassRegistry::all();
+    let batch = {
+        let run = campaign.run_fused(4);
+        let report = StudyReport::analyze_with(&run.dataset, config, &registry);
+        report.render_all() + &report.render_per_phone()
+    };
+    for workers in [1usize, 4, 13] {
+        let run = campaign.run_streaming(workers, config, &registry);
+        assert_eq!(
+            batch,
+            run.report.render_all() + &run.report.render_per_phone(),
+            "streaming study differs from batch with {workers} workers"
+        );
+        assert_eq!(
+            run.reclaimed_flash_bytes, run.parse_bytes,
+            "every flash byte must be reclaimed phone-by-phone"
+        );
+    }
 }

@@ -512,6 +512,70 @@ proptest! {
             prop_assert!(weights[i] > 0.0);
         }
     }
+
+    /// Folding hand-built per-phone datasets through the streaming
+    /// merger — in *any* arrival order — renders the same study,
+    /// byte for byte, as the batch driver over the materialized
+    /// fleet. Per-phone app vocabularies differ, so this exercises
+    /// the name-interner absorption/remap on the coalesced folds.
+    #[test]
+    fn stream_merge_matches_batch_for_any_arrival_order(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u64..300_000, 0usize..5, 0usize..4, 10u8..100), 0..12),
+            1..5,
+        ),
+        order_sel in 0u8..3,
+    ) {
+        use symfail::core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
+        use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+        // Disjoint-ish per-phone vocabularies force non-identity
+        // interner remaps when phones merge.
+        let apps = ["Messages", "Camera", "Clock", "Browser", "Log"];
+        let acts = [ActivityKind::VoiceCall, ActivityKind::Message, ActivityKind::DataSession];
+        let phones: Vec<PhoneDataset> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, recs)| {
+                let records: Vec<LogRecord> = recs
+                    .iter()
+                    .map(|&(t, app_ix, act_ix, battery)| LogRecord::Panic(PanicRecord {
+                        at: SimTime::from_secs(t),
+                        panic: Panic::new(codes::KERN_EXEC_3, apps[(app_ix + id) % apps.len()], "r"),
+                        running_apps: (0..app_ix)
+                            .map(|k| apps[(k + id) % apps.len()].to_string())
+                            .collect(),
+                        activity: acts.get(act_ix).copied(),
+                        battery,
+                    }))
+                    .collect();
+                PhoneDataset::new(id as u32, records, Vec::new())
+            })
+            .collect();
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let batch = {
+            let fleet = FleetDataset::from_phones(phones.clone());
+            let report = StudyReport::analyze_with(&fleet, config, &registry);
+            report.render_all() + &report.render_per_phone()
+        };
+        let mut order: Vec<usize> = (0..phones.len()).collect();
+        match order_sel {
+            1 => order.reverse(),
+            2 => order.sort_by_key(|&i| (i % 2 == 0, i)),
+            _ => {}
+        }
+        let mut merger = StreamMerger::new(&registry, config);
+        for &i in &order {
+            let lens = PhoneLens::new(&phones[i], config, registry.needs_coalesce());
+            merger.push(registry.fold_phone(&lens));
+        }
+        let streamed = merger.finish();
+        prop_assert_eq!(
+            batch,
+            streamed.render_all() + &streamed.render_per_phone(),
+            "arrival order {:?} changed the study", order
+        );
+    }
 }
 
 // ---------------------------------------------------------------
@@ -535,7 +599,7 @@ proptest! {
     #[test]
     fn campaign_panics_conserved_for_any_seed(seed in 0u64..10_000) {
         use symfail::phone::calibration::CalibrationParams;
-        use symfail::phone::fleet::{total_stats, FleetCampaign};
+        use symfail::phone::fleet::{harvest_metas, total_stats, FleetCampaign};
         let params = CalibrationParams {
             phones: 2,
             campaign_days: 25,
@@ -545,7 +609,7 @@ proptest! {
             ..CalibrationParams::default()
         };
         let harvest = FleetCampaign::new(seed, params).run();
-        let truth = total_stats(&harvest);
+        let truth = total_stats(&harvest_metas(&harvest));
         let fleet = FleetDataset::from_flash(
             harvest.iter().map(|h| (h.phone_id, &h.flashfs)),
         );
