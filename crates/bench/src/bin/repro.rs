@@ -9,6 +9,8 @@
 //!       [--analyses all|comma-list]
 //!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
+//!       [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
+//!       [--mtbf-trace-json PATH]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -32,8 +34,20 @@
 //! `--timing-json` writes per-stage wall-clock timings plus
 //! allocation (cumulative and peak-live) and parse-throughput
 //! counters to the given path.
+//!
+//! The streaming engine supports checkpointed campaigns:
+//! `--checkpoint PATH` snapshots the merged accumulators to PATH
+//! (atomic write-rename) every `--checkpoint-every N` absorbed phones
+//! and once at the end; if PATH already holds a checkpoint for the
+//! same campaign, the run resumes from it instead of starting over.
+//! `--stop-after K` aborts the campaign after absorbing K phones
+//! (after flushing the checkpoint) — the crash half of an
+//! interrupt/resume test. `--mtbf-trace-json PATH` records the online
+//! MTBFr/MTBS estimate at every checkpoint boundary; its final entry
+//! equals the batch engine's estimate exactly.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -50,7 +64,7 @@ use symfail_core::analysis::{
 use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
 use symfail_phone::corruption::CorruptionProfile;
-use symfail_phone::fleet::{harvest_metas, FleetCampaign, PhoneMeta};
+use symfail_phone::fleet::{harvest_metas, FleetCampaign, PhoneMeta, StreamingOptions};
 use symfail_sim_core::SimDuration;
 
 /// A counting wrapper around the system allocator: lets
@@ -168,6 +182,10 @@ struct Args {
     corruption: CorruptionProfile,
     defects_json: Option<String>,
     timing_json: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: u32,
+    stop_after: Option<u32>,
+    mtbf_trace_json: Option<String>,
 }
 
 fn default_workers() -> usize {
@@ -190,6 +208,10 @@ fn parse_args() -> Result<Args, String> {
         corruption: CorruptionProfile::None,
         defects_json: None,
         timing_json: None,
+        checkpoint: None,
+        checkpoint_every: 0,
+        stop_after: None,
+        mtbf_trace_json: None,
     };
     let mut pipeline_set = false;
     let mut it = std::env::args().skip(1);
@@ -254,13 +276,34 @@ fn parse_args() -> Result<Args, String> {
             "--timing-json" => {
                 args.timing_json = Some(it.next().ok_or("--timing-json needs a path")?)
             }
+            "--checkpoint" => args.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--checkpoint-every needs a positive phone count")?
+            }
+            "--stop-after" => {
+                args.stop_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--stop-after needs a phone count")?,
+                )
+            }
+            "--mtbf-trace-json" => {
+                args.mtbf_trace_json = Some(it.next().ok_or("--mtbf-trace-json needs a path")?)
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
                      [--workers N] [--sweep] [--pipeline fused|staged] \
                      [--engine batch|streaming] [--analyses LIST] \
                      [--corruption none|light|moderate|worst] \
-                     [--defects-json PATH] [--timing-json PATH]\n\
+                     [--defects-json PATH] [--timing-json PATH] \
+                     [--checkpoint PATH] [--checkpoint-every N] \
+                     [--stop-after N] [--mtbf-trace-json PATH]\n\
+                     checkpoint/stop/trace flags need --engine streaming\n\
                      --analyses takes a comma-list of pass names \
                      (default all): {}",
                     PassRegistry::NAMES.join(",")
@@ -276,6 +319,14 @@ fn parse_args() -> Result<Args, String> {
                 .to_string());
         }
         args.pipeline = Pipeline::Fused;
+    } else if args.checkpoint.is_some()
+        || args.checkpoint_every > 0
+        || args.stop_after.is_some()
+        || args.mtbf_trace_json.is_some()
+    {
+        return Err("--checkpoint, --checkpoint-every, --stop-after and \
+                    --mtbf-trace-json need --engine streaming"
+            .to_string());
     }
     Ok(args)
 }
@@ -309,11 +360,18 @@ struct CampaignRun {
     /// Flash bytes freed phone-by-phone instead of living for the
     /// whole run (fused/streaming pipelines; zero under staged).
     reclaimed_flash_bytes: u64,
+    /// Online MTBF estimates at each checkpoint boundary (streaming
+    /// engine with `--mtbf-trace-json`; empty otherwise).
+    mtbf_trace: Vec<(u32, MtbfAnalysis)>,
+    /// Phones already absorbed by the checkpoint this run resumed
+    /// from, if any.
+    resumed_from: Option<u32>,
 }
 
 /// Runs the fleet campaign and the analysis pipeline selected by
-/// `--engine` / `--analyses`, timing each stage.
-fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
+/// `--engine` / `--analyses`, timing each stage. Fails only on
+/// checkpoint I/O or validation errors (streaming engine).
+fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, String> {
     let params = CalibrationParams {
         phones: args.phones,
         campaign_days: args.days,
@@ -337,10 +395,21 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
     };
 
     if args.engine == Engine::Streaming {
+        let opts = StreamingOptions {
+            checkpoint: args.checkpoint.as_ref().map(PathBuf::from),
+            checkpoint_every: args.checkpoint_every,
+            stop_after_phones: args.stop_after,
+            mtbf_trace: args.mtbf_trace_json.is_some(),
+        };
         let (t, a) = (Instant::now(), alloc_now());
-        let run = campaign.run_streaming(args.workers, config, registry);
+        let run = campaign
+            .run_streaming_opts(args.workers, config, registry, &opts)
+            .map_err(|e| format!("checkpoint error: {e}"))?;
         stage("campaign+parse+fold", t, a);
-        return CampaignRun {
+        if let Some(absorbed) = run.resumed_from {
+            eprintln!("resumed from checkpoint: {absorbed} phones already absorbed");
+        }
+        return Ok(CampaignRun {
             report: run.report,
             fleet: None,
             metas: run.metas,
@@ -348,7 +417,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
             parse_bytes: run.parse_bytes,
             parse_seconds: run.parse_cpu_seconds,
             reclaimed_flash_bytes: run.reclaimed_flash_bytes,
-        };
+            mtbf_trace: run.mtbf_trace,
+            resumed_from: run.resumed_from,
+        });
     }
 
     let (metas, fleet, parse_seconds, reclaimed_flash_bytes) = match args.pipeline {
@@ -407,7 +478,7 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
     let report = StudyReport::analyze_with(&fleet, config, registry);
     stage("report_total", t, a);
 
-    CampaignRun {
+    Ok(CampaignRun {
         report,
         fleet: Some(fleet),
         metas,
@@ -415,7 +486,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> CampaignRun {
         parse_bytes,
         parse_seconds,
         reclaimed_flash_bytes,
-    }
+        mtbf_trace: Vec::new(),
+        resumed_from: None,
+    })
 }
 
 /// Hand-formats the stage timings plus the allocation and
@@ -470,6 +543,37 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
     )
 }
 
+/// Hand-formats the online-MTBF trace as JSON: one entry per
+/// checkpoint boundary, keyed by phones absorbed, ending with the
+/// whole-fleet estimate (which matches the batch engine exactly).
+fn mtbf_trace_json(args: &Args, run: &CampaignRun) -> String {
+    let entries: Vec<String> = run
+        .mtbf_trace
+        .iter()
+        .map(|(phones, est)| {
+            format!(
+                "    {{\"phones\": {}, \"mtbf\": {}}}",
+                phones,
+                est.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"symfail-mtbf-trace/1\",\n  \"seed\": {},\n  \
+         \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
+         \"corruption\": \"{}\",\n  \"resumed_from\": {},\n  \
+         \"trace\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.phones,
+        args.days,
+        args.workers,
+        args.corruption.as_str(),
+        run.resumed_from
+            .map_or_else(|| "null".to_string(), |n| n.to_string()),
+        entries.join(",\n")
+    )
+}
+
 fn forum_report(seed: u64) -> String {
     use symfail_forum::corpus::CorpusGenerator;
     use symfail_forum::tables::ForumStudy;
@@ -509,7 +613,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let needs_campaign = args.exp != "table1" && args.exp != "forum_marginals";
-    let run = needs_campaign.then(|| run_campaign(&args, &registry));
+    let run = if needs_campaign {
+        match run_campaign(&args, &registry) {
+            Ok(run) => Some(run),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    if let (Some(path), Some(run)) = (&args.mtbf_trace_json, &run) {
+        let json = mtbf_trace_json(&args, run);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote MTBF trace to {path}");
+    }
     if let (Some(path), Some(run)) = (&args.timing_json, &run) {
         let json = timing_json(&args, run);
         if let Err(e) = std::fs::write(path, json) {

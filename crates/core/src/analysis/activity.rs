@@ -64,6 +64,17 @@ impl ActivityAnalysis {
         }
     }
 
+    /// Reassembles an analysis from its serialized parts — the
+    /// checkpoint restore path of the streaming
+    /// [`AnalysisPass`](crate::analysis::passes::AnalysisPass) engine.
+    pub fn from_parts(table: ContingencyTable, total: usize, real_time: usize) -> Self {
+        Self {
+            table,
+            total,
+            real_time,
+        }
+    }
+
     /// Merges another phone's fold into this accumulator. Counts are
     /// additive and the table is order-insensitive, so absorbing folds
     /// in any associative grouping yields the batch result.
@@ -81,6 +92,12 @@ impl ActivityAnalysis {
     /// Number of HL-related panics considered.
     pub fn total(&self) -> usize {
         self.total
+    }
+
+    /// Number of HL-related panics recorded during real-time
+    /// activities (the numerator of [`Self::real_time_fraction`]).
+    pub fn real_time_count(&self) -> usize {
+        self.real_time
     }
 
     /// Fraction of HL-related panics recorded during real-time

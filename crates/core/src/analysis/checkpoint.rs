@@ -1,0 +1,342 @@
+//! The campaign checkpoint codec: a compact, versioned, checksummed
+//! binary format for [`StreamMerger`](super::passes::StreamMerger)
+//! snapshots.
+//!
+//! The paper's 14-month study only produced data because collection
+//! survived interruptions; at fleet scale a streaming campaign needs
+//! the same property. A checkpoint captures the merger's *absorbed
+//! contiguous prefix* — the fleet [`NameTable`](crate::intern::NameTable),
+//! the next expected phone id, and every pass's accumulator serialized
+//! by [`AnalysisPass::snapshot_acc`](super::passes::AnalysisPass::snapshot_acc)
+//! — so a resumed run re-simulates only phones `>= next_id` and
+//! renders a report byte-identical to an uninterrupted run.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "SYMFCKPT" (8)  | schema version u32 | campaign fingerprint u64
+//! AnalysisConfig (4×u64 ms) | registry (u64 count, length-prefixed names)
+//! next_id u32 | name table (u64 count, length-prefixed names)
+//! per-pass blobs (u64 byte length + pass-private encoding, registry order)
+//! FNV-1a 64 checksum u64 over every preceding byte
+//! ```
+//!
+//! Loading validates in a fixed order — magic, schema version,
+//! checksum, then registry / config / campaign identity — so every
+//! failure mode maps to a distinguishable [`CheckpointError`] and a
+//! tampered file can never panic or silently resume.
+
+use std::fmt;
+
+/// File magic: the first eight bytes of every checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SYMFCKPT";
+
+/// Schema version written by this build; bumped whenever any pass
+/// encoding or the header layout changes. Checkpoints from any other
+/// version are refused (no migration: re-running the campaign is
+/// always safe).
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written or loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file ends before a read completes.
+    Truncated,
+    /// The first eight bytes are not [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The checkpoint was written by a different schema version.
+    SchemaVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The payload checksum does not match (bit rot or tampering).
+    Checksum,
+    /// The checkpoint was written with a different pass registry
+    /// (`--analyses` selection).
+    RegistryMismatch {
+        /// Pass names stored in the file, in registry order.
+        found: Vec<String>,
+        /// Pass names of the resuming registry.
+        expected: Vec<String>,
+    },
+    /// The checkpoint was written under a different [`AnalysisConfig`]
+    /// (thresholds/windows), so its folds are not comparable.
+    ///
+    /// [`AnalysisConfig`]: super::report::AnalysisConfig
+    ConfigMismatch,
+    /// The checkpoint belongs to a different campaign (seed, fleet
+    /// size, duration or corruption profile).
+    CampaignMismatch {
+        /// Fingerprint stored in the file.
+        found: u64,
+        /// Fingerprint of the resuming campaign.
+        expected: u64,
+    },
+    /// The payload passed the checksum but decoded to an impossible
+    /// value (defensive: should be unreachable without a collision).
+    Corrupt(&'static str),
+    /// Filesystem error while reading or writing the checkpoint.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a campaign checkpoint (bad magic)"),
+            CheckpointError::SchemaVersion { found, expected } => write!(
+                f,
+                "checkpoint schema version {found} (this build reads {expected})"
+            ),
+            CheckpointError::Checksum => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::RegistryMismatch { found, expected } => write!(
+                f,
+                "checkpoint pass registry [{}] does not match [{}]",
+                found.join(","),
+                expected.join(",")
+            ),
+            CheckpointError::ConfigMismatch => {
+                write!(f, "checkpoint written under a different analysis config")
+            }
+            CheckpointError::CampaignMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different campaign \
+                 (fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit over `bytes` — the same cheap, dependency-free hash
+/// the flash-log record trailer uses, here guarding the whole payload.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only little-endian encoder for checkpoint payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (checkpoints are
+    /// architecture-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern — bit-exact across
+    /// the roundtrip, which the byte-identical-report invariant needs.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked little-endian decoder over a checkpoint payload.
+/// Every read returns [`CheckpointError::Truncated`] instead of
+/// panicking when the slice runs out.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a `u64`-encoded `usize`, refusing values the host cannot
+    /// represent.
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| CheckpointError::Corrupt("length overflow"))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Corrupt("string is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.u8(0xab);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 7);
+        w.usize(123_456);
+        w.f64(-0.1);
+        w.bool(true);
+        w.bool(false);
+        w.str("Têlé");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.usize().unwrap(), 123_456);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "Têlé");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_past_end_are_truncated_not_panics() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u64(), Err(CheckpointError::Truncated));
+        assert_eq!(r.take(4), Err(CheckpointError::Truncated));
+        // A failed read consumes nothing.
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u8(), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_corrupt() {
+        let mut r = ByteReader::new(&[7]);
+        assert!(matches!(r.bool(), Err(CheckpointError::Corrupt(_))));
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

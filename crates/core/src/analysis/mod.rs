@@ -29,6 +29,7 @@
 pub mod activity;
 pub mod baseline;
 pub mod bursts;
+pub mod checkpoint;
 pub mod coalesce;
 pub mod dataset;
 pub mod defects;

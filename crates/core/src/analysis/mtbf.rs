@@ -63,6 +63,24 @@ impl MtbfAnalysis {
         }
     }
 
+    /// Hand-rendered JSON object for the online-MTBF trace
+    /// (`repro --mtbf-trace-json`); the workspace serde is a no-op
+    /// stub, so rendering is explicit. Floats use Rust's
+    /// shortest-roundtrip formatting and `None` becomes `null`.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
+        format!(
+            "{{\"total_hours\":{},\"freezes\":{},\"self_shutdowns\":{},\
+             \"mtbfr_hours\":{},\"mtbs_hours\":{},\"mtbf_any_hours\":{}}}",
+            self.total_hours,
+            self.freezes,
+            self.self_shutdowns,
+            opt(self.mtbfr_hours),
+            opt(self.mtbs_hours),
+            opt(self.mtbf_any_hours)
+        )
+    }
+
     /// Mean days between user-perceived failures (freeze or
     /// self-shutdown), assuming 24 h wall-clock days of the averaged
     /// per-phone usage — the paper's "every 11 days" figure is the
@@ -148,6 +166,17 @@ mod tests {
         assert!(m.mtbs_hours.is_none());
         assert!(m.mtbf_any_hours.is_none());
         assert!(m.days_between_failures().is_none());
+    }
+
+    #[test]
+    fn json_rendering_covers_some_and_none() {
+        let m = MtbfAnalysis::from_totals(SimDuration::from_secs(7200), 2, 0);
+        let j = m.to_json();
+        assert!(j.starts_with("{\"total_hours\":2"), "{j}");
+        assert!(j.contains("\"freezes\":2"));
+        assert!(j.contains("\"mtbfr_hours\":1"));
+        assert!(j.contains("\"mtbs_hours\":null"));
+        assert!(j.contains("\"mtbf_any_hours\":1"));
     }
 
     #[test]

@@ -35,15 +35,21 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use symfail_sim_core::SimDuration;
-use symfail_stats::CategoricalDist;
+use symfail_sim_core::{SimDuration, SimTime};
+use symfail_stats::{CategoricalDist, ContingencyTable};
+use symfail_symbian::panic::PanicCategory;
+use symfail_symbian::servers::logdb::ActivityKind;
+use symfail_symbian::PanicCode;
 
-use crate::intern::NameTable;
+use crate::intern::{NameId, NameTable};
 
 use super::activity::ActivityAnalysis;
 use super::bursts::{phone_cascades, BurstAnalysis, Cascade};
-use super::coalesce::{coalesce_phone, CoalescenceAnalysis, PhoneCoalesce};
-use super::dataset::{HlEvent, HlKind, PhoneDataset, ShutdownEvent};
+use super::checkpoint::{
+    self, ByteReader, ByteWriter, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA_VERSION,
+};
+use super::coalesce::{coalesce_phone, CoalescedPanic, CoalescenceAnalysis, PhoneCoalesce};
+use super::dataset::{HlEvent, HlKind, PanicEvent, PhoneDataset, ShutdownEvent};
 use super::defects::{DefectReport, PhoneDefects};
 use super::mtbf::MtbfAnalysis;
 use super::report::{AnalysisConfig, PhoneRow, StudyReport};
@@ -93,6 +99,19 @@ pub trait AnalysisPass: Send + Sync {
 
     /// Finishes the accumulator into the pass's report section.
     fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput;
+
+    /// Serializes the fleet accumulator into a checkpoint stream
+    /// (see the [`checkpoint`](super::checkpoint) module for the
+    /// format). Must write exactly what [`Self::restore_acc`] reads:
+    /// the merger length-prefixes each pass blob and rejects partial
+    /// consumption.
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter);
+
+    /// Rebuilds the fleet accumulator from a checkpoint stream.
+    /// Interned ids in the stream are fleet ids (the merger restores
+    /// the fleet [`NameTable`] alongside), so no remapping happens
+    /// here.
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError>;
 }
 
 /// A finished report section, one variant per pass.
@@ -365,11 +384,36 @@ impl<'r> StreamMerger<'r> {
     /// phone. Out-of-order arrivals are buffered (bounded by worker
     /// skew: at most `workers - 1` phones wait).
     pub fn push(&mut self, folds: PhoneFolds) {
+        self.push_each(folds, |_| {});
+    }
+
+    /// [`Self::push`] with an observer: `on_absorb` fires after *each*
+    /// single phone is absorbed (one push can absorb several buffered
+    /// phones). Because absorption happens strictly in phone-id order,
+    /// the observer sees every absorbed-count boundary exactly once
+    /// regardless of worker count or arrival order — which is what
+    /// makes checkpoint-every-N and the online MTBF trace
+    /// deterministic.
+    ///
+    /// Folds for phones below [`Self::absorbed`] (a resumed campaign
+    /// replaying an already-checkpointed phone) are dropped: absorbing
+    /// them again would double-count.
+    pub fn push_each(&mut self, folds: PhoneFolds, mut on_absorb: impl FnMut(&Self)) {
+        if folds.phone_id < self.next_id {
+            return;
+        }
         self.pending.insert(folds.phone_id, folds);
         while let Some(folds) = self.pending.remove(&self.next_id) {
             self.absorb(folds);
             self.next_id = self.next_id.saturating_add(1);
+            on_absorb(&*self);
         }
+    }
+
+    /// Number of phones absorbed so far — the next expected phone id,
+    /// and the resume point a snapshot taken now would encode.
+    pub fn absorbed(&self) -> u32 {
+        self.next_id
     }
 
     /// Folds currently buffered waiting for an earlier phone.
@@ -411,6 +455,173 @@ impl<'r> StreamMerger<'r> {
     pub fn names(&self) -> &NameTable {
         &self.names
     }
+
+    /// A live MTBF estimate over the phones absorbed so far, straight
+    /// from the `mtbf` pass's running totals (integer-millisecond sums,
+    /// so the estimate at absorbed == fleet size is bit-identical to
+    /// the batch engine's). `None` when the registry has no `mtbf`
+    /// pass.
+    pub fn mtbf_estimate(&self) -> Option<MtbfAnalysis> {
+        self.registry
+            .passes()
+            .iter()
+            .zip(&self.accs)
+            .find(|(pass, _)| pass.name() == "mtbf")
+            .map(|(_, acc)| {
+                let fold = acc_ref::<MtbfFold>(acc);
+                MtbfAnalysis::from_totals(fold.powered_on, fold.freezes, fold.self_shutdowns)
+            })
+    }
+
+    /// Serializes the merger's absorbed state into a versioned,
+    /// checksummed checkpoint (see [`checkpoint`](super::checkpoint)
+    /// for the byte layout). Pending (out-of-order) folds are
+    /// deliberately **not** serialized: a snapshot always represents
+    /// the contiguous prefix `[0, absorbed)`, and a resumed campaign
+    /// re-simulates everything from [`Self::absorbed`] — cheaper than
+    /// trying to persist half-merged state, and immune to worker-skew
+    /// nondeterminism.
+    pub fn snapshot(&self, campaign_fingerprint: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u32(CHECKPOINT_SCHEMA_VERSION);
+        w.u64(campaign_fingerprint);
+        w.u64(self.config.self_shutdown_threshold.as_millis());
+        w.u64(self.config.coalescence_window.as_millis());
+        w.u64(self.config.burst_gap.as_millis());
+        w.u64(self.config.uptime_gap.as_millis());
+        w.usize(self.registry.passes().len());
+        for pass in self.registry.passes() {
+            w.str(pass.name());
+        }
+        w.u32(self.next_id);
+        w.usize(self.names.len());
+        for name in self.names.iter() {
+            w.str(name);
+        }
+        for (pass, acc) in self.registry.passes().iter().zip(&self.accs) {
+            let mut pw = ByteWriter::new();
+            pass.snapshot_acc(acc, &mut pw);
+            let blob = pw.into_bytes();
+            w.usize(blob.len());
+            w.bytes(&blob);
+        }
+        let mut bytes = w.into_bytes();
+        let checksum = checkpoint::fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Rebuilds a merger from a [`Self::snapshot`], validating in a
+    /// fixed order: magic, schema version, whole-payload checksum,
+    /// then pass registry / analysis config / campaign fingerprint
+    /// against the resuming run's. The pending buffer starts empty —
+    /// workers must restart at [`Self::absorbed`].
+    ///
+    /// # Errors
+    ///
+    /// A distinguishable [`CheckpointError`] per failure mode; a
+    /// tampered or truncated file never panics and never yields a
+    /// merger.
+    pub fn resume(
+        registry: &'r PassRegistry,
+        config: AnalysisConfig,
+        campaign_fingerprint: u64,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let magic_len = CHECKPOINT_MAGIC.len();
+        if bytes.len() < magic_len + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[..magic_len] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let found = u32::from_le_bytes(bytes[magic_len..magic_len + 4].try_into().expect("len 4"));
+        if found != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CheckpointError::SchemaVersion {
+                found,
+                expected: CHECKPOINT_SCHEMA_VERSION,
+            });
+        }
+        if bytes.len() < magic_len + 4 + 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("len 8"));
+        if checkpoint::fnv1a64(body) != stored {
+            return Err(CheckpointError::Checksum);
+        }
+        let mut r = ByteReader::new(&body[magic_len + 4..]);
+        let found_fingerprint = r.u64()?;
+        let stored_config = AnalysisConfig {
+            self_shutdown_threshold: SimDuration::from_millis(r.u64()?),
+            coalescence_window: SimDuration::from_millis(r.u64()?),
+            burst_gap: SimDuration::from_millis(r.u64()?),
+            uptime_gap: SimDuration::from_millis(r.u64()?),
+        };
+        let n_passes = r.usize()?;
+        if n_passes > PassRegistry::NAMES.len() {
+            return Err(CheckpointError::Corrupt("pass count out of range"));
+        }
+        let mut found_passes = Vec::with_capacity(n_passes);
+        for _ in 0..n_passes {
+            found_passes.push(r.str()?);
+        }
+        let expected_passes: Vec<String> = registry
+            .passes()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        if found_passes != expected_passes {
+            return Err(CheckpointError::RegistryMismatch {
+                found: found_passes,
+                expected: expected_passes,
+            });
+        }
+        if stored_config != config {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        if found_fingerprint != campaign_fingerprint {
+            return Err(CheckpointError::CampaignMismatch {
+                found: found_fingerprint,
+                expected: campaign_fingerprint,
+            });
+        }
+        let next_id = r.u32()?;
+        let n_names = r.usize()?;
+        if n_names > u16::MAX as usize + 1 {
+            return Err(CheckpointError::Corrupt("name table too large"));
+        }
+        let mut names = NameTable::default();
+        for i in 0..n_names {
+            let name = r.str()?;
+            if names.intern(&name).0 as usize != i {
+                return Err(CheckpointError::Corrupt("duplicate interner name"));
+            }
+        }
+        let mut accs = Vec::with_capacity(registry.passes().len());
+        for pass in registry.passes() {
+            let len = r.usize()?;
+            let blob = r.take(len)?;
+            let mut pr = ByteReader::new(blob);
+            let acc = pass.restore_acc(&mut pr)?;
+            if pr.remaining() != 0 {
+                return Err(CheckpointError::Corrupt("pass blob has trailing bytes"));
+            }
+            accs.push(acc);
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt("trailing bytes after passes"));
+        }
+        Ok(Self {
+            registry,
+            config,
+            names,
+            accs,
+            pending: BTreeMap::new(),
+            next_id,
+        })
+    }
 }
 
 fn take<T: 'static>(fold: DynFold) -> T {
@@ -420,6 +631,190 @@ fn take<T: 'static>(fold: DynFold) -> T {
 fn acc_of<T: 'static>(acc: &mut DynAcc) -> &mut T {
     acc.downcast_mut::<T>()
         .expect("pass fold/acc type mismatch")
+}
+
+fn acc_ref<T: 'static>(acc: &DynAcc) -> &T {
+    acc.downcast_ref::<T>()
+        .expect("pass fold/acc type mismatch")
+}
+
+// --- checkpoint codecs for the event/statistic types passes hold ---
+//
+// All domain enums are encoded as small fixed integers (`HlKind`,
+// `ActivityKind`, the `PanicCategory::ALL` index) so a checkpoint is
+// independent of string representations; decodes reject out-of-range
+// values instead of panicking.
+
+fn write_shutdown_event(w: &mut ByteWriter, e: &ShutdownEvent) {
+    w.u32(e.phone_id);
+    w.u64(e.off_at.as_millis());
+    w.u64(e.on_at.as_millis());
+    w.u64(e.duration.as_millis());
+}
+
+fn read_shutdown_event(r: &mut ByteReader<'_>) -> Result<ShutdownEvent, CheckpointError> {
+    Ok(ShutdownEvent {
+        phone_id: r.u32()?,
+        off_at: SimTime::from_millis(r.u64()?),
+        on_at: SimTime::from_millis(r.u64()?),
+        duration: SimDuration::from_millis(r.u64()?),
+    })
+}
+
+fn write_hl_event(w: &mut ByteWriter, e: &HlEvent) {
+    w.u32(e.phone_id);
+    w.u64(e.at.as_millis());
+    w.u8(match e.kind {
+        HlKind::Freeze => 0,
+        HlKind::SelfShutdown => 1,
+    });
+}
+
+fn read_hl_event(r: &mut ByteReader<'_>) -> Result<HlEvent, CheckpointError> {
+    Ok(HlEvent {
+        phone_id: r.u32()?,
+        at: SimTime::from_millis(r.u64()?),
+        kind: match r.u8()? {
+            0 => HlKind::Freeze,
+            1 => HlKind::SelfShutdown,
+            _ => return Err(CheckpointError::Corrupt("HL kind out of range")),
+        },
+    })
+}
+
+fn write_panic_event(w: &mut ByteWriter, p: &PanicEvent) {
+    w.u64(p.at.as_millis());
+    let category = PanicCategory::ALL
+        .iter()
+        .position(|c| *c == p.code.category)
+        .expect("every category is in PanicCategory::ALL");
+    w.u8(category as u8);
+    w.u16(p.code.panic_type);
+    w.u16(p.raised_by.0);
+    w.u16(p.reason.0);
+    w.u32(p.apps.len() as u32);
+    for id in p.apps.iter() {
+        w.u16(id.0);
+    }
+    w.u8(match p.activity {
+        None => 0,
+        Some(ActivityKind::VoiceCall) => 1,
+        Some(ActivityKind::Message) => 2,
+        Some(ActivityKind::DataSession) => 3,
+    });
+    w.u8(p.battery);
+}
+
+fn read_panic_event(r: &mut ByteReader<'_>) -> Result<PanicEvent, CheckpointError> {
+    let at = SimTime::from_millis(r.u64()?);
+    let category = *PanicCategory::ALL
+        .get(r.u8()? as usize)
+        .ok_or(CheckpointError::Corrupt("panic category out of range"))?;
+    let code = PanicCode::new(category, r.u16()?);
+    let raised_by = NameId(r.u16()?);
+    let reason = NameId(r.u16()?);
+    let n_apps = r.u32()?;
+    let apps = (0..n_apps)
+        .map(|_| r.u16().map(NameId))
+        .collect::<Result<_, _>>()?;
+    let activity = match r.u8()? {
+        0 => None,
+        1 => Some(ActivityKind::VoiceCall),
+        2 => Some(ActivityKind::Message),
+        3 => Some(ActivityKind::DataSession),
+        _ => return Err(CheckpointError::Corrupt("activity kind out of range")),
+    };
+    Ok(PanicEvent {
+        at,
+        code,
+        raised_by,
+        reason,
+        apps,
+        activity,
+        battery: r.u8()?,
+    })
+}
+
+fn write_phone_coalesce(w: &mut ByteWriter, pc: &PhoneCoalesce) {
+    w.usize(pc.panics.len());
+    for p in &pc.panics {
+        w.u32(p.phone_id);
+        write_panic_event(w, &p.panic);
+        w.u8(match p.related {
+            None => 0,
+            Some(HlKind::Freeze) => 1,
+            Some(HlKind::SelfShutdown) => 2,
+        });
+    }
+    w.usize(pc.hl_total);
+    w.usize(pc.hl_with_panic);
+}
+
+fn read_phone_coalesce(r: &mut ByteReader<'_>) -> Result<PhoneCoalesce, CheckpointError> {
+    let n = r.usize()?;
+    let mut panics = Vec::new();
+    for _ in 0..n {
+        let phone_id = r.u32()?;
+        let panic = read_panic_event(r)?;
+        let related = match r.u8()? {
+            0 => None,
+            1 => Some(HlKind::Freeze),
+            2 => Some(HlKind::SelfShutdown),
+            _ => return Err(CheckpointError::Corrupt("related HL kind out of range")),
+        };
+        panics.push(CoalescedPanic {
+            phone_id,
+            panic,
+            related,
+        });
+    }
+    Ok(PhoneCoalesce {
+        panics,
+        hl_total: r.usize()?,
+        hl_with_panic: r.usize()?,
+    })
+}
+
+fn write_dist(w: &mut ByteWriter, d: &CategoricalDist) {
+    let entries: Vec<(&str, u64)> = d.iter().collect();
+    w.usize(entries.len());
+    for (label, n) in entries {
+        w.str(label);
+        w.u64(n);
+    }
+}
+
+fn read_dist(r: &mut ByteReader<'_>) -> Result<CategoricalDist, CheckpointError> {
+    let n = r.usize()?;
+    let mut d = CategoricalDist::new();
+    for _ in 0..n {
+        let label = r.str()?;
+        let count = r.u64()?;
+        d.add_n(label, count);
+    }
+    Ok(d)
+}
+
+fn write_table(w: &mut ByteWriter, t: &ContingencyTable) {
+    let entries: Vec<(&str, &str, u64)> = t.iter().collect();
+    w.usize(entries.len());
+    for (row, col, n) in entries {
+        w.str(row);
+        w.str(col);
+        w.u64(n);
+    }
+}
+
+fn read_table(r: &mut ByteReader<'_>) -> Result<ContingencyTable, CheckpointError> {
+    let n = r.usize()?;
+    let mut t = ContingencyTable::new();
+    for _ in 0..n {
+        let row = r.str()?;
+        let col = r.str()?;
+        let count = r.u64()?;
+        t.add_n(row, col, count);
+    }
+    Ok(t)
 }
 
 /// Figure 2: per-phone shutdown events, concatenated in phone order.
@@ -447,6 +842,23 @@ impl AnalysisPass for ShutdownPass {
             config.self_shutdown_threshold,
             take::<Vec<ShutdownEvent>>(acc),
         ))
+    }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let events = acc_ref::<Vec<ShutdownEvent>>(acc);
+        out.usize(events.len());
+        for e in events {
+            write_shutdown_event(out, e);
+        }
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let n = src.usize()?;
+        let mut events = Vec::new();
+        for _ in 0..n {
+            events.push(read_shutdown_event(src)?);
+        }
+        Ok(Box::new(events))
     }
 }
 
@@ -499,6 +911,21 @@ impl AnalysisPass for MtbfPass {
             acc.self_shutdowns,
         ))
     }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<MtbfFold>(acc);
+        out.u64(acc.powered_on.as_millis());
+        out.usize(acc.freezes);
+        out.usize(acc.self_shutdowns);
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        Ok(Box::new(MtbfFold {
+            powered_on: SimDuration::from_millis(src.u64()?),
+            freezes: src.usize()?,
+            self_shutdowns: src.usize()?,
+        }))
+    }
 }
 
 /// Figure 3: per-phone cascades, concatenated in phone order.
@@ -540,6 +967,31 @@ impl AnalysisPass for BurstsPass {
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         let acc = take::<BurstsAcc>(acc);
         PassOutput::Bursts(BurstAnalysis::from_parts(acc.cascades, acc.total_panics))
+    }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<BurstsAcc>(acc);
+        out.usize(acc.cascades.len());
+        for c in &acc.cascades {
+            out.u32(c.phone_id);
+            out.usize(c.size);
+        }
+        out.usize(acc.total_panics);
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let n = src.usize()?;
+        let mut cascades = Vec::new();
+        for _ in 0..n {
+            cascades.push(Cascade {
+                phone_id: src.u32()?,
+                size: src.usize()?,
+            });
+        }
+        Ok(Box::new(BurstsAcc {
+            cascades,
+            total_panics: src.usize()?,
+        }))
     }
 }
 
@@ -617,6 +1069,31 @@ impl AnalysisPass for CoalescePass {
             hl_events: acc.hl_events,
         }
     }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<CoalesceAcc>(acc);
+        write_phone_coalesce(out, &acc.filtered);
+        write_phone_coalesce(out, &acc.all_shutdowns);
+        out.usize(acc.hl_events.len());
+        for e in &acc.hl_events {
+            write_hl_event(out, e);
+        }
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let filtered = read_phone_coalesce(src)?;
+        let all_shutdowns = read_phone_coalesce(src)?;
+        let n = src.usize()?;
+        let mut hl_events = Vec::new();
+        for _ in 0..n {
+            hl_events.push(read_hl_event(src)?);
+        }
+        Ok(Box::new(CoalesceAcc {
+            filtered,
+            all_shutdowns,
+            hl_events,
+        }))
+    }
 }
 
 /// Table 3: per-phone activity tables, additively merged.
@@ -645,6 +1122,22 @@ impl AnalysisPass for ActivityPass {
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::Activity(take::<ActivityAnalysis>(acc))
+    }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<ActivityAnalysis>(acc);
+        write_table(out, acc.table());
+        out.usize(acc.total());
+        out.usize(acc.real_time_count());
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let table = read_table(src)?;
+        let total = src.usize()?;
+        let real_time = src.usize()?;
+        Ok(Box::new(ActivityAnalysis::from_parts(
+            table, total, real_time,
+        )))
     }
 }
 
@@ -684,6 +1177,27 @@ impl AnalysisPass for RunningAppsPass {
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::RunningApps(take::<RunningAppsAnalysis>(acc))
     }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<RunningAppsAnalysis>(acc);
+        write_dist(out, acc.concurrency());
+        write_table(out, acc.table());
+        write_dist(out, acc.app_share());
+        out.usize(acc.total_panics());
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let concurrency = read_dist(src)?;
+        let table = read_table(src)?;
+        let app_share = read_dist(src)?;
+        let total_panics = src.usize()?;
+        Ok(Box::new(RunningAppsAnalysis::from_parts(
+            concurrency,
+            table,
+            app_share,
+            total_panics,
+        )))
+    }
 }
 
 /// Table 2: panic-code distribution, additively merged.
@@ -713,6 +1227,14 @@ impl AnalysisPass for PanicDistPass {
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::PanicDistribution(take::<CategoricalDist>(acc))
     }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        write_dist(out, acc_ref::<CategoricalDist>(acc));
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        Ok(Box::new(read_dist(src)?))
+    }
 }
 
 /// Parse-defect accounting, concatenated in phone order.
@@ -739,6 +1261,46 @@ impl AnalysisPass for DefectsPass {
         PassOutput::Defects(DefectReport::from_phones(take::<Vec<(u32, PhoneDefects)>>(
             acc,
         )))
+    }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let phones = acc_ref::<Vec<(u32, PhoneDefects)>>(acc);
+        out.usize(phones.len());
+        for (id, d) in phones {
+            out.u32(*id);
+            out.u64(d.truncated);
+            out.u64(d.checksum_mismatch);
+            out.u64(d.out_of_order);
+            out.u64(d.duplicate);
+            out.u64(d.unknown_tag);
+            out.u64(d.lines_seen);
+            out.u64(d.records_kept);
+            out.bool(d.invalid_utf8);
+            out.bool(d.unusable);
+        }
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let n = src.usize()?;
+        let mut phones = Vec::new();
+        for _ in 0..n {
+            let id = src.u32()?;
+            phones.push((
+                id,
+                PhoneDefects {
+                    truncated: src.u64()?,
+                    checksum_mismatch: src.u64()?,
+                    out_of_order: src.u64()?,
+                    duplicate: src.u64()?,
+                    unknown_tag: src.u64()?,
+                    lines_seen: src.u64()?,
+                    records_kept: src.u64()?,
+                    invalid_utf8: src.bool()?,
+                    unusable: src.bool()?,
+                },
+            ));
+        }
+        Ok(Box::new(phones))
     }
 }
 
@@ -774,11 +1336,66 @@ impl AnalysisPass for PerPhonePass {
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::PerPhone(take::<Vec<PhoneRow>>(acc))
     }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let rows = acc_ref::<Vec<PhoneRow>>(acc);
+        out.usize(rows.len());
+        for row in rows {
+            out.u32(row.phone_id);
+            out.f64(row.uptime_hours);
+            out.usize(row.panics);
+            out.usize(row.freezes);
+            out.usize(row.self_shutdowns);
+        }
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let n = src.usize()?;
+        let mut rows = Vec::new();
+        for _ in 0..n {
+            rows.push(PhoneRow {
+                phone_id: src.u32()?,
+                uptime_hours: src.f64()?,
+                panics: src.usize()?,
+                freezes: src.usize()?,
+                self_shutdowns: src.usize()?,
+            });
+        }
+        Ok(Box::new(rows))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::records::{LogRecord, PanicRecord};
+    use symfail_symbian::panic::codes;
+    use symfail_symbian::Panic;
+
+    fn fold_for(registry: &PassRegistry, config: AnalysisConfig, id: u32) -> PhoneFolds {
+        let phone = PhoneDataset::new(id, Vec::new(), Vec::new());
+        registry.fold_phone(&PhoneLens::new(&phone, config, registry.needs_coalesce()))
+    }
+
+    /// A phone with panic records (apps force interner content and a
+    /// coalesced panic), so a roundtrip exercises every codec branch.
+    fn busy_fold(registry: &PassRegistry, config: AnalysisConfig, id: u32) -> PhoneFolds {
+        let rec = |secs: u64, apps: &[&str], act: Option<ActivityKind>| {
+            LogRecord::Panic(PanicRecord {
+                at: SimTime::from_secs(secs),
+                panic: Panic::new(codes::KERN_EXEC_3, "Kern", "access violation"),
+                running_apps: apps.iter().map(|s| s.to_string()).collect(),
+                activity: act,
+                battery: 42,
+            })
+        };
+        let records = vec![
+            rec(100, &[&format!("App{id}"), "Messages"], None),
+            rec(103, &["Camera"], Some(ActivityKind::VoiceCall)),
+        ];
+        let phone = PhoneDataset::new(id, records, Vec::new());
+        registry.fold_phone(&PhoneLens::new(&phone, config, registry.needs_coalesce()))
+    }
 
     #[test]
     fn registry_selects_and_dedupes() {
@@ -810,5 +1427,125 @@ mod tests {
         assert_eq!(merger.pending_len(), 0, "1 unblocks 2");
         let report = merger.finish();
         assert_eq!(report.defects.per_phone.len(), 3);
+    }
+
+    #[test]
+    fn push_each_fires_once_per_absorbed_phone() {
+        let registry = PassRegistry::select("defects").unwrap();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        let mut boundaries = Vec::new();
+        merger.push_each(fold_for(&registry, config, 2), |m| {
+            boundaries.push(m.absorbed())
+        });
+        assert!(boundaries.is_empty(), "phone 2 waits for 0 and 1");
+        merger.push_each(fold_for(&registry, config, 0), |m| {
+            boundaries.push(m.absorbed())
+        });
+        merger.push_each(fold_for(&registry, config, 1), |m| {
+            boundaries.push(m.absorbed())
+        });
+        assert_eq!(boundaries, vec![1, 2, 3], "every boundary, exactly once");
+        assert_eq!(merger.absorbed(), 3);
+    }
+
+    #[test]
+    fn snapshot_resume_roundtrips_and_stale_pushes_are_dropped() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push(busy_fold(&registry, config, 0));
+        merger.push(busy_fold(&registry, config, 1));
+        let bytes = merger.snapshot(7);
+        let mut resumed = StreamMerger::resume(&registry, config, 7, &bytes).unwrap();
+        assert_eq!(resumed.absorbed(), 2);
+        assert_eq!(resumed.names(), merger.names());
+        assert_eq!(resumed.mtbf_estimate(), merger.mtbf_estimate());
+        // Replaying an already-absorbed phone must be a no-op, not a
+        // double count.
+        resumed.push(busy_fold(&registry, config, 1));
+        assert_eq!(resumed.absorbed(), 2);
+        assert_eq!(resumed.pending_len(), 0);
+        merger.push(busy_fold(&registry, config, 2));
+        resumed.push(busy_fold(&registry, config, 2));
+        let a = merger.finish();
+        let b = resumed.finish();
+        assert_eq!(
+            a.render_all() + &a.render_per_phone(),
+            b.render_all() + &b.render_per_phone(),
+            "resumed merger must render byte-identically"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_bad_magic_version_truncation_and_bitflips() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push(busy_fold(&registry, config, 0));
+        let bytes = merger.snapshot(1);
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            Some(CheckpointError::BadMagic)
+        );
+
+        let mut bad = bytes.clone();
+        bad[8] = 99; // schema version little-endian low byte
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            Some(CheckpointError::SchemaVersion {
+                found: 99,
+                expected: CHECKPOINT_SCHEMA_VERSION,
+            })
+        );
+
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, &bytes[..10]).err(),
+            Some(CheckpointError::Truncated)
+        );
+
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            Some(CheckpointError::Checksum),
+            "any payload bit flip must fail the checksum"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_registry_config_and_campaign_mismatch() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push(busy_fold(&registry, config, 0));
+        let bytes = merger.snapshot(1);
+
+        let subset = PassRegistry::select("mtbf").unwrap();
+        assert!(matches!(
+            StreamMerger::resume(&subset, config, 1, &bytes),
+            Err(CheckpointError::RegistryMismatch { .. })
+        ));
+
+        let other_config = AnalysisConfig {
+            coalescence_window: config.coalescence_window + SimDuration::from_secs(1),
+            ..config
+        };
+        assert_eq!(
+            StreamMerger::resume(&registry, other_config, 1, &bytes).err(),
+            Some(CheckpointError::ConfigMismatch)
+        );
+
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 2, &bytes).err(),
+            Some(CheckpointError::CampaignMismatch {
+                found: 1,
+                expected: 2,
+            })
+        );
     }
 }

@@ -84,6 +84,23 @@ impl RunningAppsAnalysis {
         }
     }
 
+    /// Reassembles an analysis from its serialized parts — the
+    /// checkpoint restore path of the streaming
+    /// [`AnalysisPass`](crate::analysis::passes::AnalysisPass) engine.
+    pub fn from_parts(
+        concurrency: CategoricalDist,
+        table: ContingencyTable,
+        app_share: CategoricalDist,
+        total_panics: usize,
+    ) -> Self {
+        Self {
+            concurrency,
+            table,
+            app_share,
+            total_panics,
+        }
+    }
+
     /// Merges another phone's fold into this accumulator. All four
     /// components are additive string-keyed counters, so absorbing
     /// folds in any associative grouping yields the batch result.
@@ -123,6 +140,12 @@ impl RunningAppsAnalysis {
             .into_iter()
             .map(|(app, n)| (app.to_string(), 100.0 * n as f64 / total))
             .collect()
+    }
+
+    /// Per-application panic-time occurrence counts (the numerators
+    /// behind [`Self::top_apps`]).
+    pub fn app_share(&self) -> &CategoricalDist {
+        &self.app_share
     }
 
     /// Total panics considered for the concurrency distribution.

@@ -11,11 +11,14 @@
 //! the campaign can run them on worker threads without perturbing
 //! determinism: the harvest is identical to the sequential run.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use symfail_core::analysis::checkpoint::{fnv1a64, CheckpointError};
 use symfail_core::analysis::dataset::{FleetDataset, PhoneDataset};
+use symfail_core::analysis::mtbf::MtbfAnalysis;
 use symfail_core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::flashfs::FlashFs;
@@ -95,6 +98,37 @@ pub fn harvest_metas(harvest: &[PhoneHarvest]) -> Vec<PhoneMeta> {
     harvest.iter().map(PhoneMeta::from_harvest).collect()
 }
 
+/// Options for a checkpointed streaming run
+/// ([`FleetCampaign::run_streaming_opts`]).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingOptions {
+    /// Checkpoint file path. Loaded on start when the file exists
+    /// (resume), written with an atomic tmp-file + rename at every
+    /// boundary and once at the end of the run.
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot (and trace) every N absorbed phones; `0` means only
+    /// the final flush. Boundaries are counted on the merger's
+    /// absorbed prefix, so they land on the same phones for any worker
+    /// count.
+    pub checkpoint_every: u32,
+    /// Stop harvesting after this many phones — the deterministic kill
+    /// point of the crash-resume harness. The final flush still runs,
+    /// leaving a checkpoint at exactly this phone.
+    pub stop_after_phones: Option<u32>,
+    /// Record a live MTBFr/MTBS estimate at every boundary (plus one
+    /// final entry) into [`StreamingRun::mtbf_trace`].
+    pub mtbf_trace: bool,
+}
+
+/// Writes `bytes` to `path` atomically (tmp file + rename), so a crash
+/// mid-write can never leave a torn checkpoint behind.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+}
+
 /// A configured fleet campaign.
 #[derive(Debug, Clone)]
 pub struct FleetCampaign {
@@ -130,6 +164,20 @@ impl FleetCampaign {
     /// The calibration parameters in use.
     pub fn params(&self) -> &CalibrationParams {
         &self.params
+    }
+
+    /// A stable fingerprint of the campaign's identity — seed, every
+    /// calibration parameter, and the corruption profile — stored in
+    /// checkpoints so a snapshot of one campaign can never silently
+    /// resume another.
+    pub fn fingerprint(&self) -> u64 {
+        let identity = format!(
+            "{}|{:?}|{}",
+            self.seed,
+            self.params,
+            self.corruption.as_str()
+        );
+        fnv1a64(identity.as_bytes())
     }
 
     /// Enrollment/retirement window for one phone: stratified over the
@@ -342,56 +390,157 @@ impl FleetCampaign {
         config: AnalysisConfig,
         registry: &PassRegistry,
     ) -> StreamingRun {
-        let phones = self.params.phones as usize;
-        let merger = Mutex::new(StreamMerger::new(registry, config));
-        if phones == 0 {
-            return StreamingRun {
-                metas: Vec::new(),
-                report: merger.into_inner().expect("merger lock").finish(),
-                parse_cpu_seconds: 0.0,
-                parse_bytes: 0,
-                reclaimed_flash_bytes: 0,
-            };
+        self.run_streaming_opts(workers, config, registry, &StreamingOptions::default())
+            .expect("streaming run without a checkpoint path cannot fail")
+    }
+
+    /// [`Self::run_streaming`] with checkpoint/resume support.
+    ///
+    /// When `opts.checkpoint` names an existing file, the merger is
+    /// rebuilt from it (after validating version, checksum, registry,
+    /// config and campaign fingerprint) and workers start at the
+    /// checkpointed phone instead of 0 — so an interrupted campaign
+    /// re-simulates only the un-absorbed suffix. Snapshots are written
+    /// atomically at every `checkpoint_every` absorb boundary and once
+    /// at the end of the run; since absorption happens strictly in
+    /// phone-id order, boundary phones — and therefore checkpoint
+    /// bytes and the MTBF trace — are identical for any worker count.
+    /// The final report stays byte-identical to an uninterrupted
+    /// (and to a batch) run.
+    ///
+    /// A resumed run's `metas`/parse counters cover only the phones it
+    /// simulated itself (the resumed suffix); the report covers the
+    /// whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when an existing checkpoint is invalid or
+    /// mismatched, or when a snapshot cannot be written. The campaign
+    /// itself cannot fail.
+    pub fn run_streaming_opts(
+        &self,
+        workers: usize,
+        config: AnalysisConfig,
+        registry: &PassRegistry,
+        opts: &StreamingOptions,
+    ) -> Result<StreamingRun, CheckpointError> {
+        let phones = self.params.phones;
+        let fingerprint = self.fingerprint();
+        let mut merger = StreamMerger::new(registry, config);
+        let mut resumed_from = None;
+        if let Some(path) = &opts.checkpoint {
+            if path.exists() {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+                merger = StreamMerger::resume(registry, config, fingerprint, &bytes)?;
+                resumed_from = Some(merger.absorbed());
+            }
         }
-        let workers = workers.clamp(1, phones);
+        let start = merger.absorbed().min(phones);
+        let stop = opts.stop_after_phones.unwrap_or(phones).min(phones);
         let needs_coalesce = registry.needs_coalesce();
-        let next = AtomicUsize::new(0);
-        let mut runs: Vec<(PhoneMeta, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let merger = &merger;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let id = next.fetch_add(1, Ordering::Relaxed);
-                            if id >= phones {
-                                break;
-                            }
-                            let harvest = self.run_phone(id as u32);
-                            let start = Instant::now();
-                            let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
-                            let secs = start.elapsed().as_secs_f64();
-                            let meta = PhoneMeta::from_harvest(&harvest);
-                            drop(harvest);
-                            let lens = PhoneLens::new(&ds, config, needs_coalesce);
-                            let folds = registry.fold_phone(&lens);
-                            drop(lens);
-                            // The dataset dies here too: only the
-                            // folded summaries cross into the merger.
-                            drop(ds);
-                            merger.lock().expect("merger lock").push(folds);
-                            out.push((meta, secs));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("streaming worker panicked"))
-                .collect()
+
+        struct MergeState<'r> {
+            merger: StreamMerger<'r>,
+            trace: Vec<(u32, MtbfAnalysis)>,
+            write_error: Option<CheckpointError>,
+        }
+        let state = Mutex::new(MergeState {
+            merger,
+            trace: Vec::new(),
+            write_error: None,
         });
+
+        let mut runs: Vec<(PhoneMeta, f64)> = if start < stop {
+            let workers = workers.clamp(1, (stop - start) as usize);
+            let next = AtomicUsize::new(start as usize);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let state = &state;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let id = next.fetch_add(1, Ordering::Relaxed);
+                                if id >= stop as usize {
+                                    break;
+                                }
+                                let harvest = self.run_phone(id as u32);
+                                let t0 = Instant::now();
+                                let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
+                                let secs = t0.elapsed().as_secs_f64();
+                                let meta = PhoneMeta::from_harvest(&harvest);
+                                drop(harvest);
+                                let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                                let folds = registry.fold_phone(&lens);
+                                drop(lens);
+                                // The dataset dies here too: only the
+                                // folded summaries cross into the
+                                // merger.
+                                drop(ds);
+                                let mut guard = state.lock().expect("merger lock");
+                                let MergeState {
+                                    merger,
+                                    trace,
+                                    write_error,
+                                } = &mut *guard;
+                                merger.push_each(folds, |m| {
+                                    let absorbed = m.absorbed();
+                                    if opts.checkpoint_every == 0
+                                        || absorbed % opts.checkpoint_every != 0
+                                    {
+                                        return;
+                                    }
+                                    if opts.mtbf_trace {
+                                        if let Some(est) = m.mtbf_estimate() {
+                                            trace.push((absorbed, est));
+                                        }
+                                    }
+                                    if write_error.is_none() {
+                                        if let Some(path) = &opts.checkpoint {
+                                            if let Err(e) =
+                                                write_atomic(path, &m.snapshot(fingerprint))
+                                            {
+                                                *write_error = Some(e);
+                                            }
+                                        }
+                                    }
+                                });
+                                drop(guard);
+                                out.push((meta, secs));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("streaming worker panicked"))
+                    .collect()
+            })
+        } else {
+            Vec::new()
+        };
+
+        let mut st = state.into_inner().expect("merger lock");
+        if let Some(e) = st.write_error.take() {
+            return Err(e);
+        }
+        // Always flush at the end: a stopped run leaves a checkpoint
+        // at exactly `stop` (the kill-point contract), a completed run
+        // leaves one that resumes into an immediate finish.
+        if let Some(path) = &opts.checkpoint {
+            write_atomic(path, &st.merger.snapshot(fingerprint))?;
+        }
+        if opts.mtbf_trace {
+            let absorbed = st.merger.absorbed();
+            if st.trace.last().map(|&(n, _)| n) != Some(absorbed) {
+                if let Some(est) = st.merger.mtbf_estimate() {
+                    st.trace.push((absorbed, est));
+                }
+            }
+        }
         runs.sort_unstable_by_key(|(m, _)| m.phone_id);
         let mut metas = Vec::with_capacity(runs.len());
         let mut parse_cpu_seconds = 0.0;
@@ -400,13 +549,15 @@ impl FleetCampaign {
             parse_cpu_seconds += secs;
         }
         let parse_bytes = metas.iter().map(|m| m.flash_bytes).sum();
-        StreamingRun {
+        Ok(StreamingRun {
             metas,
-            report: merger.into_inner().expect("merger lock").finish(),
+            report: st.merger.finish(),
             parse_cpu_seconds,
             parse_bytes,
             reclaimed_flash_bytes: parse_bytes,
-        }
+            mtbf_trace: st.trace,
+            resumed_from,
+        })
     }
 }
 
@@ -446,6 +597,15 @@ pub struct StreamingRun {
     pub parse_bytes: u64,
     /// Flash bytes freed phone-by-phone (equals `parse_bytes`).
     pub reclaimed_flash_bytes: u64,
+    /// Live MTBF estimates `(phones_absorbed, estimate)` recorded at
+    /// checkpoint boundaries (plus one final entry), strictly
+    /// increasing in `phones_absorbed`. Empty unless
+    /// [`StreamingOptions::mtbf_trace`] was set.
+    pub mtbf_trace: Vec<(u32, MtbfAnalysis)>,
+    /// `Some(k)` when the run resumed from a checkpoint holding `k`
+    /// absorbed phones; `metas` and the parse counters then cover only
+    /// the resumed suffix.
+    pub resumed_from: Option<u32>,
 }
 
 /// Per-firmware panic counts across a campaign, for the version

@@ -10,4 +10,8 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+# The crash-resume harness is the tier-1 gate for checkpointed
+# campaigns; run it by name so a test filter or workspace change can
+# never silently drop it.
+cargo test -q --test checkpoint_resume
 cargo bench --workspace -- --test

@@ -790,3 +790,132 @@ proptest! {
         prop_assert!(d.is_clean(), "clean harvest must have no defects: {:?}", d);
     }
 }
+
+// ---------------------------------------------------------------
+// Checkpointing: snapshotting the stream merger at any split point
+// and restoring it loses nothing; a tampered checkpoint is always
+// refused with a typed error, never a panic or a silent resume.
+// ---------------------------------------------------------------
+
+/// Hand-built per-phone datasets with disjoint-ish app vocabularies,
+/// the same shape the stream-merge property uses: arbitrary panic
+/// payloads feed state into every pass's accumulator.
+fn checkpoint_phones(specs: &[Vec<(u64, usize, usize, u8)>]) -> Vec<PhoneDataset> {
+    let apps = ["Messages", "Camera", "Clock", "Browser", "Log"];
+    let acts = [
+        ActivityKind::VoiceCall,
+        ActivityKind::Message,
+        ActivityKind::DataSession,
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(id, recs)| {
+            let records: Vec<LogRecord> = recs
+                .iter()
+                .map(|&(t, app_ix, act_ix, battery)| {
+                    LogRecord::Panic(PanicRecord {
+                        at: SimTime::from_secs(t),
+                        panic: Panic::new(
+                            codes::KERN_EXEC_3,
+                            apps[(app_ix + id) % apps.len()],
+                            "r",
+                        ),
+                        running_apps: (0..app_ix)
+                            .map(|k| apps[(k + id) % apps.len()].to_string())
+                            .collect(),
+                        activity: acts.get(act_ix).copied(),
+                        battery,
+                    })
+                })
+                .collect();
+            PhoneDataset::new(id as u32, records, Vec::new())
+        })
+        .collect()
+}
+
+proptest! {
+    /// Snapshot after any absorbed prefix, restore, finish — the
+    /// study renders byte-identically to the never-snapshotted
+    /// merger. Exercises every pass's accumulator codec on arbitrary
+    /// data, including the interner state and the absorb watermark.
+    #[test]
+    fn checkpoint_roundtrip_preserves_every_pass(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u64..300_000, 0usize..5, 0usize..4, 10u8..100), 0..10),
+            1..5,
+        ),
+        split_sel in 0u32..u32::MAX,
+    ) {
+        use symfail::core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
+        use symfail::core::analysis::report::AnalysisConfig;
+        let phones = checkpoint_phones(&specs);
+        let split = (split_sel as usize) % (phones.len() + 1);
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let fold = |p: &PhoneDataset| {
+            registry.fold_phone(&PhoneLens::new(p, config, registry.needs_coalesce()))
+        };
+        let fingerprint = 0xfeed_beef_u64;
+
+        let mut direct = StreamMerger::new(&registry, config);
+        let mut snapped = StreamMerger::new(&registry, config);
+        for p in &phones[..split] {
+            direct.push(fold(p));
+            snapped.push(fold(p));
+        }
+        let bytes = snapped.snapshot(fingerprint);
+        let mut restored = StreamMerger::resume(&registry, config, fingerprint, &bytes)
+            .expect("own snapshot must restore");
+        prop_assert_eq!(restored.absorbed(), split as u32);
+        for p in &phones[split..] {
+            direct.push(fold(p));
+            restored.push(fold(p));
+        }
+        let a = direct.finish();
+        let b = restored.finish();
+        prop_assert_eq!(
+            a.render_all() + &a.render_per_phone(),
+            b.render_all() + &b.render_per_phone(),
+            "split at {} changed the study", split
+        );
+    }
+
+    /// Flip any single byte of a checkpoint — or truncate it anywhere
+    /// — and resume must return a typed error: never a panic, never a
+    /// silent resume from damaged state.
+    #[test]
+    fn tampered_checkpoint_is_always_refused(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u64..300_000, 0usize..5, 0usize..4, 10u8..100), 0..6),
+            1..4,
+        ),
+        pos_sel in 0u32..u32::MAX,
+        mask in 1u8..=255,
+        cut_sel in 0u32..u32::MAX,
+    ) {
+        use symfail::core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
+        use symfail::core::analysis::report::AnalysisConfig;
+        let phones = checkpoint_phones(&specs);
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let mut merger = StreamMerger::new(&registry, config);
+        for p in &phones {
+            merger.push(registry.fold_phone(&PhoneLens::new(p, config, registry.needs_coalesce())));
+        }
+        let bytes = merger.snapshot(7);
+
+        let mut flipped = bytes.clone();
+        let pos = (pos_sel as usize) % flipped.len();
+        flipped[pos] ^= mask;
+        let outcome = StreamMerger::resume(&registry, config, 7, &flipped);
+        prop_assert!(
+            outcome.is_err(),
+            "flipping byte {} with mask {:#04x} was not detected", pos, mask
+        );
+
+        let cut = (cut_sel as usize) % bytes.len();
+        let outcome = StreamMerger::resume(&registry, config, 7, &bytes[..cut]);
+        prop_assert!(outcome.is_err(), "truncation to {} bytes was not detected", cut);
+    }
+}
