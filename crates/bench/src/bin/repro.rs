@@ -10,7 +10,7 @@
 //!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
 //!       [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
-//!       [--mtbf-trace-json PATH]
+//!       [--mtbf-trace-json PATH] [--merge serial|sharded] [--run-len N]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -45,6 +45,12 @@
 //! interrupt/resume test. `--mtbf-trace-json PATH` records the online
 //! MTBFr/MTBS estimate at every checkpoint boundary; its final entry
 //! equals the batch engine's estimate exactly.
+//!
+//! `--merge sharded` (the streaming default) folds contiguous runs of
+//! phones into per-worker shards and hands each shard to the merger in
+//! one lock acquisition; `--merge serial` keeps the per-phone oracle
+//! path. `--run-len N` caps the phones per shard (0 = auto). Both
+//! modes render byte-identical reports.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -55,7 +61,7 @@ use std::time::Instant;
 use symfail_core::analysis::bursts::BurstAnalysis;
 use symfail_core::analysis::dataset::FleetDataset;
 use symfail_core::analysis::mtbf::MtbfAnalysis;
-use symfail_core::analysis::passes::PassRegistry;
+use symfail_core::analysis::passes::{MergeStats, PassRegistry};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::analysis::shutdown::ShutdownAnalysis;
 use symfail_core::analysis::{
@@ -64,7 +70,9 @@ use symfail_core::analysis::{
 use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
 use symfail_phone::corruption::CorruptionProfile;
-use symfail_phone::fleet::{harvest_metas, FleetCampaign, PhoneMeta, StreamingOptions};
+use symfail_phone::fleet::{
+    harvest_metas, FleetCampaign, MergeMode, PhoneMeta, StreamingOptions, WorkerStats,
+};
 use symfail_sim_core::SimDuration;
 
 /// A counting wrapper around the system allocator: lets
@@ -81,6 +89,24 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static ALLOC_LIVE: AtomicU64 = AtomicU64::new(0);
 static ALLOC_PEAK: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Const-initialized so reading/bumping it inside the global
+    // allocator never allocates (a lazy TLS init would recurse).
+    static THREAD_ALLOC_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Allocation calls made by the *current thread* so far. `try_with`
+/// because the allocator can run during TLS teardown.
+fn thread_alloc_calls() -> u64 {
+    THREAD_ALLOC_CALLS
+        .try_with(std::cell::Cell::get)
+        .unwrap_or(0)
+}
+
+fn thread_alloc_bump() {
+    let _ = THREAD_ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
+
 fn live_add(n: u64) {
     let live = ALLOC_LIVE.fetch_add(n, Ordering::Relaxed) + n;
     ALLOC_PEAK.fetch_max(live, Ordering::Relaxed);
@@ -96,6 +122,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        thread_alloc_bump();
         live_add(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
@@ -108,6 +135,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        thread_alloc_bump();
         if new_size as u64 >= layout.size() as u64 {
             live_add(new_size as u64 - layout.size() as u64);
         } else {
@@ -186,6 +214,8 @@ struct Args {
     checkpoint_every: u32,
     stop_after: Option<u32>,
     mtbf_trace_json: Option<String>,
+    merge: MergeMode,
+    run_len: u32,
 }
 
 fn default_workers() -> usize {
@@ -212,8 +242,11 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: 0,
         stop_after: None,
         mtbf_trace_json: None,
+        merge: MergeMode::default(),
+        run_len: 0,
     };
     let mut pipeline_set = false;
+    let mut merge_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -294,6 +327,21 @@ fn parse_args() -> Result<Args, String> {
             "--mtbf-trace-json" => {
                 args.mtbf_trace_json = Some(it.next().ok_or("--mtbf-trace-json needs a path")?)
             }
+            "--merge" => {
+                merge_set = true;
+                args.merge = match it.next().as_deref() {
+                    Some("serial") => MergeMode::Serial,
+                    Some("sharded") => MergeMode::Sharded,
+                    other => return Err(format!("--merge needs serial or sharded, got {other:?}")),
+                }
+            }
+            "--run-len" => {
+                args.run_len = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--run-len needs a positive phone count")?
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
@@ -302,8 +350,9 @@ fn parse_args() -> Result<Args, String> {
                      [--corruption none|light|moderate|worst] \
                      [--defects-json PATH] [--timing-json PATH] \
                      [--checkpoint PATH] [--checkpoint-every N] \
-                     [--stop-after N] [--mtbf-trace-json PATH]\n\
-                     checkpoint/stop/trace flags need --engine streaming\n\
+                     [--stop-after N] [--mtbf-trace-json PATH] \
+                     [--merge serial|sharded] [--run-len N]\n\
+                     checkpoint/stop/trace/merge flags need --engine streaming\n\
                      --analyses takes a comma-list of pass names \
                      (default all): {}",
                     PassRegistry::NAMES.join(",")
@@ -327,6 +376,8 @@ fn parse_args() -> Result<Args, String> {
         return Err("--checkpoint, --checkpoint-every, --stop-after and \
                     --mtbf-trace-json need --engine streaming"
             .to_string());
+    } else if merge_set || args.run_len > 0 {
+        return Err("--merge and --run-len need --engine streaming".to_string());
     }
     Ok(args)
 }
@@ -366,6 +417,11 @@ struct CampaignRun {
     /// Phones already absorbed by the checkpoint this run resumed
     /// from, if any.
     resumed_from: Option<u32>,
+    /// Per-worker parse/merge-wait/allocation counters (streaming
+    /// engine; empty otherwise).
+    worker_stats: Vec<WorkerStats>,
+    /// Merger-side shard counters (streaming engine; zero otherwise).
+    merge_stats: MergeStats,
 }
 
 /// Runs the fleet campaign and the analysis pipeline selected by
@@ -400,6 +456,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
             checkpoint_every: args.checkpoint_every,
             stop_after_phones: args.stop_after,
             mtbf_trace: args.mtbf_trace_json.is_some(),
+            merge: args.merge,
+            run_len: args.run_len,
+            alloc_counter: Some(thread_alloc_calls),
         };
         let (t, a) = (Instant::now(), alloc_now());
         let run = campaign
@@ -419,6 +478,8 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
             reclaimed_flash_bytes: run.reclaimed_flash_bytes,
             mtbf_trace: run.mtbf_trace,
             resumed_from: run.resumed_from,
+            worker_stats: run.worker_stats,
+            merge_stats: run.merge_stats,
         });
     }
 
@@ -488,6 +549,8 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
         reclaimed_flash_bytes,
         mtbf_trace: Vec::new(),
         resumed_from: None,
+        worker_stats: Vec::new(),
+        merge_stats: MergeStats::default(),
     })
 }
 
@@ -512,22 +575,38 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
     } else {
         0.0
     };
+    let merge_wait_seconds: f64 = run.worker_stats.iter().map(|w| w.merge_wait_seconds).sum();
+    let worker_alloc_calls: Vec<String> = run
+        .worker_stats
+        .iter()
+        .map(|w| {
+            w.alloc_calls
+                .map_or_else(|| "null".to_string(), |n| n.to_string())
+        })
+        .collect();
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/4\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"symfail-pipeline-timing/5\",\n  \"seed\": {},\n  \
          \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
          \"pipeline\": \"{}\",\n  \"engine\": \"{}\",\n  \
+         \"merge\": \"{}\",\n  \"run_len\": {},\n  \
          \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
          \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
          \"parse_defects\": {},\n  \"parse_seconds\": {:.6},\n  \
          \"parse_bytes_per_sec\": {:.0},\n  \"total_allocs\": {},\n  \
          \"total_alloc_bytes\": {},\n  \"peak_alloc_bytes\": {},\n  \
-         \"reclaimed_flash_bytes\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+         \"reclaimed_flash_bytes\": {},\n  \
+         \"merge_wait_seconds\": {:.6},\n  \"merge_absorbed_runs\": {},\n  \
+         \"peak_pending_runs\": {},\n  \"peak_pending_phones\": {},\n  \
+         \"peak_pending_bytes\": {},\n  \
+         \"worker_alloc_calls\": [{}],\n  \"stages\": [\n{}\n  ]\n}}\n",
         args.seed,
         args.phones,
         args.days,
         args.workers,
         args.pipeline.as_str(),
         args.engine.as_str(),
+        args.merge.as_str(),
+        args.run_len,
         args.corruption.as_str(),
         run.parse_bytes,
         defects.lines_seen,
@@ -539,6 +618,12 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
         total_alloc_bytes,
         alloc_peak(),
         run.reclaimed_flash_bytes,
+        merge_wait_seconds,
+        run.merge_stats.absorbed_shards,
+        run.merge_stats.peak_pending_shards,
+        run.merge_stats.peak_pending_phones,
+        run.merge_stats.peak_pending_bytes,
+        worker_alloc_calls.join(", "),
         stages.join(",\n")
     )
 }

@@ -18,8 +18,19 @@
 //! AnalysisConfig (4×u64 ms) | registry (u64 count, length-prefixed names)
 //! next_id u32 | name table (u64 count, length-prefixed names)
 //! per-pass blobs (u64 byte length + pass-private encoding, registry order)
+//! shard section: u64 count, then per pending shard (ascending,
+//!   disjoint, above next_id): start u32 | end u32 | name table |
+//!   per-pass blobs (same encodings as the merged prefix)
 //! FNV-1a 64 checksum u64 over every preceding byte
 //! ```
+//!
+//! The shard section (schema v2) lets a snapshot carry the sharded
+//! merger's *pending* out-of-order runs as well as the merged prefix.
+//! Periodic checkpoints always write it empty — the merged prefix is
+//! byte-identical for every worker count, while pending shards depend
+//! on worker skew — but
+//! [`snapshot_with_pending`](super::passes::StreamMerger::snapshot_with_pending)
+//! captures full state without quiescing the fold pipeline.
 //!
 //! Loading validates in a fixed order — magic, schema version,
 //! checksum, then registry / config / campaign identity — so every
@@ -34,8 +45,8 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SYMFCKPT";
 /// Schema version written by this build; bumped whenever any pass
 /// encoding or the header layout changes. Checkpoints from any other
 /// version are refused (no migration: re-running the campaign is
-/// always safe).
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// always safe). v2 added the trailing pending-shard section.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]

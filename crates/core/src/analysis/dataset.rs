@@ -172,8 +172,9 @@ pub struct PhoneDataset {
     phone_id: u32,
     panics: Vec<PanicEvent>,
     /// Intern table the panic events' ids resolve against. Built
-    /// per-phone during the parse; replaced by (a clone of) the merged
-    /// fleet table when the phone joins a [`FleetDataset`].
+    /// per-phone during the parse; emptied when the phone joins a
+    /// [`FleetDataset`], whose merged table (the panics' ids are
+    /// remapped to it) takes over resolution.
     names: NameTable,
     boots: Vec<BootRecord>,
     beats: Vec<(SimTime, HeartbeatEvent)>,
@@ -187,6 +188,21 @@ pub struct PhoneDataset {
     /// Defect accounting from the lossy parse (empty for hand-built
     /// datasets).
     defects: PhoneDefects,
+}
+
+/// Reusable parse buffers: a streaming worker hands the same scratch
+/// to every [`PhoneDataset::from_flashfs_with`] call and gets the
+/// allocations back through [`PhoneDataset::recycle`], so per-phone
+/// vector growth is paid once per worker instead of once per phone.
+#[derive(Default)]
+pub struct ParseScratch {
+    panics: Vec<PanicEvent>,
+    boots: Vec<BootRecord>,
+    beats: Vec<(SimTime, HeartbeatEvent)>,
+    shutdowns: Vec<ShutdownEvent>,
+    freezes: Vec<HlEvent>,
+    sorted_gaps_ms: Vec<u64>,
+    gap_prefix_ms: Vec<u64>,
 }
 
 impl PhoneDataset {
@@ -229,6 +245,14 @@ impl PhoneDataset {
     /// record at all is flagged unusable rather than aborting the
     /// fleet build.
     pub fn from_flashfs(phone_id: u32, fs: &FlashFs) -> Self {
+        Self::from_flashfs_with(phone_id, fs, &mut ParseScratch::default())
+    }
+
+    /// [`Self::from_flashfs`] parsing into recycled buffers: event and
+    /// index vectors come from `scratch` (cleared, capacity kept)
+    /// instead of fresh allocations. Pair with [`Self::recycle`] once
+    /// the phone has been folded.
+    pub fn from_flashfs_with(phone_id: u32, fs: &FlashFs, scratch: &mut ParseScratch) -> Self {
         let mut defects = PhoneDefects::default();
 
         // Consolidated log: checksum-verified records, decoded through
@@ -238,8 +262,8 @@ impl PhoneDataset {
         // are kept but counted; the max does not advance past them so
         // one displaced block counts each displaced line exactly once.
         let mut names = NameTable::default();
-        let mut panics = Vec::new();
-        let mut boots = Vec::new();
+        let mut panics = std::mem::take(&mut scratch.panics);
+        let mut boots = std::mem::take(&mut scratch.boots);
         let log_text = lossy_text(fs, files::LOG, &mut defects);
         let mut last_ms: Option<u64> = None;
         for line in log_text.lines() {
@@ -271,7 +295,8 @@ impl PhoneDataset {
         // beats kept so far, which are exactly the entries the eager
         // set would contain.
         let beats_text = lossy_text(fs, files::BEATS, &mut defects);
-        let mut beats: Vec<(SimTime, HeartbeatEvent)> = Vec::with_capacity(beats_text.len() / 12);
+        let mut beats: Vec<(SimTime, HeartbeatEvent)> = std::mem::take(&mut scratch.beats);
+        beats.reserve(beats_text.len() / 12);
         let mut seen: Option<HashSet<(u64, HeartbeatEvent)>> = None;
         let mut last_ms: Option<u64> = None;
         for line in beats_text.lines() {
@@ -312,11 +337,33 @@ impl PhoneDataset {
             names,
             boots,
             beats,
+            shutdowns: std::mem::take(&mut scratch.shutdowns),
+            freezes: std::mem::take(&mut scratch.freezes),
+            sorted_gaps_ms: std::mem::take(&mut scratch.sorted_gaps_ms),
+            gap_prefix_ms: std::mem::take(&mut scratch.gap_prefix_ms),
             defects,
-            ..Self::default()
         };
         ds.index();
         ds
+    }
+
+    /// Returns the dataset's buffers to `scratch` (cleared, capacity
+    /// kept) for the next phone's parse. Only the larger of each pair
+    /// survives, so scratch capacity converges on the biggest phone.
+    pub fn recycle(self, scratch: &mut ParseScratch) {
+        fn put<T>(slot: &mut Vec<T>, mut v: Vec<T>) {
+            v.clear();
+            if v.capacity() > slot.capacity() {
+                *slot = v;
+            }
+        }
+        put(&mut scratch.panics, self.panics);
+        put(&mut scratch.boots, self.boots);
+        put(&mut scratch.beats, self.beats);
+        put(&mut scratch.shutdowns, self.shutdowns);
+        put(&mut scratch.freezes, self.freezes);
+        put(&mut scratch.sorted_gaps_ms, self.sorted_gaps_ms);
+        put(&mut scratch.gap_prefix_ms, self.gap_prefix_ms);
     }
 
     /// Derives the event index from the primary streams.
@@ -334,45 +381,52 @@ impl PhoneDataset {
         // shutdowns are excluded: their cause is already known, so
         // they are neither self-shutdown candidates nor user-reboot
         // noise.
-        self.shutdowns = self
-            .boots
-            .iter()
-            .filter(|b| b.last_event == HeartbeatEvent::Reboot)
-            .filter_map(|b| {
-                b.off_duration.map(|d| ShutdownEvent {
-                    phone_id: self.phone_id,
-                    off_at: b.last_event_at,
-                    on_at: b.boot_at,
-                    duration: d,
-                })
-            })
-            .collect();
+        // The derived vectors fill recycled buffers in place (clear +
+        // extend, never a fresh collect) so a `ParseScratch`-fed parse
+        // keeps its capacity across phones.
+        self.shutdowns.clear();
+        self.shutdowns.extend(
+            self.boots
+                .iter()
+                .filter(|b| b.last_event == HeartbeatEvent::Reboot)
+                .filter_map(|b| {
+                    b.off_duration.map(|d| ShutdownEvent {
+                        phone_id: self.phone_id,
+                        off_at: b.last_event_at,
+                        on_at: b.boot_at,
+                        duration: d,
+                    })
+                }),
+        );
         // Freeze events inferred by the boot-time heartbeat check.
-        self.freezes = self
-            .boots
-            .iter()
-            .filter(|b| b.freeze_detected)
-            .map(|b| HlEvent {
-                phone_id: self.phone_id,
-                at: b.last_event_at,
-                kind: HlKind::Freeze,
-            })
-            .collect();
+        self.freezes.clear();
+        self.freezes.extend(
+            self.boots
+                .iter()
+                .filter(|b| b.freeze_detected)
+                .map(|b| HlEvent {
+                    phone_id: self.phone_id,
+                    at: b.last_event_at,
+                    kind: HlKind::Freeze,
+                }),
+        );
         // Sorted beat gaps + prefix sums: powered-on time for any
         // `max_gap` threshold becomes two binary searches.
-        self.sorted_gaps_ms = self
-            .beats
-            .windows(2)
-            .map(|pair| pair[1].0.saturating_since(pair[0].0).as_millis())
-            .collect();
+        self.sorted_gaps_ms.clear();
+        self.sorted_gaps_ms.extend(
+            self.beats
+                .windows(2)
+                .map(|pair| pair[1].0.saturating_since(pair[0].0).as_millis()),
+        );
         self.sorted_gaps_ms.sort_unstable();
         let mut acc = 0u64;
-        self.gap_prefix_ms = std::iter::once(0)
-            .chain(self.sorted_gaps_ms.iter().map(|&g| {
+        self.gap_prefix_ms.clear();
+        self.gap_prefix_ms.push(0);
+        self.gap_prefix_ms
+            .extend(self.sorted_gaps_ms.iter().map(|&g| {
                 acc += g;
                 acc
-            }))
-            .collect();
+            }));
     }
 
     /// Identifier of the phone within the fleet.
@@ -386,6 +440,9 @@ impl PhoneDataset {
     }
 
     /// The intern table the panic events' name ids resolve against.
+    /// Empty for phones inside a [`FleetDataset`] — their panics carry
+    /// fleet ids, resolved through [`FleetDataset::names`] (the batch
+    /// analysis driver threads that table through its `PhoneLens`).
     pub fn names(&self) -> &NameTable {
         &self.names
     }
@@ -517,9 +574,13 @@ impl FleetDataset {
     ///
     /// The merge absorbs tables in phone (vector) order, so the
     /// resulting fleet ids depend only on the phones' own contents —
-    /// never on how many workers parsed them. Every phone then gets a
-    /// clone of the merged table, keeping per-phone and fleet-level
-    /// id resolution interchangeable.
+    /// never on how many workers parsed them. Member phones' panic ids
+    /// become fleet ids and their own tables are dropped (resolving a
+    /// member's names goes through [`Self::names`]; handing every
+    /// phone a clone of the merged table made fleet construction
+    /// O(phones × fleet vocabulary) in allocations). The emptied
+    /// tables make any stale per-phone resolution fail loudly instead
+    /// of returning the wrong name.
     pub fn from_phones(mut phones: Vec<PhoneDataset>) -> Self {
         let mut names = NameTable::default();
         for phone in &mut phones {
@@ -530,9 +591,7 @@ impl FleetDataset {
                     p.remap(&remap);
                 }
             }
-        }
-        for phone in &mut phones {
-            phone.names = names.clone();
+            phone.names = NameTable::default();
         }
         let mut panic_locs = Vec::new();
         let mut shutdowns = Vec::new();

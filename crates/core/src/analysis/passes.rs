@@ -31,6 +31,18 @@
 //! materialized fleet with an identity remap. Peak memory of the
 //! streaming engine is `workers × per-phone state` plus the folded
 //! summaries; flash bytes and datasets are dropped phone by phone.
+//!
+//! The sharded fold path batches that discipline: a worker folds a
+//! *contiguous run* of phone ids into a private [`FoldShard`] (its own
+//! accumulator chain plus shard-local name table) and hands the whole
+//! shard to the merger in one [`StreamMerger::push_shard`] — one lock
+//! acquisition per run instead of per phone. Shard-level merging
+//! ([`AnalysisPass::merge_acc`]) is associative over disjoint
+//! ascending runs for the same reason per-phone merging is, and the
+//! interner absorbs shard tables exactly as it would the phones' own,
+//! so sharded reports stay byte-identical to the serial merge for any
+//! run partition ([`tree_merge_shards`] exploits the same property to
+//! reduce shards pairwise).
 
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -97,6 +109,24 @@ pub trait AnalysisPass: Send + Sync {
     /// Merges a phone's fold into the fleet accumulator.
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, ctx: &MergeCtx<'_>);
 
+    /// Merges a whole *shard* accumulator — built by [`Self::new_acc`]
+    /// plus a contiguous run of [`Self::merge`]s — into `acc`.
+    /// `ctx.remap` maps the shard's interner ids into the fleet table,
+    /// exactly like a per-phone merge. The default forwards to
+    /// [`Self::merge`], which is correct whenever fold and accumulator
+    /// share a type; passes whose accumulator is a collection of folds
+    /// override it to concatenate.
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, ctx: &MergeCtx<'_>) {
+        self.merge(acc, other, ctx);
+    }
+
+    /// Estimated heap bytes held by an accumulator — run-buffer
+    /// accounting for the sharded merger's stats, not allocator truth.
+    /// The default claims nothing (right for flat counter folds).
+    fn acc_heap_bytes(&self, _acc: &DynAcc) -> usize {
+        0
+    }
+
     /// Finishes the accumulator into the pass's report section.
     fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput;
 
@@ -150,6 +180,10 @@ pub enum PassOutput {
 /// them).
 pub struct PhoneLens<'a> {
     phone: &'a PhoneDataset,
+    /// Table the phone's panic ids resolve against: the phone's own
+    /// for standalone datasets, the merged fleet table for fleet
+    /// members (whose panics carry fleet ids).
+    names: &'a NameTable,
     config: AnalysisConfig,
     /// Shutdowns classified as self-shutdowns by the config threshold.
     self_shutdowns: usize,
@@ -165,6 +199,18 @@ impl<'a> PhoneLens<'a> {
     /// the HL merge + coalescence folds (use
     /// [`PassRegistry::needs_coalesce`]).
     pub fn new(phone: &'a PhoneDataset, config: AnalysisConfig, needs_coalesce: bool) -> Self {
+        Self::with_names(phone, phone.names(), config, needs_coalesce)
+    }
+
+    /// [`Self::new`] with an explicit resolve table. The batch driver
+    /// passes the merged fleet table: fleet members' panics carry
+    /// fleet ids and the phones no longer own table copies.
+    pub fn with_names(
+        phone: &'a PhoneDataset,
+        names: &'a NameTable,
+        config: AnalysisConfig,
+        needs_coalesce: bool,
+    ) -> Self {
         let self_shutdowns = phone
             .shutdown_events()
             .iter()
@@ -213,6 +259,7 @@ impl<'a> PhoneLens<'a> {
         };
         Self {
             phone,
+            names,
             config,
             self_shutdowns,
             hl,
@@ -224,6 +271,11 @@ impl<'a> PhoneLens<'a> {
     /// The phone under the lens.
     pub fn phone(&self) -> &PhoneDataset {
         self.phone
+    }
+
+    /// The intern table the phone's panic ids resolve against.
+    pub fn names(&self) -> &NameTable {
+        self.names
     }
 }
 
@@ -326,7 +378,7 @@ impl PassRegistry {
     pub fn fold_phone(&self, lens: &PhoneLens<'_>) -> PhoneFolds {
         PhoneFolds {
             phone_id: lens.phone.phone_id(),
-            names: lens.phone.names().clone(),
+            names: lens.names.clone(),
             folds: self.passes.iter().map(|p| p.fold_phone(lens)).collect(),
         }
     }
@@ -350,6 +402,176 @@ impl PassRegistry {
     }
 }
 
+/// Merge-side counters the streaming driver surfaces in its timing
+/// stats: how many shards the merger absorbed and how much
+/// out-of-order state it ever buffered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Shards absorbed (a per-phone push counts as a 1-phone shard).
+    pub absorbed_shards: u64,
+    /// Most shards ever buffered waiting for an earlier phone.
+    pub peak_pending_shards: usize,
+    /// Most phones those buffered shards ever covered.
+    pub peak_pending_phones: usize,
+    /// Estimated heap bytes of buffered shards at their peak
+    /// ([`AnalysisPass::acc_heap_bytes`] accounting).
+    pub peak_pending_bytes: usize,
+}
+
+/// A contiguous run of phones `[start, end)` folded into a private
+/// accumulator chain with a shard-local name table — the unit of work
+/// the sharded streaming driver hands to the merger, one lock
+/// acquisition per run instead of one per phone.
+///
+/// The contiguous-run invariant: a shard's phones are consecutive ids
+/// folded in ascending order, so merging whole shards in `start` order
+/// performs exactly the fold the serial merger performs phone by phone
+/// — every pass's merge is associative over phone-id order, and the
+/// interner absorbs shard tables in the same order it would have
+/// absorbed the phones' own.
+pub struct FoldShard {
+    start: u32,
+    end: u32,
+    names: NameTable,
+    accs: Vec<DynAcc>,
+}
+
+impl FoldShard {
+    /// An empty shard whose first phone will be `start`.
+    pub fn new(registry: &PassRegistry, start: u32) -> Self {
+        Self {
+            start,
+            end: start,
+            names: NameTable::default(),
+            accs: registry.new_accs(),
+        }
+    }
+
+    /// Wraps one phone's folds as a 1-phone shard (the serial merger's
+    /// buffering unit).
+    pub fn from_folds(registry: &PassRegistry, folds: PhoneFolds) -> Self {
+        let ctx = MergeCtx {
+            phone_id: folds.phone_id,
+            remap: None,
+        };
+        let mut accs = registry.new_accs();
+        for (pass, (acc, fold)) in registry
+            .passes()
+            .iter()
+            .zip(accs.iter_mut().zip(folds.folds))
+        {
+            pass.merge(acc, fold, &ctx);
+        }
+        Self {
+            start: folds.phone_id,
+            end: folds.phone_id.saturating_add(1),
+            names: folds.names,
+            accs,
+        }
+    }
+
+    /// First phone id in the shard.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One past the last phone id folded so far.
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// Number of phones folded so far.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when no phone has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Folds the next phone — which must be exactly [`Self::end`], the
+    /// contiguous-run invariant — into the shard, absorbing its name
+    /// table shard-locally (ids are remapped again, shard-to-fleet,
+    /// when the shard itself merges).
+    pub fn absorb_phone(&mut self, registry: &PassRegistry, lens: &PhoneLens<'_>) {
+        let id = lens.phone().phone_id();
+        assert_eq!(id, self.end, "shard phones must be contiguous");
+        let remap = self.names.absorb(lens.names);
+        let identity = remap.iter().enumerate().all(|(i, &to)| i == to as usize);
+        let ctx = MergeCtx {
+            phone_id: id,
+            remap: (!identity).then_some(remap.as_slice()),
+        };
+        registry.fold_merge(lens, &mut self.accs, &ctx);
+        self.end = self.end.saturating_add(1);
+    }
+
+    /// Merges a later shard into this one. `other` must start at or
+    /// after [`Self::end`] — id gaps are tolerated exactly as the
+    /// serial merger tolerates them at finish, overlap is a caller
+    /// bug. Remaps `other`'s interner ids through this shard's table,
+    /// preserving the phone-id-order interning discipline.
+    pub fn absorb_shard(&mut self, registry: &PassRegistry, other: FoldShard) {
+        assert!(
+            other.start >= self.end,
+            "shards must merge in disjoint ascending phone order ({}..{} after {}..{})",
+            other.start,
+            other.end,
+            self.start,
+            self.end
+        );
+        let remap = self.names.absorb(&other.names);
+        let identity = remap.iter().enumerate().all(|(i, &to)| i == to as usize);
+        let ctx = MergeCtx {
+            phone_id: other.start,
+            remap: (!identity).then_some(remap.as_slice()),
+        };
+        for (pass, (acc, other_acc)) in registry
+            .passes()
+            .iter()
+            .zip(self.accs.iter_mut().zip(other.accs))
+        {
+            pass.merge_acc(acc, other_acc, &ctx);
+        }
+        self.end = other.end;
+    }
+
+    /// Estimated heap bytes held by the shard: its name table plus
+    /// every pass accumulator ([`AnalysisPass::acc_heap_bytes`]).
+    pub fn heap_bytes(&self, registry: &PassRegistry) -> usize {
+        // ~16 bytes/name covers the Box<str> header + index entry.
+        let names: usize = self.names.iter().map(|n| n.len() + 16).sum();
+        names
+            + registry
+                .passes()
+                .iter()
+                .zip(&self.accs)
+                .map(|(pass, acc)| pass.acc_heap_bytes(acc))
+                .sum::<usize>()
+    }
+}
+
+/// Reduces contiguous shards (any arrival order) into one by pairwise
+/// rounds — `O(log n)` merge depth. Returns `None` for an empty input.
+/// Byte-identical to left-to-right serial merging because shard
+/// merging is associative (see [`FoldShard::absorb_shard`]).
+pub fn tree_merge_shards(registry: &PassRegistry, mut shards: Vec<FoldShard>) -> Option<FoldShard> {
+    shards.sort_by_key(|s| s.start);
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                left.absorb_shard(registry, right);
+            }
+            next.push(left);
+        }
+        shards = next;
+    }
+    shards.pop()
+}
+
 /// Phone-ordered streaming merge: accepts [`PhoneFolds`] in *any*
 /// arrival order, buffers out-of-order phones, and absorbs strictly by
 /// ascending phone id — the same discipline
@@ -361,8 +583,12 @@ pub struct StreamMerger<'r> {
     config: AnalysisConfig,
     names: NameTable,
     accs: Vec<DynAcc>,
-    pending: BTreeMap<u32, PhoneFolds>,
+    /// Out-of-order arrivals, keyed by shard start id. Per-phone
+    /// pushes buffer as 1-phone shards, so one mechanism serves both
+    /// the serial and the sharded driver.
+    pending: BTreeMap<u32, FoldShard>,
     next_id: u32,
+    stats: MergeStats,
 }
 
 impl<'r> StreamMerger<'r> {
@@ -377,6 +603,7 @@ impl<'r> StreamMerger<'r> {
             accs: registry.new_accs(),
             pending: BTreeMap::new(),
             next_id: 0,
+            stats: MergeStats::default(),
         }
     }
 
@@ -402,11 +629,49 @@ impl<'r> StreamMerger<'r> {
         if folds.phone_id < self.next_id {
             return;
         }
-        self.pending.insert(folds.phone_id, folds);
-        while let Some(folds) = self.pending.remove(&self.next_id) {
+        if folds.phone_id == self.next_id {
+            // Head of line: merge the folds straight into the fleet
+            // accumulators — no shard wrapping on the hot path.
             self.absorb(folds);
-            self.next_id = self.next_id.saturating_add(1);
             on_absorb(&*self);
+            self.drain_ready(&mut on_absorb);
+        } else {
+            self.buffer(FoldShard::from_folds(self.registry, folds));
+        }
+    }
+
+    /// Accepts a whole contiguous-run shard, the sharded driver's unit
+    /// of handoff. Shards fully below [`Self::absorbed`] (a resumed
+    /// campaign replaying already-checkpointed runs) are dropped; a
+    /// shard *straddling* the watermark is a caller bug — the driver
+    /// plans runs deterministically from the watermark, so a replayed
+    /// partition either matches or is entirely stale.
+    pub fn push_shard(&mut self, shard: FoldShard) {
+        self.push_shard_each(shard, |_| {});
+    }
+
+    /// [`Self::push_shard`] with an observer fired after each absorbed
+    /// shard (one push can unblock several buffered shards). Because
+    /// shards absorb strictly in phone-id order, the observer sees
+    /// every run boundary exactly once regardless of worker count —
+    /// the checkpoint-every-N discipline at run granularity.
+    pub fn push_shard_each(&mut self, shard: FoldShard, mut on_absorb: impl FnMut(&Self)) {
+        if shard.is_empty() || shard.end() <= self.next_id {
+            return;
+        }
+        assert!(
+            shard.start() >= self.next_id,
+            "shard {}..{} straddles the absorbed watermark {}",
+            shard.start(),
+            shard.end(),
+            self.next_id
+        );
+        if shard.start() == self.next_id {
+            self.absorb_shard(shard);
+            on_absorb(&*self);
+            self.drain_ready(&mut on_absorb);
+        } else {
+            self.buffer(shard);
         }
     }
 
@@ -416,9 +681,14 @@ impl<'r> StreamMerger<'r> {
         self.next_id
     }
 
-    /// Folds currently buffered waiting for an earlier phone.
+    /// Phones currently buffered waiting for an earlier phone.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.values().map(|s| s.len() as usize).sum()
+    }
+
+    /// Merge-side counters accumulated so far.
+    pub fn merge_stats(&self) -> MergeStats {
+        self.stats
     }
 
     fn absorb(&mut self, folds: PhoneFolds) {
@@ -438,14 +708,65 @@ impl<'r> StreamMerger<'r> {
         {
             pass.merge(acc, fold, &ctx);
         }
+        self.next_id = folds.phone_id.saturating_add(1);
+        self.stats.absorbed_shards += 1;
     }
 
-    /// Absorbs any still-pending phones (in id order) and finishes
-    /// every pass into the report.
+    fn absorb_shard(&mut self, shard: FoldShard) {
+        let remap = self.names.absorb(&shard.names);
+        let identity = remap.iter().enumerate().all(|(i, &to)| i == to as usize);
+        let ctx = MergeCtx {
+            phone_id: shard.start,
+            remap: (!identity).then_some(remap.as_slice()),
+        };
+        for (pass, (acc, other)) in self
+            .registry
+            .passes()
+            .iter()
+            .zip(self.accs.iter_mut().zip(shard.accs))
+        {
+            pass.merge_acc(acc, other, &ctx);
+        }
+        self.next_id = shard.end;
+        self.stats.absorbed_shards += 1;
+    }
+
+    fn drain_ready(&mut self, on_absorb: &mut impl FnMut(&Self)) {
+        while let Some(shard) = self.pending.remove(&self.next_id) {
+            self.absorb_shard(shard);
+            on_absorb(&*self);
+        }
+    }
+
+    fn buffer(&mut self, shard: FoldShard) {
+        self.pending.insert(shard.start(), shard);
+        self.stats.peak_pending_shards = self.stats.peak_pending_shards.max(self.pending.len());
+        let phones: usize = self.pending.values().map(|s| s.len() as usize).sum();
+        self.stats.peak_pending_phones = self.stats.peak_pending_phones.max(phones);
+        let bytes: usize = self
+            .pending
+            .values()
+            .map(|s| s.heap_bytes(self.registry))
+            .sum();
+        self.stats.peak_pending_bytes = self.stats.peak_pending_bytes.max(bytes);
+    }
+
+    /// Absorbs any still-pending shards (in id order, gaps tolerated)
+    /// and finishes every pass into the report.
     pub fn finish(mut self) -> StudyReport {
         let pending = std::mem::take(&mut self.pending);
-        for (_, folds) in pending {
-            self.absorb(folds);
+        for (_, shard) in pending {
+            if shard.end() <= self.next_id {
+                continue;
+            }
+            assert!(
+                shard.start() >= self.next_id,
+                "pending shard {}..{} straddles the absorbed watermark {}",
+                shard.start(),
+                shard.end(),
+                self.next_id
+            );
+            self.absorb_shard(shard);
         }
         let outputs = self.registry.finish(self.accs, self.config);
         StudyReport::from_outputs(self.config, outputs)
@@ -475,13 +796,30 @@ impl<'r> StreamMerger<'r> {
 
     /// Serializes the merger's absorbed state into a versioned,
     /// checksummed checkpoint (see [`checkpoint`](super::checkpoint)
-    /// for the byte layout). Pending (out-of-order) folds are
-    /// deliberately **not** serialized: a snapshot always represents
-    /// the contiguous prefix `[0, absorbed)`, and a resumed campaign
-    /// re-simulates everything from [`Self::absorbed`] — cheaper than
-    /// trying to persist half-merged state, and immune to worker-skew
-    /// nondeterminism.
+    /// for the byte layout). Pending (out-of-order) shards are
+    /// deliberately **not** serialized here: the periodic checkpoint
+    /// writer needs files that represent the contiguous prefix
+    /// `[0, absorbed)` only, because that prefix — unlike the pending
+    /// buffer, which depends on worker skew — is byte-identical for
+    /// every worker count. A resumed campaign re-simulates everything
+    /// from [`Self::absorbed`].
     pub fn snapshot(&self, campaign_fingerprint: u64) -> Vec<u8> {
+        self.snapshot_impl(campaign_fingerprint, false)
+    }
+
+    /// [`Self::snapshot`] plus the buffered out-of-order shards — a
+    /// *full* state capture that skips re-simulating buffered runs on
+    /// resume. The shard section rides behind the same versioned
+    /// header. Caveat: a file carrying shards must be resumed under
+    /// the same run partition (the driver replans runs
+    /// deterministically from its options, so this holds unless
+    /// `checkpoint_every`/`run_len` change between runs; a replayed
+    /// run straddling a buffered shard is refused at push).
+    pub fn snapshot_with_pending(&self, campaign_fingerprint: u64) -> Vec<u8> {
+        self.snapshot_impl(campaign_fingerprint, true)
+    }
+
+    fn snapshot_impl(&self, campaign_fingerprint: u64, with_pending: bool) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.bytes(&CHECKPOINT_MAGIC);
         w.u32(CHECKPOINT_SCHEMA_VERSION);
@@ -495,16 +833,20 @@ impl<'r> StreamMerger<'r> {
             w.str(pass.name());
         }
         w.u32(self.next_id);
-        w.usize(self.names.len());
-        for name in self.names.iter() {
-            w.str(name);
-        }
-        for (pass, acc) in self.registry.passes().iter().zip(&self.accs) {
-            let mut pw = ByteWriter::new();
-            pass.snapshot_acc(acc, &mut pw);
-            let blob = pw.into_bytes();
-            w.usize(blob.len());
-            w.bytes(&blob);
+        write_names(&mut w, &self.names);
+        write_accs(&mut w, self.registry, &self.accs);
+        // v2 shard section: buffered out-of-order runs, start-ordered
+        // (empty in periodic checkpoints — see the method docs).
+        if with_pending {
+            w.usize(self.pending.len());
+            for shard in self.pending.values() {
+                w.u32(shard.start);
+                w.u32(shard.end);
+                write_names(&mut w, &shard.names);
+                write_accs(&mut w, self.registry, &shard.accs);
+            }
+        } else {
+            w.usize(0);
         }
         let mut bytes = w.into_bytes();
         let checksum = checkpoint::fnv1a64(&bytes);
@@ -588,40 +930,91 @@ impl<'r> StreamMerger<'r> {
             });
         }
         let next_id = r.u32()?;
-        let n_names = r.usize()?;
-        if n_names > u16::MAX as usize + 1 {
-            return Err(CheckpointError::Corrupt("name table too large"));
-        }
-        let mut names = NameTable::default();
-        for i in 0..n_names {
-            let name = r.str()?;
-            if names.intern(&name).0 as usize != i {
-                return Err(CheckpointError::Corrupt("duplicate interner name"));
+        let names = read_names(&mut r)?;
+        let accs = read_accs(&mut r, registry)?;
+        // v2 shard section: pending out-of-order runs, validated as
+        // disjoint and ascending above the absorbed watermark.
+        let n_shards = r.usize()?;
+        let mut pending = BTreeMap::new();
+        let mut watermark = next_id;
+        for _ in 0..n_shards {
+            let start = r.u32()?;
+            let end = r.u32()?;
+            if start < watermark || end <= start {
+                return Err(CheckpointError::Corrupt("shard ids overlap or regress"));
             }
-        }
-        let mut accs = Vec::with_capacity(registry.passes().len());
-        for pass in registry.passes() {
-            let len = r.usize()?;
-            let blob = r.take(len)?;
-            let mut pr = ByteReader::new(blob);
-            let acc = pass.restore_acc(&mut pr)?;
-            if pr.remaining() != 0 {
-                return Err(CheckpointError::Corrupt("pass blob has trailing bytes"));
-            }
-            accs.push(acc);
+            let shard = FoldShard {
+                start,
+                end,
+                names: read_names(&mut r)?,
+                accs: read_accs(&mut r, registry)?,
+            };
+            watermark = end;
+            pending.insert(start, shard);
         }
         if r.remaining() != 0 {
-            return Err(CheckpointError::Corrupt("trailing bytes after passes"));
+            return Err(CheckpointError::Corrupt("trailing bytes after shards"));
         }
         Ok(Self {
             registry,
             config,
             names,
             accs,
-            pending: BTreeMap::new(),
+            pending,
             next_id,
+            stats: MergeStats::default(),
         })
     }
+}
+
+fn write_names(w: &mut ByteWriter, names: &NameTable) {
+    w.usize(names.len());
+    for name in names.iter() {
+        w.str(name);
+    }
+}
+
+fn read_names(r: &mut ByteReader<'_>) -> Result<NameTable, CheckpointError> {
+    let n = r.usize()?;
+    if n > u16::MAX as usize + 1 {
+        return Err(CheckpointError::Corrupt("name table too large"));
+    }
+    let mut names = NameTable::default();
+    for i in 0..n {
+        let name = r.str()?;
+        if names.intern(&name).0 as usize != i {
+            return Err(CheckpointError::Corrupt("duplicate interner name"));
+        }
+    }
+    Ok(names)
+}
+
+fn write_accs(w: &mut ByteWriter, registry: &PassRegistry, accs: &[DynAcc]) {
+    for (pass, acc) in registry.passes().iter().zip(accs) {
+        let mut pw = ByteWriter::new();
+        pass.snapshot_acc(acc, &mut pw);
+        let blob = pw.into_bytes();
+        w.usize(blob.len());
+        w.bytes(&blob);
+    }
+}
+
+fn read_accs(
+    r: &mut ByteReader<'_>,
+    registry: &PassRegistry,
+) -> Result<Vec<DynAcc>, CheckpointError> {
+    let mut accs = Vec::with_capacity(registry.passes().len());
+    for pass in registry.passes() {
+        let len = r.usize()?;
+        let blob = r.take(len)?;
+        let mut pr = ByteReader::new(blob);
+        let acc = pass.restore_acc(&mut pr)?;
+        if pr.remaining() != 0 {
+            return Err(CheckpointError::Corrupt("pass blob has trailing bytes"));
+        }
+        accs.push(acc);
+    }
+    Ok(accs)
 }
 
 fn take<T: 'static>(fold: DynFold) -> T {
@@ -775,6 +1168,19 @@ fn read_phone_coalesce(r: &mut ByteReader<'_>) -> Result<PhoneCoalesce, Checkpoi
     })
 }
 
+// Run-buffer size estimates for the merge stats: label bytes plus
+// ~48 bytes of BTreeMap node overhead per entry. An estimate, not
+// allocator truth — it only has to trend with the real footprint.
+fn dist_heap_bytes(d: &CategoricalDist) -> usize {
+    d.iter().map(|(label, _)| label.len() + 48).sum()
+}
+
+fn table_heap_bytes(t: &ContingencyTable) -> usize {
+    t.iter()
+        .map(|(row, col, _)| row.len() + col.len() + 48)
+        .sum()
+}
+
 fn write_dist(w: &mut ByteWriter, d: &CategoricalDist) {
     let entries: Vec<(&str, u64)> = d.iter().collect();
     w.usize(entries.len());
@@ -835,6 +1241,10 @@ impl AnalysisPass for ShutdownPass {
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
         acc_of::<Vec<ShutdownEvent>>(acc).extend(take::<Vec<ShutdownEvent>>(fold));
+    }
+
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        acc_ref::<Vec<ShutdownEvent>>(acc).capacity() * std::mem::size_of::<ShutdownEvent>()
     }
 
     fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput {
@@ -964,6 +1374,10 @@ impl AnalysisPass for BurstsPass {
         acc.total_panics += fold.total_panics;
     }
 
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        acc_ref::<BurstsAcc>(acc).cascades.capacity() * std::mem::size_of::<Cascade>()
+    }
+
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         let acc = take::<BurstsAcc>(acc);
         PassOutput::Bursts(BurstAnalysis::from_parts(acc.cascades, acc.total_panics))
@@ -1051,6 +1465,13 @@ impl AnalysisPass for CoalescePass {
         acc.hl_events.extend(fold.hl_events);
     }
 
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        let acc = acc_ref::<CoalesceAcc>(acc);
+        (acc.filtered.panics.capacity() + acc.all_shutdowns.panics.capacity())
+            * std::mem::size_of::<CoalescedPanic>()
+            + acc.hl_events.capacity() * std::mem::size_of::<HlEvent>()
+    }
+
     fn finish(&self, acc: DynAcc, config: AnalysisConfig) -> PassOutput {
         let acc = take::<CoalesceAcc>(acc);
         PassOutput::Coalescence {
@@ -1120,6 +1541,10 @@ impl AnalysisPass for ActivityPass {
         acc_of::<ActivityAnalysis>(acc).absorb(&take::<ActivityAnalysis>(fold));
     }
 
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        table_heap_bytes(acc_ref::<ActivityAnalysis>(acc).table())
+    }
+
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::Activity(take::<ActivityAnalysis>(acc))
     }
@@ -1164,7 +1589,7 @@ impl AnalysisPass for RunningAppsPass {
 
     fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
         Box::new(RunningAppsAnalysis::from_events(
-            lens.phone.names(),
+            lens.names,
             lens.phone.panics().iter(),
             &lens.coalesced.panics,
         ))
@@ -1172,6 +1597,13 @@ impl AnalysisPass for RunningAppsPass {
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
         acc_of::<RunningAppsAnalysis>(acc).absorb(&take::<RunningAppsAnalysis>(fold));
+    }
+
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        let acc = acc_ref::<RunningAppsAnalysis>(acc);
+        dist_heap_bytes(acc.concurrency())
+            + table_heap_bytes(acc.table())
+            + dist_heap_bytes(acc.app_share())
     }
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
@@ -1224,6 +1656,10 @@ impl AnalysisPass for PanicDistPass {
         acc_of::<CategoricalDist>(acc).merge(&take::<CategoricalDist>(fold));
     }
 
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        dist_heap_bytes(acc_ref::<CategoricalDist>(acc))
+    }
+
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
         PassOutput::PanicDistribution(take::<CategoricalDist>(acc))
     }
@@ -1255,6 +1691,15 @@ impl AnalysisPass for DefectsPass {
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
         acc_of::<Vec<(u32, PhoneDefects)>>(acc).push(take::<(u32, PhoneDefects)>(fold));
+    }
+
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, _ctx: &MergeCtx<'_>) {
+        acc_of::<Vec<(u32, PhoneDefects)>>(acc).extend(take::<Vec<(u32, PhoneDefects)>>(other));
+    }
+
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        acc_ref::<Vec<(u32, PhoneDefects)>>(acc).capacity()
+            * std::mem::size_of::<(u32, PhoneDefects)>()
     }
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
@@ -1331,6 +1776,14 @@ impl AnalysisPass for PerPhonePass {
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
         acc_of::<Vec<PhoneRow>>(acc).push(take::<PhoneRow>(fold));
+    }
+
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, _ctx: &MergeCtx<'_>) {
+        acc_of::<Vec<PhoneRow>>(acc).extend(take::<Vec<PhoneRow>>(other));
+    }
+
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        acc_ref::<Vec<PhoneRow>>(acc).capacity() * std::mem::size_of::<PhoneRow>()
     }
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
@@ -1447,6 +1900,123 @@ mod tests {
         });
         assert_eq!(boundaries, vec![1, 2, 3], "every boundary, exactly once");
         assert_eq!(merger.absorbed(), 3);
+    }
+
+    /// Builds one contiguous shard covering `ids` by absorbing
+    /// single-phone shards left to right.
+    fn shard_of(
+        registry: &PassRegistry,
+        config: AnalysisConfig,
+        ids: std::ops::Range<u32>,
+    ) -> FoldShard {
+        let mut ids = ids;
+        let first = ids.next().expect("shard must be non-empty");
+        let mut shard = FoldShard::from_folds(registry, busy_fold(registry, config, first));
+        for id in ids {
+            let single = FoldShard::from_folds(registry, busy_fold(registry, config, id));
+            shard.absorb_shard(registry, single);
+        }
+        shard
+    }
+
+    fn rendered(report: &crate::analysis::report::StudyReport) -> String {
+        report.render_all() + &report.render_per_phone()
+    }
+
+    #[test]
+    fn sharded_pushes_match_serial_merger_in_any_arrival_order() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+
+        let mut serial = StreamMerger::new(&registry, config);
+        for id in 0..6 {
+            serial.push(busy_fold(&registry, config, id));
+        }
+
+        // Shards arrive out of order: [3,6) buffers, [0,2) absorbs,
+        // [2,3) unblocks the buffered tail.
+        let mut sharded = StreamMerger::new(&registry, config);
+        sharded.push_shard(shard_of(&registry, config, 3..6));
+        assert_eq!(sharded.absorbed(), 0);
+        assert_eq!(sharded.pending_len(), 3, "three phones buffered");
+        sharded.push_shard(shard_of(&registry, config, 0..2));
+        assert_eq!(sharded.absorbed(), 2);
+        sharded.push_shard(shard_of(&registry, config, 2..3));
+        assert_eq!(sharded.absorbed(), 6, "[2,3) unblocks [3,6)");
+
+        let stats = sharded.merge_stats();
+        assert_eq!(stats.absorbed_shards, 3);
+        assert_eq!(stats.peak_pending_shards, 1);
+        assert_eq!(stats.peak_pending_phones, 3);
+        assert!(stats.peak_pending_bytes > 0, "busy folds hold heap state");
+
+        assert_eq!(
+            rendered(&sharded.finish()),
+            rendered(&serial.finish()),
+            "sharded absorption must render byte-identically to serial"
+        );
+    }
+
+    #[test]
+    fn tree_merge_matches_left_to_right_serial_merge() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+
+        let shards = vec![
+            shard_of(&registry, config, 5..7),
+            shard_of(&registry, config, 0..1),
+            shard_of(&registry, config, 3..5),
+            shard_of(&registry, config, 1..3),
+        ];
+        let merged = tree_merge_shards(&registry, shards).expect("non-empty input");
+        assert_eq!((merged.start(), merged.end()), (0, 7));
+
+        let mut tree = StreamMerger::new(&registry, config);
+        tree.push_shard(merged);
+        let mut serial = StreamMerger::new(&registry, config);
+        for id in 0..7 {
+            serial.push(busy_fold(&registry, config, id));
+        }
+        assert_eq!(
+            rendered(&tree.finish()),
+            rendered(&serial.finish()),
+            "tree-merged shard must render byte-identically to serial"
+        );
+        assert!(tree_merge_shards(&registry, Vec::new()).is_none());
+    }
+
+    #[test]
+    fn snapshot_with_pending_roundtrips_buffered_shards() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push_shard(shard_of(&registry, config, 0..2));
+        merger.push_shard(shard_of(&registry, config, 4..6)); // buffered
+        assert_eq!(merger.pending_len(), 2);
+
+        let plain = merger.snapshot(7);
+        let full = merger.snapshot_with_pending(7);
+        assert!(
+            full.len() > plain.len(),
+            "pending shards must add bytes only to the full capture"
+        );
+
+        // The plain snapshot resumes with the pending shards dropped…
+        let resumed = StreamMerger::resume(&registry, config, 7, &plain).unwrap();
+        assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 0));
+
+        // …the full capture resumes with them intact: filling the gap
+        // renders byte-identically to an uninterrupted serial merge.
+        let mut resumed = StreamMerger::resume(&registry, config, 7, &full).unwrap();
+        assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 2));
+        resumed.push_shard(shard_of(&registry, config, 2..4));
+        assert_eq!(resumed.absorbed(), 6);
+        let mut serial = StreamMerger::new(&registry, config);
+        for id in 0..6 {
+            serial.push(busy_fold(&registry, config, id));
+        }
+        assert_eq!(rendered(&resumed.finish()), rendered(&serial.finish()));
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl StudyReport {
         let needs_coalesce = registry.needs_coalesce();
         let mut accs = registry.new_accs();
         for phone in fleet.phones() {
-            let lens = PhoneLens::new(phone, config, needs_coalesce);
+            // Member panics carry fleet ids; resolve against the
+            // merged table (phones no longer own copies of it).
+            let lens = PhoneLens::with_names(phone, fleet.names(), config, needs_coalesce);
             let ctx = MergeCtx {
                 phone_id: phone.phone_id(),
                 remap: None,

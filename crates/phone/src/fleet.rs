@@ -17,9 +17,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use symfail_core::analysis::checkpoint::{fnv1a64, CheckpointError};
-use symfail_core::analysis::dataset::{FleetDataset, PhoneDataset};
+use symfail_core::analysis::dataset::{FleetDataset, ParseScratch, PhoneDataset};
 use symfail_core::analysis::mtbf::MtbfAnalysis;
-use symfail_core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
+use symfail_core::analysis::passes::{
+    FoldShard, MergeStats, PassRegistry, PhoneLens, StreamMerger,
+};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::flashfs::FlashFs;
 use symfail_core::logger::{UserReportChannel, UserReportKind};
@@ -118,6 +120,130 @@ pub struct StreamingOptions {
     /// Record a live MTBFr/MTBS estimate at every boundary (plus one
     /// final entry) into [`StreamingRun::mtbf_trace`].
     pub mtbf_trace: bool,
+    /// Merge discipline: sharded per-worker runs (default) or the
+    /// serial per-phone oracle path.
+    pub merge: MergeMode,
+    /// Sharded mode: cap on phones per contiguous run; `0` derives one
+    /// from the fleet size and worker count. Runs are additionally cut
+    /// at every `checkpoint_every` multiple, so checkpoint boundaries
+    /// land on exactly the phones serial mode checkpoints.
+    pub run_len: u32,
+    /// Reads a monotonically-increasing allocation counter for the
+    /// *calling thread* (e.g. a thread-local inside the binary's
+    /// counting allocator). Sampled at worker start and end to
+    /// attribute allocator traffic per worker in
+    /// [`WorkerStats::alloc_calls`].
+    pub alloc_counter: Option<fn() -> u64>,
+}
+
+/// Which merge discipline [`FleetCampaign::run_streaming_opts`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MergeMode {
+    /// One merger push per phone — the pre-sharding architecture, kept
+    /// as the byte-identical oracle for the sharded path.
+    Serial,
+    /// Each worker folds a contiguous run of phones into a private
+    /// [`FoldShard`] and hands the whole shard to the merger: one lock
+    /// acquisition per run instead of per phone.
+    #[default]
+    Sharded,
+}
+
+impl MergeMode {
+    /// Stable CLI/JSON label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MergeMode::Serial => "serial",
+            MergeMode::Sharded => "sharded",
+        }
+    }
+}
+
+/// Per-worker counters from a streaming run, for throughput
+/// diagnosis without a profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Phones this worker simulated and parsed.
+    pub phones: u32,
+    /// Seconds inside flash parsing on this worker.
+    pub parse_seconds: f64,
+    /// Wall seconds spent acquiring and feeding the shared merger
+    /// (lock wait + absorb).
+    pub merge_wait_seconds: f64,
+    /// Allocator calls attributed to this worker thread, when
+    /// [`StreamingOptions::alloc_counter`] was supplied.
+    pub alloc_calls: Option<u64>,
+}
+
+/// Cuts `[start, stop)` into contiguous runs with boundaries at every
+/// multiple of `every` and of `run_len` (both anchored at phone 0, so
+/// the partition depends only on the cut grid — never on `start`,
+/// worker count, or resume point), plus one final cut at `stop`.
+/// Anchoring at zero is what makes a resumed run checkpoint on exactly
+/// the same phones as an uninterrupted one.
+fn plan_runs(start: u32, stop: u32, every: u32, run_len: u32) -> Vec<(u32, u32)> {
+    // Next grid line strictly above `id`; no cut when the grid is 0.
+    let cut = |id: u32, grid: u32| match id.checked_div(grid) {
+        Some(q) => q.saturating_add(1).saturating_mul(grid),
+        None => u32::MAX,
+    };
+    let mut runs = Vec::new();
+    let mut id = start;
+    while id < stop {
+        let next = stop.min(cut(id, every)).min(cut(id, run_len));
+        runs.push((id, next));
+        id = next;
+    }
+    runs
+}
+
+/// The checkpoint-boundary observer shared by both merge modes: called
+/// by the merger after every absorbed phone (serial) or run (sharded).
+/// Sharded runs are cut at `checkpoint_every` multiples, so the
+/// boundary test fires on exactly the same absorbed counts either way.
+fn on_boundary(
+    m: &StreamMerger<'_>,
+    opts: &StreamingOptions,
+    fingerprint: u64,
+    trace: &mut Vec<(u32, MtbfAnalysis)>,
+    write_error: &mut Option<CheckpointError>,
+) {
+    let absorbed = m.absorbed();
+    if opts.checkpoint_every == 0 || !absorbed.is_multiple_of(opts.checkpoint_every) {
+        return;
+    }
+    if opts.mtbf_trace {
+        if let Some(est) = m.mtbf_estimate() {
+            trace.push((absorbed, est));
+        }
+    }
+    if write_error.is_none() {
+        if let Some(path) = &opts.checkpoint {
+            if let Err(e) = write_atomic(path, &m.snapshot(fingerprint)) {
+                *write_error = Some(e);
+            }
+        }
+    }
+}
+
+/// What each streaming worker thread returns: `(meta, parse seconds)`
+/// per phone it handled, plus its own counters.
+type WorkerYield = (Vec<(PhoneMeta, f64)>, WorkerStats);
+
+/// Joins a streaming worker pool, splitting per-phone results from
+/// per-worker stats (one [`WorkerStats`] entry per spawned worker, in
+/// spawn order).
+fn join_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, WorkerYield>>,
+) -> (Vec<(PhoneMeta, f64)>, Vec<WorkerStats>) {
+    let mut runs = Vec::new();
+    let mut stats = Vec::new();
+    for h in handles {
+        let (out, ws) = h.join().expect("streaming worker panicked");
+        runs.extend(out);
+        stats.push(ws);
+    }
+    (runs, stats)
 }
 
 /// Writes `bytes` to `path` atomically (tmp file + rename), so a crash
@@ -451,76 +577,147 @@ impl FleetCampaign {
             write_error: None,
         });
 
-        let mut runs: Vec<(PhoneMeta, f64)> = if start < stop {
+        let (mut runs, worker_stats): (Vec<(PhoneMeta, f64)>, Vec<WorkerStats>) = if start < stop {
             let workers = workers.clamp(1, (stop - start) as usize);
-            let next = AtomicUsize::new(start as usize);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        let state = &state;
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            loop {
-                                let id = next.fetch_add(1, Ordering::Relaxed);
-                                if id >= stop as usize {
-                                    break;
-                                }
-                                let harvest = self.run_phone(id as u32);
-                                let t0 = Instant::now();
-                                let ds = PhoneDataset::from_flashfs(id as u32, &harvest.flashfs);
-                                let secs = t0.elapsed().as_secs_f64();
-                                let meta = PhoneMeta::from_harvest(&harvest);
-                                drop(harvest);
-                                let lens = PhoneLens::new(&ds, config, needs_coalesce);
-                                let folds = registry.fold_phone(&lens);
-                                drop(lens);
-                                // The dataset dies here too: only the
-                                // folded summaries cross into the
-                                // merger.
-                                drop(ds);
-                                let mut guard = state.lock().expect("merger lock");
-                                let MergeState {
-                                    merger,
-                                    trace,
-                                    write_error,
-                                } = &mut *guard;
-                                merger.push_each(folds, |m| {
-                                    let absorbed = m.absorbed();
-                                    if opts.checkpoint_every == 0
-                                        || absorbed % opts.checkpoint_every != 0
-                                    {
-                                        return;
-                                    }
-                                    if opts.mtbf_trace {
-                                        if let Some(est) = m.mtbf_estimate() {
-                                            trace.push((absorbed, est));
+            match opts.merge {
+                MergeMode::Serial => {
+                    let next = AtomicUsize::new(start as usize);
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..workers)
+                            .map(|_| {
+                                let next = &next;
+                                let state = &state;
+                                scope.spawn(move || {
+                                    let mut out = Vec::new();
+                                    let mut ws = WorkerStats::default();
+                                    let allocs0 = opts.alloc_counter.map(|f| f());
+                                    let mut scratch = ParseScratch::default();
+                                    loop {
+                                        let id = next.fetch_add(1, Ordering::Relaxed);
+                                        if id >= stop as usize {
+                                            break;
                                         }
+                                        let harvest = self.run_phone(id as u32);
+                                        let t0 = Instant::now();
+                                        let ds = PhoneDataset::from_flashfs_with(
+                                            id as u32,
+                                            &harvest.flashfs,
+                                            &mut scratch,
+                                        );
+                                        let secs = t0.elapsed().as_secs_f64();
+                                        let meta = PhoneMeta::from_harvest(&harvest);
+                                        drop(harvest);
+                                        let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                                        let folds = registry.fold_phone(&lens);
+                                        drop(lens);
+                                        // The dataset's buffers go back
+                                        // into the scratch pool here; only
+                                        // the folded summaries cross into
+                                        // the merger.
+                                        ds.recycle(&mut scratch);
+                                        let t1 = Instant::now();
+                                        let mut guard = state.lock().expect("merger lock");
+                                        let MergeState {
+                                            merger,
+                                            trace,
+                                            write_error,
+                                        } = &mut *guard;
+                                        merger.push_each(folds, |m| {
+                                            on_boundary(m, opts, fingerprint, trace, write_error)
+                                        });
+                                        drop(guard);
+                                        ws.merge_wait_seconds += t1.elapsed().as_secs_f64();
+                                        ws.parse_seconds += secs;
+                                        ws.phones += 1;
+                                        out.push((meta, secs));
                                     }
-                                    if write_error.is_none() {
-                                        if let Some(path) = &opts.checkpoint {
-                                            if let Err(e) =
-                                                write_atomic(path, &m.snapshot(fingerprint))
-                                            {
-                                                *write_error = Some(e);
-                                            }
-                                        }
-                                    }
-                                });
-                                drop(guard);
-                                out.push((meta, secs));
-                            }
-                            out
-                        })
+                                    ws.alloc_calls = opts
+                                        .alloc_counter
+                                        .map(|f| f().saturating_sub(allocs0.unwrap_or(0)));
+                                    (out, ws)
+                                })
+                            })
+                            .collect();
+                        join_workers(handles)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("streaming worker panicked"))
-                    .collect()
-            })
+                }
+                MergeMode::Sharded => {
+                    // Without an explicit cap (and no checkpoint grid
+                    // to cut on), size runs so each worker sees a few
+                    // of them — enough stealing slack to absorb
+                    // straggler phones.
+                    let run_len = if opts.run_len > 0 || opts.checkpoint_every > 0 {
+                        opts.run_len
+                    } else {
+                        ((stop - start) / (workers as u32 * 8)).clamp(1, 32)
+                    };
+                    let plan = plan_runs(start, stop, opts.checkpoint_every, run_len);
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..workers)
+                            .map(|_| {
+                                let next = &next;
+                                let state = &state;
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    let mut out = Vec::new();
+                                    let mut ws = WorkerStats::default();
+                                    let allocs0 = opts.alloc_counter.map(|f| f());
+                                    let mut scratch = ParseScratch::default();
+                                    loop {
+                                        let ri = next.fetch_add(1, Ordering::Relaxed);
+                                        let Some(&(run_start, run_end)) = plan.get(ri) else {
+                                            break;
+                                        };
+                                        let mut shard = FoldShard::new(registry, run_start);
+                                        for id in run_start..run_end {
+                                            let harvest = self.run_phone(id);
+                                            let t0 = Instant::now();
+                                            let ds = PhoneDataset::from_flashfs_with(
+                                                id,
+                                                &harvest.flashfs,
+                                                &mut scratch,
+                                            );
+                                            let secs = t0.elapsed().as_secs_f64();
+                                            let meta = PhoneMeta::from_harvest(&harvest);
+                                            drop(harvest);
+                                            let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                                            shard.absorb_phone(registry, &lens);
+                                            drop(lens);
+                                            ds.recycle(&mut scratch);
+                                            ws.parse_seconds += secs;
+                                            ws.phones += 1;
+                                            out.push((meta, secs));
+                                        }
+                                        // One lock acquisition per run:
+                                        // the whole shard crosses at
+                                        // once.
+                                        let t1 = Instant::now();
+                                        let mut guard = state.lock().expect("merger lock");
+                                        let MergeState {
+                                            merger,
+                                            trace,
+                                            write_error,
+                                        } = &mut *guard;
+                                        merger.push_shard_each(shard, |m| {
+                                            on_boundary(m, opts, fingerprint, trace, write_error)
+                                        });
+                                        drop(guard);
+                                        ws.merge_wait_seconds += t1.elapsed().as_secs_f64();
+                                    }
+                                    ws.alloc_calls = opts
+                                        .alloc_counter
+                                        .map(|f| f().saturating_sub(allocs0.unwrap_or(0)));
+                                    (out, ws)
+                                })
+                            })
+                            .collect();
+                        join_workers(handles)
+                    })
+                }
+            }
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
 
         let mut st = state.into_inner().expect("merger lock");
@@ -549,6 +746,7 @@ impl FleetCampaign {
             parse_cpu_seconds += secs;
         }
         let parse_bytes = metas.iter().map(|m| m.flash_bytes).sum();
+        let merge_stats = st.merger.merge_stats();
         Ok(StreamingRun {
             metas,
             report: st.merger.finish(),
@@ -557,6 +755,8 @@ impl FleetCampaign {
             reclaimed_flash_bytes: parse_bytes,
             mtbf_trace: st.trace,
             resumed_from,
+            worker_stats,
+            merge_stats,
         })
     }
 }
@@ -606,6 +806,13 @@ pub struct StreamingRun {
     /// absorbed phones; `metas` and the parse counters then cover only
     /// the resumed suffix.
     pub resumed_from: Option<u32>,
+    /// One entry per spawned worker (spawn order): phones handled,
+    /// parse seconds, merge-wait seconds, and — when the caller wired
+    /// an [`StreamingOptions::alloc_counter`] — allocator calls.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Merger-side counters: shards absorbed and peak pending
+    /// buffering (shards / phones / estimated heap bytes).
+    pub merge_stats: MergeStats,
 }
 
 /// Per-firmware panic counts across a campaign, for the version
@@ -663,6 +870,36 @@ mod tests {
             attrition_spread_days: 5,
             ..CalibrationParams::default()
         }
+    }
+
+    #[test]
+    fn plan_runs_partitions_on_the_cut_grid() {
+        // Runs partition [start, stop): contiguous, ascending, no holes.
+        let assert_partition = |runs: &[(u32, u32)], start: u32, stop: u32| {
+            assert_eq!(runs.first().map(|r| r.0), Some(start));
+            assert_eq!(runs.last().map(|r| r.1), Some(stop));
+            for w in runs.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            for &(a, b) in runs {
+                assert!(a < b);
+            }
+        };
+
+        // No grid at all: one run covering everything.
+        assert_eq!(plan_runs(0, 10, 0, 0), vec![(0, 10)]);
+        // Pure run_len grid, anchored at phone 0 even when start isn't.
+        assert_eq!(plan_runs(3, 10, 0, 4), vec![(3, 4), (4, 8), (8, 10)]);
+        // checkpoint_every cuts compose with run_len cuts: a run never
+        // straddles a multiple of either.
+        let runs = plan_runs(0, 20, 5, 3);
+        assert_partition(&runs, 0, 20);
+        for &(a, b) in &runs {
+            assert!(b % 5 == 0 || b % 3 == 0 || b == 20, "bad cut at {a}..{b}");
+            assert!(a / 5 == (b - 1) / 5, "run {a}..{b} straddles a checkpoint");
+        }
+        // Empty range plans nothing.
+        assert!(plan_runs(7, 7, 5, 3).is_empty());
     }
 
     #[test]

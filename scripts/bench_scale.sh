@@ -9,13 +9,16 @@
 #
 # If a previous document exists (the committed baseline, or $BASELINE),
 # the script gates on it: any phone count whose staged parse MB/s falls
-# below MIN_RATIO of the baseline fails the run. Two within-run gates
-# cover the streaming engine at every phone count >= STREAM_GATE_MIN:
+# below MIN_RATIO of the baseline fails the run. Three within-run gates
+# cover the streaming engine: at every phone count >= STREAM_GATE_MIN
 # its peak live heap must stay under STREAM_PEAK_RATIO of the batch
-# (fused) peak, and its wall clock must stay within STREAM_WALL_RATIO
-# of the fused wall clock. The fresh document is only written once
-# every gate passes, so a failing run never overwrites the baseline it
-# was judged against.
+# (fused) peak and its wall clock within STREAM_WALL_RATIO of the fused
+# wall clock; and across the whole sweep the *last* point's streaming
+# parse MB/s must hold at least CLIFF_RATIO of the first point's — the
+# anti-cliff gate that pins the sharded merger's flat throughput
+# profile at fleet scale. The fresh document is only written once every
+# gate passes, so a failing run never overwrites the baseline it was
+# judged against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,7 @@ MIN_RATIO="${MIN_RATIO:-0.8}"
 STREAM_GATE_MIN="${STREAM_GATE_MIN:-100}"
 STREAM_PEAK_RATIO="${STREAM_PEAK_RATIO:-0.5}"
 STREAM_WALL_RATIO="${STREAM_WALL_RATIO:-1.25}"
+CLIFF_RATIO="${CLIFF_RATIO:-0.5}"
 
 cargo build --release -p symfail-bench --bin repro >/dev/null
 BIN=target/release/repro
@@ -49,7 +53,7 @@ jwall() {
 
 {
     printf '{\n'
-    printf '  "schema": "symfail-bench-scale/2",\n'
+    printf '  "schema": "symfail-bench-scale/3",\n'
     printf '  "seed": %s,\n' "$SEED"
     printf '  "days": %s,\n' "$DAYS"
     printf '  "workers": %s,\n' "$WORKERS"
@@ -72,6 +76,12 @@ jwall() {
         parse_lines="$(jget "$tmp_staged" parse_lines)"
         mbps="$(awk -v b="$parse_bytes" -v s="$parse_seconds" \
             'BEGIN { printf "%.2f", (s > 0) ? b / s / 1048576 : 0 }')"
+        s_parse_seconds="$(jget "$tmp_stream" parse_seconds)"
+        s_parse_bytes="$(jget "$tmp_stream" parse_bytes)"
+        s_mbps="$(awk -v b="$s_parse_bytes" -v s="$s_parse_seconds" \
+            'BEGIN { printf "%.2f", (s > 0) ? b / s / 1048576 : 0 }')"
+        worker_allocs="$(grep -o '"worker_alloc_calls": \[[^]]*\]' "$tmp_stream" \
+            | head -n1 | sed 's/.*\[/[/')"
 
         [ "$first" = 1 ] || printf ',\n'
         first=0
@@ -87,6 +97,19 @@ jwall() {
         printf '     "fused_peak_alloc_bytes": %s,\n' "$(jget "$tmp_fused" peak_alloc_bytes)"
         printf '     "streaming_wall_seconds": %s,\n' "$(jwall "$tmp_stream")"
         printf '     "streaming_peak_alloc_bytes": %s,\n' "$(jget "$tmp_stream" peak_alloc_bytes)"
+        printf '     "streaming_parse_seconds": %s,\n' "$s_parse_seconds"
+        printf '     "streaming_parse_mb_per_s": %s,\n' "$s_mbps"
+        printf '     "streaming_merge_wait_seconds": %s,\n' \
+            "$(jget "$tmp_stream" merge_wait_seconds)"
+        printf '     "streaming_merge_absorbed_runs": %s,\n' \
+            "$(jget "$tmp_stream" merge_absorbed_runs)"
+        printf '     "streaming_peak_pending_runs": %s,\n' \
+            "$(jget "$tmp_stream" peak_pending_runs)"
+        printf '     "streaming_peak_pending_phones": %s,\n' \
+            "$(jget "$tmp_stream" peak_pending_phones)"
+        printf '     "streaming_peak_pending_bytes": %s,\n' \
+            "$(jget "$tmp_stream" peak_pending_bytes)"
+        printf '     "streaming_worker_alloc_calls": %s,\n' "${worker_allocs:-[]}"
         printf '     "streaming_reclaimed_flash_bytes": %s}' \
             "$(jget "$tmp_stream" reclaimed_flash_bytes)"
     done
@@ -126,6 +149,22 @@ done < <(awk -F'[:,]' '/"phones"/ { p = $2 }
     /"streaming_reclaimed_flash_bytes"/ { printf "%s %s %s %s %s\n", p, fp, sp, fw, sw }' \
     "$tmp_out")
 [ "$fail" = 0 ] || exit 1
+
+# Anti-cliff gate: streaming parse throughput must stay flat across
+# the sweep — the last (largest) point holds >= CLIFF_RATIO of the
+# first point's MB/s. This is the regression tripwire for the
+# 1000-phone throughput cliff the sharded merger removed.
+read -r first_mbps last_mbps < <(awk -F'[:,]' \
+    '/"streaming_parse_mb_per_s"/ { if (f == "") f = $2 + 0; l = $2 + 0 }
+     END { printf "%s %s\n", f, l }' "$tmp_out")
+if ! awk -v f="$first_mbps" -v l="$last_mbps" -v r="$CLIFF_RATIO" \
+    'BEGIN { exit !(l + 0 >= r * f) }'; then
+    echo "bench_scale: CLIFF GATE: streaming $last_mbps MB/s at the" \
+        "largest fleet < $CLIFF_RATIO x $first_mbps MB/s at the smallest" >&2
+    exit 1
+fi
+echo "bench_scale: cliff gate ok: streaming $first_mbps MB/s ->" \
+    "$last_mbps MB/s across the sweep" >&2
 
 # Regression gate: staged parse MB/s per phone count vs the baseline.
 pairs() {

@@ -15,7 +15,7 @@ use symfail::core::analysis::passes::PassRegistry;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::phone::calibration::CalibrationParams;
 use symfail::phone::corruption::CorruptionProfile;
-use symfail::phone::fleet::{FleetCampaign, FusedRun, StreamingOptions};
+use symfail::phone::fleet::{FleetCampaign, FusedRun, MergeMode, StreamingOptions};
 use symfail::sim::SimDuration;
 
 const SEED: u64 = 4242;
@@ -64,7 +64,7 @@ fn assert_resume_identical(corruption: CorruptionProfile, baseline: &str, k: u32
         checkpoint: Some(path.clone()),
         checkpoint_every: 1,
         stop_after_phones: Some(k),
-        mtbf_trace: false,
+        ..StreamingOptions::default()
     };
     let first = campaign
         .run_streaming_opts(workers, config, &registry, &interrupted)
@@ -117,6 +117,73 @@ fn interrupt_anywhere_resume_is_byte_identical() {
 #[test]
 fn interrupt_anywhere_resume_is_byte_identical_under_worst_corruption() {
     sweep(CorruptionProfile::Worst);
+}
+
+/// The sharded-merger leg: multi-phone runs (checkpoint_every = 5, so
+/// runs span up to 5 phones), killed at {0, mid, last} with worker
+/// counts {1, 4, 13}, resumed sharded — and every render must match
+/// the *serial* merger's uninterrupted output byte for byte.
+fn sharded_sweep(corruption: CorruptionProfile) {
+    let config = AnalysisConfig::default();
+    let registry = PassRegistry::all();
+    let serial_opts = StreamingOptions {
+        merge: MergeMode::Serial,
+        ..StreamingOptions::default()
+    };
+    let baseline = render(
+        &campaign(corruption)
+            .run_streaming_opts(4, config, &registry, &serial_opts)
+            .expect("serial baseline run cannot fail")
+            .report,
+    );
+    for k in [0, PHONES / 2, PHONES] {
+        for workers in [1usize, 4, PHONES as usize] {
+            let tag = format!("sharded-{}-k{k}-w{workers}", corruption.as_str());
+            let path = ckpt_path(&tag);
+            let _ = std::fs::remove_file(&path);
+            let campaign = campaign(corruption);
+            let interrupted = StreamingOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 5,
+                stop_after_phones: Some(k),
+                merge: MergeMode::Sharded,
+                ..StreamingOptions::default()
+            };
+            let first = campaign
+                .run_streaming_opts(workers, config, &registry, &interrupted)
+                .unwrap_or_else(|e| panic!("{tag}: interrupted run failed: {e}"));
+            assert_eq!(first.resumed_from, None, "{tag}: first run must be fresh");
+            let resumed = StreamingOptions {
+                checkpoint: Some(path.clone()),
+                merge: MergeMode::Sharded,
+                ..StreamingOptions::default()
+            };
+            let second = campaign
+                .run_streaming_opts(workers, config, &registry, &resumed)
+                .unwrap_or_else(|e| panic!("{tag}: resume failed: {e}"));
+            assert_eq!(
+                second.resumed_from,
+                Some(k),
+                "{tag}: checkpoint must hold exactly the kill point"
+            );
+            assert_eq!(
+                render(&second.report),
+                baseline,
+                "{tag}: sharded resume differs from serial uninterrupted"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn sharded_interrupt_resume_matches_serial_baseline() {
+    sharded_sweep(CorruptionProfile::None);
+}
+
+#[test]
+fn sharded_interrupt_resume_matches_serial_baseline_under_worst_corruption() {
+    sharded_sweep(CorruptionProfile::Worst);
 }
 
 #[test]

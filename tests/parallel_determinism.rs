@@ -172,3 +172,44 @@ fn streaming_engine_report_identical_to_batch_for_any_worker_count() {
         );
     }
 }
+
+#[test]
+fn sharded_merge_report_identical_to_serial_for_any_worker_count_and_run_len() {
+    // The sharded driver folds contiguous runs of phones into private
+    // per-worker shards and hands whole shards to the merger. The
+    // shard partition (run_len) and the thread schedule decide only
+    // *when* state reaches the merger — never what the study says.
+    use symfail::phone::fleet::{MergeMode, StreamingOptions};
+    let campaign = FleetCampaign::new(2005, params()).with_corruption(CorruptionProfile::Worst);
+    let config = AnalysisConfig::default();
+    let registry = PassRegistry::all();
+    let render = |opts: &StreamingOptions, workers: usize| {
+        let run = campaign
+            .run_streaming_opts(workers, config, &registry, opts)
+            .expect("no checkpoint path, nothing can fail");
+        run.report.render_all() + &run.report.render_per_phone()
+    };
+    let serial = render(
+        &StreamingOptions {
+            merge: MergeMode::Serial,
+            ..StreamingOptions::default()
+        },
+        1,
+    );
+    for workers in [1usize, 4, 13] {
+        for run_len in [0u32, 1, 2, 5] {
+            let sharded = render(
+                &StreamingOptions {
+                    merge: MergeMode::Sharded,
+                    run_len,
+                    ..StreamingOptions::default()
+                },
+                workers,
+            );
+            assert_eq!(
+                serial, sharded,
+                "sharded study differs from serial with {workers} workers, run_len {run_len}"
+            );
+        }
+    }
+}

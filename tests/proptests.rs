@@ -576,6 +576,142 @@ proptest! {
             "arrival order {:?} changed the study", order
         );
     }
+
+    /// Partitioning the fleet into *arbitrary* contiguous runs, folding
+    /// each run into a private [`FoldShard`], and tree-merging the
+    /// shards (in any arrival order) renders the same study, byte for
+    /// byte, as the serial per-phone merger — the legality proof of the
+    /// sharded streaming driver, for any shard count and any cut set.
+    #[test]
+    fn tree_merged_shards_match_serial_merger_for_any_partition(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u64..300_000, 0usize..5, 0usize..4, 10u8..100), 0..10),
+            1..9,
+        ),
+        raw_cuts in prop::collection::vec(1usize..9, 0..6),
+        order_sel in 0u8..3,
+    ) {
+        use symfail::core::analysis::passes::{
+            tree_merge_shards, FoldShard, PassRegistry, PhoneLens, StreamMerger,
+        };
+        use symfail::core::analysis::report::AnalysisConfig;
+        let apps = ["Messages", "Camera", "Clock", "Browser", "Log"];
+        let acts = [ActivityKind::VoiceCall, ActivityKind::Message, ActivityKind::DataSession];
+        let phones: Vec<PhoneDataset> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, recs)| {
+                let records: Vec<LogRecord> = recs
+                    .iter()
+                    .map(|&(t, app_ix, act_ix, battery)| LogRecord::Panic(PanicRecord {
+                        at: SimTime::from_secs(t),
+                        panic: Panic::new(codes::KERN_EXEC_3, apps[(app_ix + id) % apps.len()], "r"),
+                        running_apps: (0..app_ix)
+                            .map(|k| apps[(k + id) % apps.len()].to_string())
+                            .collect(),
+                        activity: acts.get(act_ix).copied(),
+                        battery,
+                    }))
+                    .collect();
+                PhoneDataset::new(id as u32, records, Vec::new())
+            })
+            .collect();
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+
+        let serial = {
+            let mut merger = StreamMerger::new(&registry, config);
+            for phone in &phones {
+                let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                merger.push(registry.fold_phone(&lens));
+            }
+            let report = merger.finish();
+            report.render_all() + &report.render_per_phone()
+        };
+
+        // Arbitrary contiguous partition: dedup the cut set, keep the
+        // in-range cuts, bracket with 0 and phones.len().
+        let mut cuts: Vec<usize> = raw_cuts.into_iter().filter(|&c| c < phones.len()).collect();
+        cuts.push(0);
+        cuts.push(phones.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut shards: Vec<FoldShard> = cuts
+            .windows(2)
+            .map(|w| {
+                let mut shard = FoldShard::new(&registry, w[0] as u32);
+                for phone in &phones[w[0]..w[1]] {
+                    let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                    shard.absorb_phone(&registry, &lens);
+                }
+                shard
+            })
+            .collect();
+        match order_sel {
+            1 => shards.reverse(),
+            2 => shards.sort_by_key(|s| (s.start() % 2 == 0, s.start())),
+            _ => {}
+        }
+        let merged = tree_merge_shards(&registry, shards).expect("at least one shard");
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push_shard(merged);
+        let report = merger.finish();
+        prop_assert_eq!(
+            serial,
+            report.render_all() + &report.render_per_phone(),
+            "partition {:?} changed the study", cuts
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// Sharded streaming driver: for any run partition and worker count,
+// clean or worst-corrupted, the sharded campaign renders the serial
+// merger's bytes.
+// ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn sharded_campaign_matches_serial_for_any_run_len(
+        seed in 0u64..1_000,
+        run_len in 0u32..7,
+        workers in 1usize..5,
+        worst in 0u8..2,
+    ) {
+        use symfail::core::analysis::passes::PassRegistry;
+        use symfail::core::analysis::report::AnalysisConfig;
+        use symfail::phone::calibration::CalibrationParams;
+        use symfail::phone::corruption::CorruptionProfile;
+        use symfail::phone::fleet::{FleetCampaign, MergeMode, StreamingOptions};
+        let params = CalibrationParams {
+            phones: 6,
+            campaign_days: 20,
+            enrollment_spread_days: 3,
+            attrition_spread_days: 3,
+            background_episode_rate_per_hour: 0.02,
+            ..CalibrationParams::default()
+        };
+        let profile = if worst == 1 { CorruptionProfile::Worst } else { CorruptionProfile::None };
+        let campaign = FleetCampaign::new(seed, params).with_corruption(profile);
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let render = |opts: &StreamingOptions, workers: usize| {
+            let run = campaign
+                .run_streaming_opts(workers, config, &registry, opts)
+                .expect("no checkpoint file, nothing can fail");
+            run.report.render_all() + &run.report.render_per_phone()
+        };
+        let serial = render(
+            &StreamingOptions { merge: MergeMode::Serial, ..StreamingOptions::default() },
+            1,
+        );
+        let sharded = render(
+            &StreamingOptions { merge: MergeMode::Sharded, run_len, ..StreamingOptions::default() },
+            workers,
+        );
+        prop_assert_eq!(serial, sharded, "run_len {} workers {}", run_len, workers);
+    }
 }
 
 // ---------------------------------------------------------------
