@@ -11,6 +11,9 @@
 //!       [--timing-json PATH]
 //!       [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
 //!       [--mtbf-trace-json PATH] [--merge serial|sharded] [--run-len N]
+//!       [--shard i/N]
+//! repro merge-checkpoints OUT IN1 IN2 ... [--seed N] [--phones N]
+//!       [--days N] [--corruption PROFILE] [--analyses LIST]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -51,6 +54,18 @@
 //! one lock acquisition; `--merge serial` keeps the per-phone oracle
 //! path. `--run-len N` caps the phones per shard (0 = auto). Both
 //! modes render byte-identical reports.
+//!
+//! `--shard i/N` makes the process simulate and fold only shard `i`
+//! of an `N`-way split of the phone-id space (per-phone RNG forks are
+//! unchanged, so phone `k`'s data is identical no matter which
+//! process runs it). The checkpoint it writes records the shard
+//! topology (schema v3), and `repro merge-checkpoints out.bin a.bin
+//! b.bin ...` validates N such checkpoints (same campaign, config and
+//! registry; intervals disjoint and jointly covering the fleet),
+//! tree-merges them, writes the merged whole-fleet checkpoint to
+//! `out.bin`, and prints the same report a single-process
+//! `--exp all --engine streaming` run prints — byte for byte, for any
+//! N and any partition.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -59,8 +74,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use symfail_core::analysis::bursts::BurstAnalysis;
+use symfail_core::analysis::checkpoint::ShardTopology;
 use symfail_core::analysis::dataset::FleetDataset;
 use symfail_core::analysis::mtbf::MtbfAnalysis;
+use symfail_core::analysis::passes::merge_shard_checkpoints;
 use symfail_core::analysis::passes::{MergeStats, PassRegistry};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::analysis::shutdown::ShutdownAnalysis;
@@ -71,7 +88,7 @@ use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
 use symfail_phone::corruption::CorruptionProfile;
 use symfail_phone::fleet::{
-    harvest_metas, FleetCampaign, MergeMode, PhoneMeta, StreamingOptions, WorkerStats,
+    harvest_metas, FleetCampaign, MergeMode, PhoneMeta, ShardSpec, StreamingOptions, WorkerStats,
 };
 use symfail_sim_core::SimDuration;
 
@@ -216,6 +233,7 @@ struct Args {
     mtbf_trace_json: Option<String>,
     merge: MergeMode,
     run_len: u32,
+    shard: Option<ShardSpec>,
 }
 
 fn default_workers() -> usize {
@@ -244,6 +262,7 @@ fn parse_args() -> Result<Args, String> {
         mtbf_trace_json: None,
         merge: MergeMode::default(),
         run_len: 0,
+        shard: None,
     };
     let mut pipeline_set = false;
     let mut merge_set = false;
@@ -342,6 +361,14 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n > 0)
                     .ok_or("--run-len needs a positive phone count")?
             }
+            "--shard" => {
+                args.shard = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(ShardSpec::parse)
+                        .ok_or("--shard needs i/N with i < N")?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
@@ -351,8 +378,11 @@ fn parse_args() -> Result<Args, String> {
                      [--defects-json PATH] [--timing-json PATH] \
                      [--checkpoint PATH] [--checkpoint-every N] \
                      [--stop-after N] [--mtbf-trace-json PATH] \
-                     [--merge serial|sharded] [--run-len N]\n\
-                     checkpoint/stop/trace/merge flags need --engine streaming\n\
+                     [--merge serial|sharded] [--run-len N] [--shard i/N]\n\
+                     \x20      repro merge-checkpoints OUT IN1 IN2 ... \
+                     [--seed N] [--phones N] [--days N] \
+                     [--corruption PROFILE] [--analyses LIST]\n\
+                     checkpoint/stop/trace/merge/shard flags need --engine streaming\n\
                      --analyses takes a comma-list of pass names \
                      (default all): {}",
                     PassRegistry::NAMES.join(",")
@@ -376,8 +406,8 @@ fn parse_args() -> Result<Args, String> {
         return Err("--checkpoint, --checkpoint-every, --stop-after and \
                     --mtbf-trace-json need --engine streaming"
             .to_string());
-    } else if merge_set || args.run_len > 0 {
-        return Err("--merge and --run-len need --engine streaming".to_string());
+    } else if merge_set || args.run_len > 0 || args.shard.is_some() {
+        return Err("--merge, --run-len and --shard need --engine streaming".to_string());
     }
     Ok(args)
 }
@@ -459,6 +489,7 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
             merge: args.merge,
             run_len: args.run_len,
             alloc_counter: Some(thread_alloc_calls),
+            shard: args.shard,
         };
         let (t, a) = (Instant::now(), alloc_now());
         let run = campaign
@@ -584,11 +615,18 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
                 .map_or_else(|| "null".to_string(), |n| n.to_string())
         })
         .collect();
+    let topology = args
+        .shard
+        .map(|s| s.topology(args.phones))
+        .unwrap_or(ShardTopology::solo(args.phones));
+    let (shard_lo, shard_hi) = topology.interval();
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/5\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"symfail-pipeline-timing/6\",\n  \"seed\": {},\n  \
          \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
          \"pipeline\": \"{}\",\n  \"engine\": \"{}\",\n  \
          \"merge\": \"{}\",\n  \"run_len\": {},\n  \
+         \"shard_index\": {},\n  \"shard_count\": {},\n  \
+         \"shard_start\": {},\n  \"shard_end\": {},\n  \
          \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
          \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
          \"parse_defects\": {},\n  \"parse_seconds\": {:.6},\n  \
@@ -607,6 +645,10 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
         args.engine.as_str(),
         args.merge.as_str(),
         args.run_len,
+        topology.index,
+        topology.count,
+        shard_lo,
+        shard_hi,
         args.corruption.as_str(),
         run.parse_bytes,
         defects.lines_seen,
@@ -671,7 +713,124 @@ fn forum_report(seed: u64) -> String {
     )
 }
 
+/// `repro merge-checkpoints OUT IN1 IN2 ...` — validates and merges
+/// shard checkpoints written by `--shard i/N` processes of the same
+/// campaign, writes the merged whole-fleet checkpoint to OUT, and
+/// prints the report a single-process `--exp all --engine streaming`
+/// run would print, byte for byte. The campaign flags must match the
+/// ones the shard processes ran with: they rebuild the fingerprint
+/// and analysis config the inputs are validated against.
+fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
+    let mut seed: u64 = 2005;
+    let mut phones: u32 = 25;
+    let mut days: u32 = 425;
+    let mut corruption = CorruptionProfile::None;
+    let mut analyses = "all".to_string();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--phones" => {
+                phones = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--phones needs an integer")?
+            }
+            "--days" => {
+                days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--days needs an integer")?
+            }
+            "--corruption" => {
+                let profile = it.next().ok_or("--corruption needs a profile name")?;
+                corruption = CorruptionProfile::parse(profile).ok_or(format!(
+                    "unknown corruption profile {profile} (try none|light|moderate|worst)"
+                ))?
+            }
+            "--analyses" => {
+                analyses = it
+                    .next()
+                    .ok_or("--analyses needs a comma-list")?
+                    .to_string()
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro merge-checkpoints OUT IN1 IN2 ... \
+                            [--seed N] [--phones N] [--days N] \
+                            [--corruption PROFILE] [--analyses LIST]"
+                    .to_string())
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path),
+        }
+    }
+    let (out_path, in_paths) = paths
+        .split_first()
+        .ok_or("merge-checkpoints needs OUT plus at least one input checkpoint")?;
+    if in_paths.is_empty() {
+        return Err("merge-checkpoints needs at least one input checkpoint".to_string());
+    }
+
+    let registry = PassRegistry::select(&analyses)?;
+    let params = CalibrationParams {
+        phones,
+        campaign_days: days,
+        ..CalibrationParams::default()
+    };
+    let fingerprint = FleetCampaign::new(seed, params)
+        .with_corruption(corruption)
+        .fingerprint();
+    let config = AnalysisConfig {
+        uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
+        ..AnalysisConfig::default()
+    };
+
+    let inputs: Vec<Vec<u8>> = in_paths
+        .iter()
+        .map(|p| std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+        .map_err(|e| format!("merge failed: {e}"))?;
+    if merger.absorbed() != phones {
+        return Err(format!(
+            "merged checkpoints cover {} phones, --phones says {phones}",
+            merger.absorbed()
+        ));
+    }
+
+    let merged = merger.snapshot(fingerprint, ShardTopology::solo(phones));
+    std::fs::write(out_path, merged).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "merged {} shard checkpoints ({phones} phones) into {out_path}",
+        in_paths.len()
+    );
+
+    let report = merger.finish();
+    println!("{}", report.render_all());
+    println!("{}", report.render_per_phone());
+    println!("{}", forum_report(seed));
+    println!("\n=== campaign paper-vs-measured shape report ===");
+    println!("{}", report.shape_report());
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("merge-checkpoints") {
+        return match merge_checkpoints_cmd(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -16,6 +16,7 @@
 //! ```text
 //! magic "SYMFCKPT" (8)  | schema version u32 | campaign fingerprint u64
 //! AnalysisConfig (4×u64 ms) | registry (u64 count, length-prefixed names)
+//! shard topology: index u32 | count u32 | fleet_phones u32 | start u32
 //! next_id u32 | name table (u64 count, length-prefixed names)
 //! per-pass blobs (u64 byte length + pass-private encoding, registry order)
 //! shard section: u64 count, then per pending shard (ascending,
@@ -24,18 +25,29 @@
 //! FNV-1a 64 checksum u64 over every preceding byte
 //! ```
 //!
-//! The shard section (schema v2) lets a snapshot carry the sharded
-//! merger's *pending* out-of-order runs as well as the merged prefix.
-//! Periodic checkpoints always write it empty — the merged prefix is
-//! byte-identical for every worker count, while pending shards depend
-//! on worker skew — but
+//! The pending-shard section (schema v2) lets a snapshot carry the
+//! sharded merger's *pending* out-of-order runs as well as the merged
+//! prefix. Periodic checkpoints always write it empty — the merged
+//! prefix is byte-identical for every worker count, while pending
+//! shards depend on worker skew — but
 //! [`snapshot_with_pending`](super::passes::StreamMerger::snapshot_with_pending)
 //! captures full state without quiescing the fold pipeline.
 //!
+//! The shard-topology header (schema v3) makes every checkpoint
+//! self-describing about *which slice of the fleet it covers*: a
+//! `repro --shard i/N` process records its [`ShardTopology`] and the
+//! first phone id of its interval, so the covered phone range is
+//! `[start, next_id)`. A solo (unsharded) run writes
+//! [`ShardTopology::solo`]. This is what lets
+//! `repro merge-checkpoints` validate that a set of checkpoints from
+//! separate OS processes is disjoint and jointly covers the fleet
+//! before tree-merging them into one report.
+//!
 //! Loading validates in a fixed order — magic, schema version,
-//! checksum, then registry / config / campaign identity — so every
-//! failure mode maps to a distinguishable [`CheckpointError`] and a
-//! tampered file can never panic or silently resume.
+//! checksum, then registry / config / campaign identity, then (on
+//! resume) shard topology — so every failure mode maps to a
+//! distinguishable [`CheckpointError`] and a tampered file can never
+//! panic or silently resume.
 
 use std::fmt;
 
@@ -45,8 +57,60 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SYMFCKPT";
 /// Schema version written by this build; bumped whenever any pass
 /// encoding or the header layout changes. Checkpoints from any other
 /// version are refused (no migration: re-running the campaign is
-/// always safe). v2 added the trailing pending-shard section.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
+/// always safe). v2 added the trailing pending-shard section; v3
+/// added the shard-topology header ([`ShardTopology`] + interval
+/// start) that makes multi-process checkpoint merging validatable.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 3;
+
+/// Which slice of a fleet a checkpoint-writing process owned: shard
+/// `index` of `count` over a fleet of `fleet_phones` phones. Written
+/// into every checkpoint header (schema v3) so `merge-checkpoints`
+/// can prove a set of per-process checkpoints covers the whole fleet
+/// exactly once, and so resuming under a different `--shard i/N` is
+/// refused instead of silently folding the wrong id range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// This process's shard number, `0 <= index < count`.
+    pub index: u32,
+    /// Total number of shards the fleet was split into.
+    pub count: u32,
+    /// Total phones in the campaign (all shards together).
+    pub fleet_phones: u32,
+}
+
+impl ShardTopology {
+    /// The topology of an unsharded (single-process) run: shard 0 of 1
+    /// covering the whole fleet.
+    pub const fn solo(fleet_phones: u32) -> Self {
+        Self {
+            index: 0,
+            count: 1,
+            fleet_phones,
+        }
+    }
+
+    /// The phone-id interval `[lo, hi)` this shard owns. Shards
+    /// partition `[0, fleet_phones)` into `count` near-equal contiguous
+    /// ranges (the first `fleet_phones % count` shards get one extra
+    /// phone); u64 arithmetic keeps `index * fleet_phones` exact.
+    pub const fn interval(&self) -> (u32, u32) {
+        let p = self.fleet_phones as u64;
+        let n = self.count as u64;
+        let lo = (self.index as u64 * p) / n;
+        let hi = ((self.index as u64 + 1) * p) / n;
+        (lo as u32, hi as u32)
+    }
+}
+
+impl fmt::Display for ShardTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}/{} of {} phones",
+            self.index, self.count, self.fleet_phones
+        )
+    }
+}
 
 /// Why a checkpoint could not be written or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +149,15 @@ pub enum CheckpointError {
         /// Fingerprint of the resuming campaign.
         expected: u64,
     },
+    /// The checkpoint was written by a process owning a different
+    /// fleet slice (`--shard i/N`), so resuming it here would fold the
+    /// wrong phone-id range.
+    ShardMismatch {
+        /// Topology stored in the file.
+        found: ShardTopology,
+        /// Topology of the resuming run.
+        expected: ShardTopology,
+    },
     /// The payload passed the checksum but decoded to an impossible
     /// value (defensive: should be unreachable without a collision).
     Corrupt(&'static str),
@@ -116,6 +189,9 @@ impl fmt::Display for CheckpointError {
                 "checkpoint belongs to a different campaign \
                  (fingerprint {found:#018x}, expected {expected:#018x})"
             ),
+            CheckpointError::ShardMismatch { found, expected } => {
+                write!(f, "checkpoint covers {found}, this run expects {expected}")
+            }
             CheckpointError::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
         }
@@ -123,6 +199,86 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// Why a set of shard checkpoints could not be merged into one report.
+/// Interval arithmetic uses the *covered* range `[start, next_id)`
+/// each file records, not the formula interval, so the merge accepts
+/// any disjoint full cover — including hand-built partitions — and
+/// pinpoints exactly which contract an invalid set breaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No input checkpoints were supplied.
+    NoInputs,
+    /// Input `input` (0-based position on the command line) failed
+    /// checkpoint validation — wrong magic/version/checksum, or a
+    /// registry/config/campaign that does not match the merge target.
+    Input {
+        /// 0-based position of the offending input.
+        input: usize,
+        /// The underlying checkpoint failure.
+        error: CheckpointError,
+    },
+    /// Inputs disagree about the shard topology (count or fleet size),
+    /// so they cannot come from one split of one campaign.
+    TopologyMismatch {
+        /// `(shard_count, fleet_phones)` of the offending input.
+        found: (u32, u32),
+        /// `(shard_count, fleet_phones)` of the first input.
+        expected: (u32, u32),
+    },
+    /// Two inputs claim the same shard index (a duplicated file).
+    DuplicateShard {
+        /// The shard index that appears more than once.
+        index: u32,
+    },
+    /// Two inputs' covered phone intervals overlap.
+    Overlap {
+        /// Covered interval `[start, end)` of the earlier input.
+        a: (u32, u32),
+        /// Covered interval of the input that overlaps it.
+        b: (u32, u32),
+    },
+    /// The inputs leave phones `[from, to)` uncovered — a shard file
+    /// is missing, or a shard was interrupted before finishing its
+    /// interval.
+    CoverageGap {
+        /// First uncovered phone id.
+        from: u32,
+        /// One past the last uncovered phone id.
+        to: u32,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoInputs => write!(f, "no shard checkpoints to merge"),
+            MergeError::Input { input, error } => {
+                write!(f, "shard checkpoint #{input}: {error}")
+            }
+            MergeError::TopologyMismatch { found, expected } => write!(
+                f,
+                "shard topology mismatch: {}/{} phones vs {}/{} phones",
+                found.0, found.1, expected.0, expected.1
+            ),
+            MergeError::DuplicateShard { index } => {
+                write!(f, "shard index {index} supplied more than once")
+            }
+            MergeError::Overlap { a, b } => write!(
+                f,
+                "shard intervals overlap: [{}, {}) and [{}, {})",
+                a.0, a.1, b.0, b.1
+            ),
+            MergeError::CoverageGap { from, to } => write!(
+                f,
+                "phones [{from}, {to}) are covered by no shard \
+                 (missing or interrupted shard checkpoint)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// FNV-1a 64-bit over `bytes` — the same cheap, dependency-free hash
 /// the flash-log record trailer uses, here guarding the whole payload.
@@ -341,6 +497,28 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(r.str(), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn shard_intervals_partition_the_fleet_exactly() {
+        for &phones in &[0u32, 1, 5, 13, 250, 1000, 1001] {
+            for &count in &[1u32, 2, 3, 4, 7, 8, 16] {
+                let mut cursor = 0;
+                for index in 0..count {
+                    let topo = ShardTopology {
+                        index,
+                        count,
+                        fleet_phones: phones,
+                    };
+                    let (lo, hi) = topo.interval();
+                    assert_eq!(lo, cursor, "{topo} must start where the last ended");
+                    assert!(hi >= lo);
+                    cursor = hi;
+                }
+                assert_eq!(cursor, phones, "{count} shards must cover {phones} phones");
+            }
+        }
+        assert_eq!(ShardTopology::solo(42).interval(), (0, 42));
     }
 
     #[test]

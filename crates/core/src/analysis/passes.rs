@@ -58,7 +58,8 @@ use crate::intern::{NameId, NameTable};
 use super::activity::ActivityAnalysis;
 use super::bursts::{phone_cascades, BurstAnalysis, Cascade};
 use super::checkpoint::{
-    self, ByteReader, ByteWriter, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA_VERSION,
+    self, ByteReader, ByteWriter, CheckpointError, MergeError, ShardTopology, CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA_VERSION,
 };
 use super::coalesce::{coalesce_phone, CoalescedPanic, CoalescenceAnalysis, PhoneCoalesce};
 use super::dataset::{HlEvent, HlKind, PanicEvent, PhoneDataset, ShutdownEvent};
@@ -588,6 +589,10 @@ pub struct StreamMerger<'r> {
     /// the serial and the sharded driver.
     pending: BTreeMap<u32, FoldShard>,
     next_id: u32,
+    /// First phone id this merger owns — 0 for a whole-fleet merger,
+    /// the shard interval's low end for a `--shard i/N` process. The
+    /// covered range a snapshot records is `[origin, next_id)`.
+    origin: u32,
     stats: MergeStats,
 }
 
@@ -596,15 +601,30 @@ impl<'r> StreamMerger<'r> {
     /// they are held pending and absorbed, still in id order, at
     /// [`Self::finish`]).
     pub fn new(registry: &'r PassRegistry, config: AnalysisConfig) -> Self {
+        Self::new_at(registry, config, 0)
+    }
+
+    /// A merger owning the fleet slice that starts at phone `origin` —
+    /// the shard-scoped driver's entry point. Phones below `origin`
+    /// are treated as already absorbed (pushes for them are dropped),
+    /// and a snapshot records the covered interval `[origin, absorbed)`
+    /// so `merge-checkpoints` can stitch slices back together.
+    pub fn new_at(registry: &'r PassRegistry, config: AnalysisConfig, origin: u32) -> Self {
         Self {
             registry,
             config,
             names: NameTable::default(),
             accs: registry.new_accs(),
             pending: BTreeMap::new(),
-            next_id: 0,
+            next_id: origin,
+            origin,
             stats: MergeStats::default(),
         }
+    }
+
+    /// First phone id this merger owns (see [`Self::new_at`]).
+    pub fn origin(&self) -> u32 {
+        self.origin
     }
 
     /// Accepts one phone's folds, absorbing every contiguously-ready
@@ -803,8 +823,13 @@ impl<'r> StreamMerger<'r> {
     /// buffer, which depends on worker skew — is byte-identical for
     /// every worker count. A resumed campaign re-simulates everything
     /// from [`Self::absorbed`].
-    pub fn snapshot(&self, campaign_fingerprint: u64) -> Vec<u8> {
-        self.snapshot_impl(campaign_fingerprint, false)
+    ///
+    /// `topology` records which fleet slice the writing process owns —
+    /// [`ShardTopology::solo`] for an unsharded run — making the file
+    /// self-describing for both resume validation and
+    /// [`merge_shard_checkpoints`].
+    pub fn snapshot(&self, campaign_fingerprint: u64, topology: ShardTopology) -> Vec<u8> {
+        self.snapshot_impl(campaign_fingerprint, topology, false)
     }
 
     /// [`Self::snapshot`] plus the buffered out-of-order shards — a
@@ -815,11 +840,20 @@ impl<'r> StreamMerger<'r> {
     /// deterministically from its options, so this holds unless
     /// `checkpoint_every`/`run_len` change between runs; a replayed
     /// run straddling a buffered shard is refused at push).
-    pub fn snapshot_with_pending(&self, campaign_fingerprint: u64) -> Vec<u8> {
-        self.snapshot_impl(campaign_fingerprint, true)
+    pub fn snapshot_with_pending(
+        &self,
+        campaign_fingerprint: u64,
+        topology: ShardTopology,
+    ) -> Vec<u8> {
+        self.snapshot_impl(campaign_fingerprint, topology, true)
     }
 
-    fn snapshot_impl(&self, campaign_fingerprint: u64, with_pending: bool) -> Vec<u8> {
+    fn snapshot_impl(
+        &self,
+        campaign_fingerprint: u64,
+        topology: ShardTopology,
+        with_pending: bool,
+    ) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.bytes(&CHECKPOINT_MAGIC);
         w.u32(CHECKPOINT_SCHEMA_VERSION);
@@ -832,6 +866,13 @@ impl<'r> StreamMerger<'r> {
         for pass in self.registry.passes() {
             w.str(pass.name());
         }
+        // v3 shard-topology header: which fleet slice this process
+        // owns, and where its covered interval [origin, next_id)
+        // starts.
+        w.u32(topology.index);
+        w.u32(topology.count);
+        w.u32(topology.fleet_phones);
+        w.u32(self.origin);
         w.u32(self.next_id);
         write_names(&mut w, &self.names);
         write_accs(&mut w, self.registry, &self.accs);
@@ -856,9 +897,11 @@ impl<'r> StreamMerger<'r> {
 
     /// Rebuilds a merger from a [`Self::snapshot`], validating in a
     /// fixed order: magic, schema version, whole-payload checksum,
-    /// then pass registry / analysis config / campaign fingerprint
-    /// against the resuming run's. The pending buffer starts empty —
-    /// workers must restart at [`Self::absorbed`].
+    /// then pass registry / analysis config / campaign fingerprint /
+    /// shard topology against the resuming run's. The pending buffer
+    /// starts empty (unless the file was written with
+    /// [`Self::snapshot_with_pending`]) — workers must restart at
+    /// [`Self::absorbed`].
     ///
     /// # Errors
     ///
@@ -869,102 +912,302 @@ impl<'r> StreamMerger<'r> {
         registry: &'r PassRegistry,
         config: AnalysisConfig,
         campaign_fingerprint: u64,
+        topology: ShardTopology,
         bytes: &[u8],
     ) -> Result<Self, CheckpointError> {
-        let magic_len = CHECKPOINT_MAGIC.len();
-        if bytes.len() < magic_len + 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        if bytes[..magic_len] != CHECKPOINT_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let found = u32::from_le_bytes(bytes[magic_len..magic_len + 4].try_into().expect("len 4"));
-        if found != CHECKPOINT_SCHEMA_VERSION {
-            return Err(CheckpointError::SchemaVersion {
-                found,
-                expected: CHECKPOINT_SCHEMA_VERSION,
+        let parsed = parse_checkpoint(registry, config, campaign_fingerprint, bytes)?;
+        if parsed.topology != topology {
+            return Err(CheckpointError::ShardMismatch {
+                found: parsed.topology,
+                expected: topology,
             });
-        }
-        if bytes.len() < magic_len + 4 + 8 {
-            return Err(CheckpointError::Truncated);
-        }
-        let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("len 8"));
-        if checkpoint::fnv1a64(body) != stored {
-            return Err(CheckpointError::Checksum);
-        }
-        let mut r = ByteReader::new(&body[magic_len + 4..]);
-        let found_fingerprint = r.u64()?;
-        let stored_config = AnalysisConfig {
-            self_shutdown_threshold: SimDuration::from_millis(r.u64()?),
-            coalescence_window: SimDuration::from_millis(r.u64()?),
-            burst_gap: SimDuration::from_millis(r.u64()?),
-            uptime_gap: SimDuration::from_millis(r.u64()?),
-        };
-        let n_passes = r.usize()?;
-        if n_passes > PassRegistry::NAMES.len() {
-            return Err(CheckpointError::Corrupt("pass count out of range"));
-        }
-        let mut found_passes = Vec::with_capacity(n_passes);
-        for _ in 0..n_passes {
-            found_passes.push(r.str()?);
-        }
-        let expected_passes: Vec<String> = registry
-            .passes()
-            .iter()
-            .map(|p| p.name().to_string())
-            .collect();
-        if found_passes != expected_passes {
-            return Err(CheckpointError::RegistryMismatch {
-                found: found_passes,
-                expected: expected_passes,
-            });
-        }
-        if stored_config != config {
-            return Err(CheckpointError::ConfigMismatch);
-        }
-        if found_fingerprint != campaign_fingerprint {
-            return Err(CheckpointError::CampaignMismatch {
-                found: found_fingerprint,
-                expected: campaign_fingerprint,
-            });
-        }
-        let next_id = r.u32()?;
-        let names = read_names(&mut r)?;
-        let accs = read_accs(&mut r, registry)?;
-        // v2 shard section: pending out-of-order runs, validated as
-        // disjoint and ascending above the absorbed watermark.
-        let n_shards = r.usize()?;
-        let mut pending = BTreeMap::new();
-        let mut watermark = next_id;
-        for _ in 0..n_shards {
-            let start = r.u32()?;
-            let end = r.u32()?;
-            if start < watermark || end <= start {
-                return Err(CheckpointError::Corrupt("shard ids overlap or regress"));
-            }
-            let shard = FoldShard {
-                start,
-                end,
-                names: read_names(&mut r)?,
-                accs: read_accs(&mut r, registry)?,
-            };
-            watermark = end;
-            pending.insert(start, shard);
-        }
-        if r.remaining() != 0 {
-            return Err(CheckpointError::Corrupt("trailing bytes after shards"));
         }
         Ok(Self {
             registry,
             config,
-            names,
-            accs,
-            pending,
-            next_id,
+            names: parsed.names,
+            accs: parsed.accs,
+            pending: parsed.pending,
+            next_id: parsed.next_id,
+            origin: parsed.start,
             stats: MergeStats::default(),
         })
     }
+}
+
+/// A fully decoded checkpoint, before any shard-topology expectation
+/// is applied — shared by [`StreamMerger::resume`] (which demands the
+/// resuming run's topology) and [`load_shard_checkpoint`] (which
+/// accepts whatever topology the file records).
+struct ParsedCheckpoint {
+    topology: ShardTopology,
+    /// First phone id of the covered interval `[start, next_id)`.
+    start: u32,
+    next_id: u32,
+    names: NameTable,
+    accs: Vec<DynAcc>,
+    pending: BTreeMap<u32, FoldShard>,
+}
+
+fn parse_checkpoint(
+    registry: &PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    bytes: &[u8],
+) -> Result<ParsedCheckpoint, CheckpointError> {
+    let magic_len = CHECKPOINT_MAGIC.len();
+    if bytes.len() < magic_len + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..magic_len] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let found = u32::from_le_bytes(bytes[magic_len..magic_len + 4].try_into().expect("len 4"));
+    if found != CHECKPOINT_SCHEMA_VERSION {
+        return Err(CheckpointError::SchemaVersion {
+            found,
+            expected: CHECKPOINT_SCHEMA_VERSION,
+        });
+    }
+    if bytes.len() < magic_len + 4 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("len 8"));
+    if checkpoint::fnv1a64(body) != stored {
+        return Err(CheckpointError::Checksum);
+    }
+    let mut r = ByteReader::new(&body[magic_len + 4..]);
+    let found_fingerprint = r.u64()?;
+    let stored_config = AnalysisConfig {
+        self_shutdown_threshold: SimDuration::from_millis(r.u64()?),
+        coalescence_window: SimDuration::from_millis(r.u64()?),
+        burst_gap: SimDuration::from_millis(r.u64()?),
+        uptime_gap: SimDuration::from_millis(r.u64()?),
+    };
+    let n_passes = r.usize()?;
+    if n_passes > PassRegistry::NAMES.len() {
+        return Err(CheckpointError::Corrupt("pass count out of range"));
+    }
+    let mut found_passes = Vec::with_capacity(n_passes);
+    for _ in 0..n_passes {
+        found_passes.push(r.str()?);
+    }
+    let expected_passes: Vec<String> = registry
+        .passes()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    if found_passes != expected_passes {
+        return Err(CheckpointError::RegistryMismatch {
+            found: found_passes,
+            expected: expected_passes,
+        });
+    }
+    if stored_config != config {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    if found_fingerprint != campaign_fingerprint {
+        return Err(CheckpointError::CampaignMismatch {
+            found: found_fingerprint,
+            expected: campaign_fingerprint,
+        });
+    }
+    // v3 shard-topology header.
+    let topology = ShardTopology {
+        index: r.u32()?,
+        count: r.u32()?,
+        fleet_phones: r.u32()?,
+    };
+    if topology.count == 0 || topology.index >= topology.count {
+        return Err(CheckpointError::Corrupt("shard topology out of range"));
+    }
+    let start = r.u32()?;
+    let next_id = r.u32()?;
+    if start > next_id {
+        return Err(CheckpointError::Corrupt("shard start above watermark"));
+    }
+    if next_id > topology.fleet_phones {
+        return Err(CheckpointError::Corrupt("watermark beyond fleet"));
+    }
+    let names = read_names(&mut r)?;
+    let accs = read_accs(&mut r, registry)?;
+    // v2 shard section: pending out-of-order runs, validated as
+    // disjoint and ascending above the absorbed watermark.
+    let n_shards = r.usize()?;
+    let mut pending = BTreeMap::new();
+    let mut watermark = next_id;
+    for _ in 0..n_shards {
+        let start = r.u32()?;
+        let end = r.u32()?;
+        if start < watermark || end <= start {
+            return Err(CheckpointError::Corrupt("shard ids overlap or regress"));
+        }
+        let shard = FoldShard {
+            start,
+            end,
+            names: read_names(&mut r)?,
+            accs: read_accs(&mut r, registry)?,
+        };
+        watermark = end;
+        pending.insert(start, shard);
+    }
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Corrupt("trailing bytes after shards"));
+    }
+    Ok(ParsedCheckpoint {
+        topology,
+        start,
+        next_id,
+        names,
+        accs,
+        pending,
+    })
+}
+
+/// What [`load_shard_checkpoint`] learned about one merge input: the
+/// shard topology its writer recorded and the phone interval
+/// `[start, end)` the file actually covers (`end < ` the formula
+/// interval's high end means the shard was interrupted mid-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Topology recorded by the writing process.
+    pub topology: ShardTopology,
+    /// First phone id the checkpoint covers.
+    pub start: u32,
+    /// One past the last phone id the checkpoint covers.
+    pub end: u32,
+}
+
+impl ShardInfo {
+    /// The covered interval `[start, end)`.
+    pub fn covered(&self) -> (u32, u32) {
+        (self.start, self.end)
+    }
+}
+
+/// Decodes one shard checkpoint into a mergeable [`FoldShard`],
+/// applying the full resume-grade validation chain (magic, version,
+/// checksum, registry, config, campaign) but accepting any shard
+/// topology — topology consistency across *all* inputs is
+/// [`merge_shard_checkpoints`]'s job. Files carrying a pending-shard
+/// section are refused: a merge input must be a finished slice, not a
+/// mid-run full-state capture.
+pub fn load_shard_checkpoint(
+    registry: &PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    bytes: &[u8],
+) -> Result<(ShardInfo, FoldShard), CheckpointError> {
+    let parsed = parse_checkpoint(registry, config, campaign_fingerprint, bytes)?;
+    if !parsed.pending.is_empty() {
+        return Err(CheckpointError::Corrupt(
+            "merge input carries pending shards",
+        ));
+    }
+    let info = ShardInfo {
+        topology: parsed.topology,
+        start: parsed.start,
+        end: parsed.next_id,
+    };
+    let shard = FoldShard {
+        start: parsed.start,
+        end: parsed.next_id,
+        names: parsed.names,
+        accs: parsed.accs,
+    };
+    Ok((info, shard))
+}
+
+/// Proves a set of shard checkpoints forms one exact cover of the
+/// fleet: consistent `(count, fleet_phones)` topology, no duplicated
+/// shard index, and covered intervals that chain from phone 0 to
+/// `fleet_phones` with no overlap and no gap. Validation order:
+/// topology consistency, duplicates, then the interval walk — so a
+/// doubly-supplied file reports [`MergeError::DuplicateShard`], not
+/// the overlap its intervals would also trigger.
+pub fn validate_shard_cover(infos: &[ShardInfo]) -> Result<(), MergeError> {
+    let first = infos.first().ok_or(MergeError::NoInputs)?;
+    let expected = (first.topology.count, first.topology.fleet_phones);
+    for info in infos {
+        let found = (info.topology.count, info.topology.fleet_phones);
+        if found != expected {
+            return Err(MergeError::TopologyMismatch { found, expected });
+        }
+    }
+    let mut indices: Vec<u32> = infos.iter().map(|i| i.topology.index).collect();
+    indices.sort_unstable();
+    for pair in indices.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(MergeError::DuplicateShard { index: pair[0] });
+        }
+    }
+    let mut sorted: Vec<&ShardInfo> = infos.iter().collect();
+    sorted.sort_by_key(|i| (i.start, i.end));
+    let mut prev: Option<&ShardInfo> = None;
+    let mut cursor = 0u32;
+    for info in sorted {
+        if info.start > cursor {
+            return Err(MergeError::CoverageGap {
+                from: cursor,
+                to: info.start,
+            });
+        }
+        if info.start < cursor {
+            return Err(MergeError::Overlap {
+                a: prev.expect("cursor > 0 implies a prior interval").covered(),
+                b: info.covered(),
+            });
+        }
+        cursor = info.end;
+        prev = Some(info);
+    }
+    if cursor < expected.1 {
+        return Err(MergeError::CoverageGap {
+            from: cursor,
+            to: expected.1,
+        });
+    }
+    Ok(())
+}
+
+/// Merges the checkpoints written by `N` independent `--shard i/N`
+/// processes into one whole-fleet [`StreamMerger`] — the
+/// `repro merge-checkpoints` core. Each input is validated against
+/// the merging run's registry/config/campaign
+/// ([`load_shard_checkpoint`]), the set is proven to cover the fleet
+/// exactly once ([`validate_shard_cover`]), and the shards are
+/// reduced pairwise through [`tree_merge_shards`] — the same
+/// associative `merge_acc` + interner-remap machinery the in-process
+/// sharded driver uses, which is why the merged report is
+/// byte-identical to a single-process run for any shard count and any
+/// partition.
+pub fn merge_shard_checkpoints<'r>(
+    registry: &'r PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    inputs: &[Vec<u8>],
+) -> Result<StreamMerger<'r>, MergeError> {
+    if inputs.is_empty() {
+        return Err(MergeError::NoInputs);
+    }
+    let mut infos = Vec::with_capacity(inputs.len());
+    let mut shards = Vec::with_capacity(inputs.len());
+    for (input, bytes) in inputs.iter().enumerate() {
+        let (info, shard) = load_shard_checkpoint(registry, config, campaign_fingerprint, bytes)
+            .map_err(|error| MergeError::Input { input, error })?;
+        infos.push(info);
+        shards.push(shard);
+    }
+    validate_shard_cover(&infos)?;
+    let mut merger = StreamMerger::new(registry, config);
+    // Zero-width shards (a shard count above the fleet size leaves
+    // some processes with an empty interval) contribute nothing.
+    shards.retain(|s| !s.is_empty());
+    if let Some(merged) = tree_merge_shards(registry, shards) {
+        merger.push_shard(merged);
+    }
+    Ok(merger)
 }
 
 fn write_names(w: &mut ByteWriter, names: &NameTable) {
@@ -1825,6 +2068,10 @@ mod tests {
     use symfail_symbian::panic::codes;
     use symfail_symbian::Panic;
 
+    /// Topology the snapshot tests write and expect back: a solo run
+    /// over a fleet comfortably larger than any id they absorb.
+    const TOPO: ShardTopology = ShardTopology::solo(100);
+
     fn fold_for(registry: &PassRegistry, config: AnalysisConfig, id: u32) -> PhoneFolds {
         let phone = PhoneDataset::new(id, Vec::new(), Vec::new());
         registry.fold_phone(&PhoneLens::new(&phone, config, registry.needs_coalesce()))
@@ -1995,20 +2242,20 @@ mod tests {
         merger.push_shard(shard_of(&registry, config, 4..6)); // buffered
         assert_eq!(merger.pending_len(), 2);
 
-        let plain = merger.snapshot(7);
-        let full = merger.snapshot_with_pending(7);
+        let plain = merger.snapshot(7, TOPO);
+        let full = merger.snapshot_with_pending(7, TOPO);
         assert!(
             full.len() > plain.len(),
             "pending shards must add bytes only to the full capture"
         );
 
         // The plain snapshot resumes with the pending shards dropped…
-        let resumed = StreamMerger::resume(&registry, config, 7, &plain).unwrap();
+        let resumed = StreamMerger::resume(&registry, config, 7, TOPO, &plain).unwrap();
         assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 0));
 
         // …the full capture resumes with them intact: filling the gap
         // renders byte-identically to an uninterrupted serial merge.
-        let mut resumed = StreamMerger::resume(&registry, config, 7, &full).unwrap();
+        let mut resumed = StreamMerger::resume(&registry, config, 7, TOPO, &full).unwrap();
         assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 2));
         resumed.push_shard(shard_of(&registry, config, 2..4));
         assert_eq!(resumed.absorbed(), 6);
@@ -2026,8 +2273,8 @@ mod tests {
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
         merger.push(busy_fold(&registry, config, 1));
-        let bytes = merger.snapshot(7);
-        let mut resumed = StreamMerger::resume(&registry, config, 7, &bytes).unwrap();
+        let bytes = merger.snapshot(7, TOPO);
+        let mut resumed = StreamMerger::resume(&registry, config, 7, TOPO, &bytes).unwrap();
         assert_eq!(resumed.absorbed(), 2);
         assert_eq!(resumed.names(), merger.names());
         assert_eq!(resumed.mtbf_estimate(), merger.mtbf_estimate());
@@ -2053,19 +2300,19 @@ mod tests {
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let bytes = merger.snapshot(1);
+        let bytes = merger.snapshot(1, TOPO);
 
         let mut bad = bytes.clone();
         bad[0] ^= 0xff;
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
             Some(CheckpointError::BadMagic)
         );
 
         let mut bad = bytes.clone();
         bad[8] = 99; // schema version little-endian low byte
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
             Some(CheckpointError::SchemaVersion {
                 found: 99,
                 expected: CHECKPOINT_SCHEMA_VERSION,
@@ -2073,7 +2320,7 @@ mod tests {
         );
 
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, &bytes[..10]).err(),
+            StreamMerger::resume(&registry, config, 1, TOPO, &bytes[..10]).err(),
             Some(CheckpointError::Truncated)
         );
 
@@ -2081,7 +2328,7 @@ mod tests {
         let mid = bad.len() / 2;
         bad[mid] ^= 0x10;
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
             Some(CheckpointError::Checksum),
             "any payload bit flip must fail the checksum"
         );
@@ -2093,11 +2340,11 @@ mod tests {
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let bytes = merger.snapshot(1);
+        let bytes = merger.snapshot(1, TOPO);
 
         let subset = PassRegistry::select("mtbf").unwrap();
         assert!(matches!(
-            StreamMerger::resume(&subset, config, 1, &bytes),
+            StreamMerger::resume(&subset, config, 1, TOPO, &bytes),
             Err(CheckpointError::RegistryMismatch { .. })
         ));
 
@@ -2106,15 +2353,187 @@ mod tests {
             ..config
         };
         assert_eq!(
-            StreamMerger::resume(&registry, other_config, 1, &bytes).err(),
+            StreamMerger::resume(&registry, other_config, 1, TOPO, &bytes).err(),
             Some(CheckpointError::ConfigMismatch)
         );
 
         assert_eq!(
-            StreamMerger::resume(&registry, config, 2, &bytes).err(),
+            StreamMerger::resume(&registry, config, 2, TOPO, &bytes).err(),
             Some(CheckpointError::CampaignMismatch {
                 found: 1,
                 expected: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn resume_rejects_shard_topology_mismatch() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push(busy_fold(&registry, config, 0));
+        let bytes = merger.snapshot(1, TOPO);
+
+        // Same fleet, different split: resuming a solo checkpoint in a
+        // `--shard 0/2` process must be refused.
+        let other = ShardTopology {
+            index: 0,
+            count: 2,
+            fleet_phones: TOPO.fleet_phones,
+        };
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, other, &bytes).err(),
+            Some(CheckpointError::ShardMismatch {
+                found: TOPO,
+                expected: other,
+            })
+        );
+    }
+
+    #[test]
+    fn shard_scoped_merger_starts_at_origin_and_drops_below_origin_pushes() {
+        let registry = PassRegistry::select("defects").unwrap();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new_at(&registry, config, 3);
+        assert_eq!((merger.origin(), merger.absorbed()), (3, 3));
+        merger.push(fold_for(&registry, config, 1)); // below origin: stale
+        assert_eq!((merger.absorbed(), merger.pending_len()), (3, 0));
+        merger.push(fold_for(&registry, config, 3));
+        merger.push(fold_for(&registry, config, 4));
+        assert_eq!(merger.absorbed(), 5);
+        let report = merger.finish();
+        assert_eq!(report.defects.per_phone.len(), 2, "phones 3 and 4 only");
+    }
+
+    /// Snapshots `ids` as the shard `index` of `count` over a
+    /// `fleet`-phone campaign, via a shard-scoped merger.
+    fn shard_snapshot(
+        registry: &PassRegistry,
+        config: AnalysisConfig,
+        fingerprint: u64,
+        ids: std::ops::Range<u32>,
+        index: u32,
+        count: u32,
+        fleet: u32,
+    ) -> Vec<u8> {
+        let mut merger = StreamMerger::new_at(registry, config, ids.start);
+        for id in ids {
+            merger.push(busy_fold(registry, config, id));
+        }
+        let topology = ShardTopology {
+            index,
+            count,
+            fleet_phones: fleet,
+        };
+        merger.snapshot(fingerprint, topology)
+    }
+
+    #[test]
+    fn merge_shard_checkpoints_matches_serial_for_uneven_partitions() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let fleet = 7u32;
+
+        let mut serial = StreamMerger::new(&registry, config);
+        for id in 0..fleet {
+            serial.push(busy_fold(&registry, config, id));
+        }
+        let expected = rendered(&serial.finish());
+
+        // An uneven hand-built partition (not the formula intervals),
+        // supplied out of order.
+        let inputs = vec![
+            shard_snapshot(&registry, config, 9, 5..7, 2, 3, fleet),
+            shard_snapshot(&registry, config, 9, 0..1, 0, 3, fleet),
+            shard_snapshot(&registry, config, 9, 1..5, 1, 3, fleet),
+        ];
+        let merger = merge_shard_checkpoints(&registry, config, 9, &inputs).unwrap();
+        assert_eq!(merger.absorbed(), fleet);
+        assert_eq!(rendered(&merger.finish()), expected);
+    }
+
+    #[test]
+    fn merge_rejects_gap_overlap_duplicate_and_bad_inputs() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let fleet = 6u32;
+        let snap = |ids: std::ops::Range<u32>, index: u32| {
+            shard_snapshot(&registry, config, 9, ids, index, 3, fleet)
+        };
+
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 9, &[]).err(),
+            Some(MergeError::NoInputs)
+        );
+
+        // Missing middle shard: the walk stops at the first gap.
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), snap(4..6, 2)]).err(),
+            Some(MergeError::CoverageGap { from: 2, to: 4 })
+        );
+
+        // Missing tail shard.
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), snap(2..4, 1)]).err(),
+            Some(MergeError::CoverageGap { from: 4, to: 6 })
+        );
+
+        // Overlapping covered intervals (distinct indices, so the
+        // interval walk — not the duplicate check — catches it).
+        assert_eq!(
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                9,
+                &[snap(0..3, 0), snap(2..6, 1), snap(5..6, 2)],
+            )
+            .err(),
+            Some(MergeError::Overlap {
+                a: (0, 3),
+                b: (2, 6)
+            })
+        );
+
+        // The same shard file twice.
+        assert_eq!(
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                9,
+                &[snap(0..2, 0), snap(0..2, 0), snap(2..6, 1)],
+            )
+            .err(),
+            Some(MergeError::DuplicateShard { index: 0 })
+        );
+
+        // Inputs from different splits of the same fleet.
+        let other_split = shard_snapshot(&registry, config, 9, 2..6, 1, 2, fleet);
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), other_split]).err(),
+            Some(MergeError::TopologyMismatch {
+                found: (2, fleet),
+                expected: (3, fleet),
+            })
+        );
+
+        // A wrong-campaign input is reported with its argv position.
+        assert_eq!(
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                1,
+                &[
+                    shard_snapshot(&registry, config, 1, 0..2, 0, 3, fleet),
+                    snap(2..6, 1),
+                ],
+            )
+            .err(),
+            Some(MergeError::Input {
+                input: 1,
+                error: CheckpointError::CampaignMismatch {
+                    found: 9,
+                    expected: 1,
+                },
             })
         );
     }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use symfail_core::analysis::checkpoint::{fnv1a64, CheckpointError};
+use symfail_core::analysis::checkpoint::{fnv1a64, CheckpointError, ShardTopology};
 use symfail_core::analysis::dataset::{FleetDataset, ParseScratch, PhoneDataset};
 use symfail_core::analysis::mtbf::MtbfAnalysis;
 use symfail_core::analysis::passes::{
@@ -131,9 +131,48 @@ pub struct StreamingOptions {
     /// Reads a monotonically-increasing allocation counter for the
     /// *calling thread* (e.g. a thread-local inside the binary's
     /// counting allocator). Sampled at worker start and end to
-    /// attribute allocator traffic per worker in
+    /// attribute worker traffic per worker in
     /// [`WorkerStats::alloc_calls`].
     pub alloc_counter: Option<fn() -> u64>,
+    /// Run only shard `index` of `count`: the process simulates and
+    /// folds just its contiguous slice of the phone-id space
+    /// ([`ShardTopology::interval`]) while per-phone RNG forks stay
+    /// identical to a full run — phone `i` depends only on
+    /// `(seed, i)`, never on which process simulates it. The written
+    /// checkpoint records the topology so `merge-checkpoints` can
+    /// stitch N such slices into the whole-fleet report.
+    pub shard: Option<ShardSpec>,
+}
+
+/// Which slice of the fleet this process owns: shard `index` of
+/// `count` (phone counts come from the campaign, see
+/// [`ShardTopology`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's shard number, `0 <= index < count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `i/N` (e.g. `2/4`), requiring `i < N` and
+    /// `N >= 1`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (index, count) = s.split_once('/')?;
+        let index = index.parse().ok()?;
+        let count = count.parse().ok()?;
+        (count >= 1 && index < count).then_some(Self { index, count })
+    }
+
+    /// The topology of this shard over a `fleet_phones`-phone campaign.
+    pub fn topology(self, fleet_phones: u32) -> ShardTopology {
+        ShardTopology {
+            index: self.index,
+            count: self.count,
+            fleet_phones,
+        }
+    }
 }
 
 /// Which merge discipline [`FleetCampaign::run_streaming_opts`] uses.
@@ -205,6 +244,7 @@ fn on_boundary(
     m: &StreamMerger<'_>,
     opts: &StreamingOptions,
     fingerprint: u64,
+    topology: ShardTopology,
     trace: &mut Vec<(u32, MtbfAnalysis)>,
     write_error: &mut Option<CheckpointError>,
 ) {
@@ -219,7 +259,7 @@ fn on_boundary(
     }
     if write_error.is_none() {
         if let Some(path) = &opts.checkpoint {
-            if let Err(e) = write_atomic(path, &m.snapshot(fingerprint)) {
+            if let Err(e) = write_atomic(path, &m.snapshot(fingerprint, topology)) {
                 *write_error = Some(e);
             }
         }
@@ -552,18 +592,25 @@ impl FleetCampaign {
     ) -> Result<StreamingRun, CheckpointError> {
         let phones = self.params.phones;
         let fingerprint = self.fingerprint();
-        let mut merger = StreamMerger::new(registry, config);
+        let topology = match opts.shard {
+            Some(spec) => spec.topology(phones),
+            None => ShardTopology::solo(phones),
+        };
+        // The slice of the id space this process owns — the whole
+        // fleet for a solo run.
+        let (lo, hi) = topology.interval();
+        let mut merger = StreamMerger::new_at(registry, config, lo);
         let mut resumed_from = None;
         if let Some(path) = &opts.checkpoint {
             if path.exists() {
                 let bytes = std::fs::read(path)
                     .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
-                merger = StreamMerger::resume(registry, config, fingerprint, &bytes)?;
+                merger = StreamMerger::resume(registry, config, fingerprint, topology, &bytes)?;
                 resumed_from = Some(merger.absorbed());
             }
         }
-        let start = merger.absorbed().min(phones);
-        let stop = opts.stop_after_phones.unwrap_or(phones).min(phones);
+        let start = merger.absorbed().clamp(lo, hi);
+        let stop = opts.stop_after_phones.unwrap_or(hi).min(hi);
         let needs_coalesce = registry.needs_coalesce();
 
         struct MergeState<'r> {
@@ -623,7 +670,14 @@ impl FleetCampaign {
                                             write_error,
                                         } = &mut *guard;
                                         merger.push_each(folds, |m| {
-                                            on_boundary(m, opts, fingerprint, trace, write_error)
+                                            on_boundary(
+                                                m,
+                                                opts,
+                                                fingerprint,
+                                                topology,
+                                                trace,
+                                                write_error,
+                                            )
                                         });
                                         drop(guard);
                                         ws.merge_wait_seconds += t1.elapsed().as_secs_f64();
@@ -700,7 +754,14 @@ impl FleetCampaign {
                                             write_error,
                                         } = &mut *guard;
                                         merger.push_shard_each(shard, |m| {
-                                            on_boundary(m, opts, fingerprint, trace, write_error)
+                                            on_boundary(
+                                                m,
+                                                opts,
+                                                fingerprint,
+                                                topology,
+                                                trace,
+                                                write_error,
+                                            )
                                         });
                                         drop(guard);
                                         ws.merge_wait_seconds += t1.elapsed().as_secs_f64();
@@ -728,7 +789,7 @@ impl FleetCampaign {
         // at exactly `stop` (the kill-point contract), a completed run
         // leaves one that resumes into an immediate finish.
         if let Some(path) = &opts.checkpoint {
-            write_atomic(path, &st.merger.snapshot(fingerprint))?;
+            write_atomic(path, &st.merger.snapshot(fingerprint, topology))?;
         }
         if opts.mtbf_trace {
             let absorbed = st.merger.absorbed();

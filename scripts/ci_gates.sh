@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# The tier-1 byte-identity, throughput and crash-resume gates, shared
+# verbatim between CI (the tier1 job) and local runs
+# (`scripts/tier1.sh --gates`). Everything the gates produce — reports,
+# timing dumps, checkpoints — lives in a private temp directory removed
+# on exit, so an aborted gate never litters the working tree the way
+# the old inline ci.yml steps littered the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+SEED="${SEED:-2005}"
+PHONES="${PHONES:-250}"
+DAYS="${DAYS:-60}"
+WORKERS="${WORKERS:-13}"
+# 2x the pre-sharding 250-phone parse rate (40.26 MB/s at PR 5) — the
+# anti-cliff contract inherited from the sharded-merger PR.
+MBPS_FLOOR="${MBPS_FLOOR:-80.52}"
+
+cargo build --release -p symfail-bench --bin repro >/dev/null
+BIN="$ROOT/target/release/repro"
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/symfail-gates.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+echo "ci_gates: streaming vs batch byte identity ($PHONES phones, worst corruption)" >&2
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine batch --corruption worst > report_batch.txt
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" > report_stream.txt
+cmp report_batch.txt report_stream.txt
+
+echo "ci_gates: sharded vs serial merge byte identity" >&2
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" \
+    --merge serial > report_serial.txt
+cmp report_stream.txt report_serial.txt
+
+echo "ci_gates: streaming parse throughput floor ($MBPS_FLOOR MB/s)" >&2
+"$BIN" --exp defects --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --workers 1 --timing-json stream_250.json > /dev/null
+awk -F'[:,]' -v floor="$MBPS_FLOOR" '/"parse_seconds":/ { s = $2 + 0 }
+    /"parse_bytes":/ { b = $2 + 0 }
+    END {
+      mbps = (s > 0) ? b / s / 1048576 : 0
+      printf "ci_gates: streaming parse: %.2f MB/s (floor %s)\n", mbps, floor
+      exit !(mbps >= floor)
+    }' stream_250.json >&2
+
+echo "ci_gates: checkpoint interrupt/resume byte identity (kill at phone 97)" >&2
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" \
+    --checkpoint ckpt.bin --checkpoint-every 10 --stop-after 97 > /dev/null
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" \
+    --checkpoint ckpt.bin --mtbf-trace-json mtbf_trace.json > report_resumed.txt
+cmp report_stream.txt report_resumed.txt
+grep -q '"resumed_from": 97' mtbf_trace.json
+
+echo "ci_gates: 4-process shard merge byte identity" >&2
+for i in 0 1 2 3; do
+    "$BIN" --exp targets --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+        --engine streaming --corruption worst \
+        --shard "$i/4" --checkpoint "shard$i.bin" > /dev/null
+done
+"$BIN" merge-checkpoints merged.bin shard0.bin shard1.bin shard2.bin shard3.bin \
+    --seed "$SEED" --phones "$PHONES" --days "$DAYS" --corruption worst \
+    > report_merged.txt
+cmp report_stream.txt report_merged.txt
+
+echo "ci_gates: all gates passed" >&2

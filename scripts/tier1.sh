@@ -10,8 +10,17 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
-# The crash-resume harness is the tier-1 gate for checkpointed
-# campaigns; run it by name so a test filter or workspace change can
-# never silently drop it.
+# The crash-resume harness and the multi-process merge harness are
+# the tier-1 gates for checkpointed campaigns; run them by name so a
+# test filter or workspace change can never silently drop them.
 cargo test -q --test checkpoint_resume
+cargo test -q --test merge_checkpoints
 cargo bench --workspace -- --test
+
+# `--gates` additionally runs the CI byte-identity/throughput/resume
+# gates (the exact script the tier1 CI job runs). fmt and clippy above
+# already failed fast if CI's lint job would — so a green
+# `tier1.sh --gates` is a green CI, minus the runner.
+if [ "${1:-}" = "--gates" ]; then
+    scripts/ci_gates.sh
+fi

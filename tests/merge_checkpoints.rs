@@ -1,0 +1,403 @@
+//! Multi-process campaign sharding via checkpoint merge.
+//!
+//! The contract under test: run shard `i/N` of a campaign in its own
+//! driver invocation (its own process, in CI), each writing a schema-v3
+//! checkpoint that records its shard topology — then merge the N files
+//! with [`merge_shard_checkpoints`] and demand the rendered study is
+//! byte-identical to a single-process streaming run, for any N and any
+//! partition of the phone-id space. Plus the refusal matrix: coverage
+//! gaps, duplicated files, overlapping intervals, and inputs from a
+//! different campaign/config/registry must all be rejected with the
+//! right error, never silently merged.
+
+use std::ops::Range;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use proptest::test_runner::Config as ProptestConfig;
+
+use symfail::core::analysis::checkpoint::{CheckpointError, MergeError, ShardTopology};
+use symfail::core::analysis::dataset::PhoneDataset;
+use symfail::core::analysis::passes::{
+    merge_shard_checkpoints, PassRegistry, PhoneLens, StreamMerger,
+};
+use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+use symfail::core::records::{LogRecord, PanicRecord};
+use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::corruption::CorruptionProfile;
+use symfail::phone::fleet::{FleetCampaign, ShardSpec, StreamingOptions};
+use symfail::sim::{SimDuration, SimTime};
+use symfail::symbian::panic::{codes, Panic};
+use symfail::symbian::servers::logdb::ActivityKind;
+
+const SEED: u64 = 7117;
+const PHONES: u32 = 13;
+
+/// A 13-phone campaign small enough to replay per shard count, with
+/// failure rates accelerated so every pass accumulates real state.
+fn params() -> CalibrationParams {
+    CalibrationParams {
+        phones: PHONES,
+        campaign_days: 30,
+        enrollment_spread_days: 5,
+        attrition_spread_days: 5,
+        background_episode_rate_per_hour: 0.01,
+        isolated_freeze_rate_per_hour: 0.01,
+        isolated_self_shutdown_rate_per_hour: 0.012,
+        ..CalibrationParams::default()
+    }
+}
+
+fn campaign(seed: u64, corruption: CorruptionProfile) -> FleetCampaign {
+    FleetCampaign::new(seed, params()).with_corruption(corruption)
+}
+
+fn render(report: &StudyReport) -> String {
+    report.render_all() + &report.render_per_phone()
+}
+
+/// Unique checkpoint path per (test, scenario): tests run in parallel
+/// and a shared file would cross-resume between scenarios.
+fn ckpt_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("symfail-merge-{}-{tag}.bin", std::process::id()))
+}
+
+/// Runs shard `index`/`count` of the campaign through the real
+/// streaming driver — exactly what one `repro --shard i/N` process
+/// does — and returns the checkpoint bytes it wrote.
+fn shard_ckpt(seed: u64, corruption: CorruptionProfile, index: u32, count: u32) -> Vec<u8> {
+    let tag = format!("{seed}-{}-{index}of{count}", corruption.as_str());
+    let path = ckpt_path(&tag);
+    let _ = std::fs::remove_file(&path);
+    let opts = StreamingOptions {
+        checkpoint: Some(path.clone()),
+        shard: Some(ShardSpec { index, count }),
+        ..StreamingOptions::default()
+    };
+    campaign(seed, corruption)
+        .run_streaming_opts(2, AnalysisConfig::default(), &PassRegistry::all(), &opts)
+        .unwrap_or_else(|e| panic!("shard {index}/{count} run failed: {e}"));
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// For each shard count — including one larger than the fleet, which
+/// produces empty shards — merge the N driver-written checkpoints and
+/// demand the single-process streaming report, byte for byte. The
+/// merged merger must also snapshot into a whole-fleet checkpoint that
+/// resumes cleanly.
+fn merged_shards_match_single_process(corruption: CorruptionProfile) {
+    let registry = PassRegistry::all();
+    let config = AnalysisConfig::default();
+    let baseline = render(
+        &campaign(SEED, corruption)
+            .run_streaming(4, config, &registry)
+            .report,
+    );
+    let fingerprint = campaign(SEED, corruption).fingerprint();
+    for count in [2u32, 4, 8, 16] {
+        let inputs: Vec<Vec<u8>> = (0..count)
+            .map(|i| shard_ckpt(SEED, corruption, i, count))
+            .collect();
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+            .unwrap_or_else(|e| panic!("{count}-way merge failed: {e}"));
+        assert_eq!(
+            merger.absorbed(),
+            PHONES,
+            "{count}-way merge must cover the fleet"
+        );
+
+        let solo = ShardTopology::solo(PHONES);
+        let merged_ckpt = merger.snapshot(fingerprint, solo);
+        let resumed = StreamMerger::resume(&registry, config, fingerprint, solo, &merged_ckpt)
+            .unwrap_or_else(|e| panic!("{count}-way merged checkpoint refused on resume: {e}"));
+        assert_eq!(
+            render(&resumed.finish()),
+            baseline,
+            "{count}-way merged checkpoint resumes to different bytes"
+        );
+        assert_eq!(
+            render(&merger.finish()),
+            baseline,
+            "{count}-way merge differs from single process"
+        );
+    }
+}
+
+#[test]
+fn merged_shard_checkpoints_match_single_process() {
+    merged_shards_match_single_process(CorruptionProfile::None);
+}
+
+#[test]
+fn merged_shard_checkpoints_match_single_process_under_worst_corruption() {
+    merged_shards_match_single_process(CorruptionProfile::Worst);
+}
+
+/// Folds `ids` into a shard-scoped merger and snapshots it under a
+/// hand-chosen topology — for refusal cases the formula-driven driver
+/// cannot produce (overlaps).
+fn hand_ckpt(
+    registry: &PassRegistry,
+    config: AnalysisConfig,
+    fingerprint: u64,
+    ids: Range<u32>,
+    index: u32,
+    count: u32,
+    fleet_phones: u32,
+) -> Vec<u8> {
+    let mut merger = StreamMerger::new_at(registry, config, ids.start);
+    for id in ids {
+        let phone = PhoneDataset::new(id, Vec::new(), Vec::new());
+        let lens = PhoneLens::new(&phone, config, registry.needs_coalesce());
+        merger.push(registry.fold_phone(&lens));
+    }
+    merger.snapshot(
+        fingerprint,
+        ShardTopology {
+            index,
+            count,
+            fleet_phones,
+        },
+    )
+}
+
+/// `expect_err` needs `Debug` on the success arm, which
+/// [`StreamMerger`] deliberately does not implement.
+fn must_fail(result: Result<StreamMerger<'_>, MergeError>, what: &str) -> MergeError {
+    match result {
+        Err(e) => e,
+        Ok(_) => panic!("{what}: merge unexpectedly succeeded"),
+    }
+}
+
+#[test]
+fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
+    let registry = PassRegistry::all();
+    let config = AnalysisConfig::default();
+    let fingerprint = campaign(SEED, CorruptionProfile::None).fingerprint();
+    let shards: Vec<Vec<u8>> = (0..4)
+        .map(|i| shard_ckpt(SEED, CorruptionProfile::None, i, 4))
+        .collect();
+
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fingerprint, &[]),
+        "empty input list must be refused",
+    );
+    assert_eq!(err, MergeError::NoInputs);
+
+    // Shard 2 missing: the gap reported is exactly its interval.
+    let missing = [shards[0].clone(), shards[1].clone(), shards[3].clone()];
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fingerprint, &missing),
+        "coverage gap must be refused",
+    );
+    let (hole_from, hole_to) = ShardTopology {
+        index: 2,
+        count: 4,
+        fleet_phones: PHONES,
+    }
+    .interval();
+    assert_eq!(
+        err,
+        MergeError::CoverageGap {
+            from: hole_from,
+            to: hole_to
+        }
+    );
+
+    // The same file supplied twice is a duplicate, not an overlap.
+    let doubled = [
+        shards[0].clone(),
+        shards[1].clone(),
+        shards[1].clone(),
+        shards[2].clone(),
+        shards[3].clone(),
+    ];
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fingerprint, &doubled),
+        "duplicated shard file must be refused",
+    );
+    assert_eq!(err, MergeError::DuplicateShard { index: 1 });
+
+    // A shard of a different campaign (different seed) names the
+    // offending input position.
+    let mut foreign = shards.clone();
+    foreign[2] = shard_ckpt(SEED + 1, CorruptionProfile::None, 2, 4);
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fingerprint, &foreign),
+        "foreign campaign must be refused",
+    );
+    assert!(
+        matches!(
+            err,
+            MergeError::Input {
+                input: 2,
+                error: CheckpointError::CampaignMismatch { .. }
+            }
+        ),
+        "wrong error: {err}"
+    );
+
+    // Skewed analysis config and a narrower pass registry are both
+    // per-input checkpoint failures.
+    let skewed = AnalysisConfig {
+        coalescence_window: config.coalescence_window + SimDuration::from_secs(1),
+        ..config
+    };
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, skewed, fingerprint, &shards),
+        "config mismatch must be refused",
+    );
+    assert!(
+        matches!(
+            err,
+            MergeError::Input {
+                input: 0,
+                error: CheckpointError::ConfigMismatch
+            }
+        ),
+        "wrong error: {err}"
+    );
+    let subset = PassRegistry::select("mtbf,panics").unwrap();
+    let err = must_fail(
+        merge_shard_checkpoints(&subset, config, fingerprint, &shards),
+        "registry mismatch must be refused",
+    );
+    assert!(
+        matches!(
+            err,
+            MergeError::Input {
+                input: 0,
+                error: CheckpointError::RegistryMismatch { .. }
+            }
+        ),
+        "wrong error: {err}"
+    );
+
+    // Overlapping intervals (only constructible by hand: the driver's
+    // formula partition is always disjoint).
+    let fp = 0xFEED_F00D;
+    let overlapping = [
+        hand_ckpt(&registry, config, fp, 0..3, 0, 2, 6),
+        hand_ckpt(&registry, config, fp, 2..6, 1, 2, 6),
+    ];
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fp, &overlapping),
+        "overlapping intervals must be refused",
+    );
+    assert_eq!(
+        err,
+        MergeError::Overlap {
+            a: (0, 3),
+            b: (2, 6)
+        }
+    );
+
+    // Inputs from different split shapes cannot be one campaign split.
+    let mixed = [
+        hand_ckpt(&registry, config, fp, 0..3, 0, 2, 6),
+        hand_ckpt(&registry, config, fp, 3..6, 1, 3, 6),
+    ];
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fp, &mixed),
+        "mixed topologies must be refused",
+    );
+    assert_eq!(
+        err,
+        MergeError::TopologyMismatch {
+            found: (3, 6),
+            expected: (2, 6)
+        }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// ANY contiguous partition of the phone-id space into k shard
+    /// checkpoints — uneven cuts, supplied in any order — merges to
+    /// the unsharded merger's bytes. This is the file-level twin of
+    /// the in-memory tree-merge partition property, run through the
+    /// full snapshot → validate → merge pipeline.
+    #[test]
+    fn any_partition_of_checkpoints_merges_to_the_unsharded_report(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u64..300_000, 0usize..5, 0usize..4, 10u8..100), 0..10),
+            1..9,
+        ),
+        raw_cuts in prop::collection::vec(1usize..9, 0..6),
+        order_sel in 0u8..3,
+    ) {
+        let apps = ["Messages", "Camera", "Clock", "Browser", "Log"];
+        let acts = [ActivityKind::VoiceCall, ActivityKind::Message, ActivityKind::DataSession];
+        let phones: Vec<PhoneDataset> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, recs)| {
+                let records: Vec<LogRecord> = recs
+                    .iter()
+                    .map(|&(t, app_ix, act_ix, battery)| LogRecord::Panic(PanicRecord {
+                        at: SimTime::from_secs(t),
+                        panic: Panic::new(codes::KERN_EXEC_3, apps[(app_ix + id) % apps.len()], "r"),
+                        running_apps: (0..app_ix)
+                            .map(|k| apps[(k + id) % apps.len()].to_string())
+                            .collect(),
+                        activity: acts.get(act_ix).copied(),
+                        battery,
+                    }))
+                    .collect();
+                PhoneDataset::new(id as u32, records, Vec::new())
+            })
+            .collect();
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let fingerprint = 0xD5A5_2007u64;
+
+        let unsharded = {
+            let mut merger = StreamMerger::new(&registry, config);
+            for phone in &phones {
+                let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                merger.push(registry.fold_phone(&lens));
+            }
+            render(&merger.finish())
+        };
+
+        // Arbitrary contiguous partition: dedup the cut set, keep the
+        // in-range cuts, bracket with 0 and phones.len().
+        let mut cuts: Vec<usize> = raw_cuts.into_iter().filter(|&c| c < phones.len()).collect();
+        cuts.push(0);
+        cuts.push(phones.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let count = (cuts.len() - 1) as u32;
+        let mut ckpts: Vec<Vec<u8>> = cuts
+            .windows(2)
+            .enumerate()
+            .map(|(index, w)| {
+                let mut merger = StreamMerger::new_at(&registry, config, w[0] as u32);
+                for phone in &phones[w[0]..w[1]] {
+                    let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                    merger.push(registry.fold_phone(&lens));
+                }
+                merger.snapshot(fingerprint, ShardTopology {
+                    index: index as u32,
+                    count,
+                    fleet_phones: phones.len() as u32,
+                })
+            })
+            .collect();
+        match order_sel {
+            1 => ckpts.reverse(),
+            2 => ckpts.sort_by_key(|b| b.len()),
+            _ => {}
+        }
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &ckpts)
+            .expect("a full disjoint cover must merge");
+        prop_assert_eq!(
+            unsharded,
+            render(&merger.finish()),
+            "partition {:?} changed the study", cuts
+        );
+    }
+}

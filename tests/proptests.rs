@@ -983,6 +983,7 @@ proptest! {
         ),
         split_sel in 0u32..u32::MAX,
     ) {
+        use symfail::core::analysis::checkpoint::ShardTopology;
         use symfail::core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
         use symfail::core::analysis::report::AnalysisConfig;
         let phones = checkpoint_phones(&specs);
@@ -993,6 +994,7 @@ proptest! {
             registry.fold_phone(&PhoneLens::new(p, config, registry.needs_coalesce()))
         };
         let fingerprint = 0xfeed_beef_u64;
+        let topology = ShardTopology::solo(phones.len() as u32);
 
         let mut direct = StreamMerger::new(&registry, config);
         let mut snapped = StreamMerger::new(&registry, config);
@@ -1000,8 +1002,8 @@ proptest! {
             direct.push(fold(p));
             snapped.push(fold(p));
         }
-        let bytes = snapped.snapshot(fingerprint);
-        let mut restored = StreamMerger::resume(&registry, config, fingerprint, &bytes)
+        let bytes = snapped.snapshot(fingerprint, topology);
+        let mut restored = StreamMerger::resume(&registry, config, fingerprint, topology, &bytes)
             .expect("own snapshot must restore");
         prop_assert_eq!(restored.absorbed(), split as u32);
         for p in &phones[split..] {
@@ -1030,28 +1032,30 @@ proptest! {
         mask in 1u8..=255,
         cut_sel in 0u32..u32::MAX,
     ) {
+        use symfail::core::analysis::checkpoint::ShardTopology;
         use symfail::core::analysis::passes::{PassRegistry, PhoneLens, StreamMerger};
         use symfail::core::analysis::report::AnalysisConfig;
         let phones = checkpoint_phones(&specs);
         let config = AnalysisConfig::default();
         let registry = PassRegistry::all();
+        let topology = ShardTopology::solo(phones.len() as u32);
         let mut merger = StreamMerger::new(&registry, config);
         for p in &phones {
             merger.push(registry.fold_phone(&PhoneLens::new(p, config, registry.needs_coalesce())));
         }
-        let bytes = merger.snapshot(7);
+        let bytes = merger.snapshot(7, topology);
 
         let mut flipped = bytes.clone();
         let pos = (pos_sel as usize) % flipped.len();
         flipped[pos] ^= mask;
-        let outcome = StreamMerger::resume(&registry, config, 7, &flipped);
+        let outcome = StreamMerger::resume(&registry, config, 7, topology, &flipped);
         prop_assert!(
             outcome.is_err(),
             "flipping byte {} with mask {:#04x} was not detected", pos, mask
         );
 
         let cut = (cut_sel as usize) % bytes.len();
-        let outcome = StreamMerger::resume(&registry, config, 7, &bytes[..cut]);
+        let outcome = StreamMerger::resume(&registry, config, 7, topology, &bytes[..cut]);
         prop_assert!(outcome.is_err(), "truncation to {} bytes was not detected", cut);
     }
 }
