@@ -11,9 +11,12 @@
 //!       [--timing-json PATH]
 //!       [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
 //!       [--mtbf-trace-json PATH] [--merge serial|sharded] [--run-len N]
-//!       [--shard i/N]
+//!       [--shard i/N] [--balance uniform|static|measured]
+//!       [--costs-json PATH]
 //! repro merge-checkpoints OUT IN1 IN2 ... [--seed N] [--phones N]
-//!       [--days N] [--corruption PROFILE] [--analyses LIST]
+//!       [--days N] [--corruption PROFILE] [--analyses LIST] [--partial]
+//! repro plan-shards --shards N [--balance MODE] [--costs-json PATH]
+//!       [--seed N] [--phones N] [--days N] [--corruption PROFILE]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -58,14 +61,29 @@
 //! `--shard i/N` makes the process simulate and fold only shard `i`
 //! of an `N`-way split of the phone-id space (per-phone RNG forks are
 //! unchanged, so phone `k`'s data is identical no matter which
-//! process runs it). The checkpoint it writes records the shard
-//! topology (schema v3), and `repro merge-checkpoints out.bin a.bin
-//! b.bin ...` validates N such checkpoints (same campaign, config and
-//! registry; intervals disjoint and jointly covering the fleet),
-//! tree-merges them, writes the merged whole-fleet checkpoint to
-//! `out.bin`, and prints the same report a single-process
-//! `--exp all --engine streaming` run prints — byte for byte, for any
-//! N and any partition.
+//! process runs it). `--balance` picks how the phone-id space is cut:
+//! `uniform` (the default) keeps the fixed `i/N` formula split;
+//! `static` runs the cost-balanced planner over per-phone cost
+//! estimates derived from the campaign config (enrollment window ×
+//! usage profile); `measured` balances on per-phone parse seconds
+//! read from a prior run's `--timing-json` file via `--costs-json`.
+//! All three modes produce byte-identical merged reports — only the
+//! cut points (and hence the critical path) move. `repro plan-shards`
+//! prints the planned cut table and predicted max-shard cost without
+//! running anything.
+//!
+//! The checkpoint a shard writes records the shard topology with its
+//! explicit `[start, end)` interval (schema v4 — v3 files are
+//! refused with a typed version error), and `repro merge-checkpoints
+//! out.bin a.bin b.bin ...` validates N such checkpoints (same
+//! campaign, config and registry; intervals disjoint and jointly
+//! covering the fleet), tree-merges them, writes the merged
+//! whole-fleet checkpoint to `out.bin`, and prints the same report a
+//! single-process `--exp all --engine streaming` run prints — byte
+//! for byte, for any N and any partition. `--partial` downgrades the
+//! jointly-covering requirement: a best-effort report is rendered
+//! from whatever shards are present, with every missing phone
+//! interval named, and the process exits zero.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -77,7 +95,7 @@ use symfail_core::analysis::bursts::BurstAnalysis;
 use symfail_core::analysis::checkpoint::ShardTopology;
 use symfail_core::analysis::dataset::FleetDataset;
 use symfail_core::analysis::mtbf::MtbfAnalysis;
-use symfail_core::analysis::passes::merge_shard_checkpoints;
+use symfail_core::analysis::passes::{merge_shard_checkpoints, merge_shard_checkpoints_partial};
 use symfail_core::analysis::passes::{MergeStats, PassRegistry};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::analysis::shutdown::ShutdownAnalysis;
@@ -90,6 +108,7 @@ use symfail_phone::corruption::CorruptionProfile;
 use symfail_phone::fleet::{
     harvest_metas, FleetCampaign, MergeMode, PhoneMeta, ShardSpec, StreamingOptions, WorkerStats,
 };
+use symfail_phone::plan::{BalanceMode, ShardPlan};
 use symfail_sim_core::SimDuration;
 
 /// A counting wrapper around the system allocator: lets
@@ -214,6 +233,29 @@ impl Engine {
     }
 }
 
+/// Which cost model the shard planner balances on (the CLI-facing
+/// selector; [`BalanceMode`] carries the resolved cost vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Balance {
+    /// Fixed `i/N` formula split (the pre-planner behaviour).
+    #[default]
+    Uniform,
+    /// Static per-phone cost estimates from the campaign config.
+    Static,
+    /// Measured per-phone parse seconds from a `--costs-json` file.
+    Measured,
+}
+
+impl Balance {
+    fn as_str(self) -> &'static str {
+        match self {
+            Balance::Uniform => "uniform",
+            Balance::Static => "static",
+            Balance::Measured => "measured",
+        }
+    }
+}
+
 struct Args {
     exp: String,
     seed: u64,
@@ -234,6 +276,8 @@ struct Args {
     merge: MergeMode,
     run_len: u32,
     shard: Option<ShardSpec>,
+    balance: Balance,
+    costs_json: Option<String>,
 }
 
 fn default_workers() -> usize {
@@ -263,9 +307,12 @@ fn parse_args() -> Result<Args, String> {
         merge: MergeMode::default(),
         run_len: 0,
         shard: None,
+        balance: Balance::default(),
+        costs_json: None,
     };
     let mut pipeline_set = false;
     let mut merge_set = false;
+    let mut balance_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -362,13 +409,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--run-len needs a positive phone count")?
             }
             "--shard" => {
-                args.shard = Some(
-                    it.next()
-                        .as_deref()
-                        .and_then(ShardSpec::parse)
-                        .ok_or("--shard needs i/N with i < N")?,
-                )
+                let spec = it.next().ok_or("--shard needs i/N (e.g. 2/4)")?;
+                args.shard = Some(ShardSpec::parse(&spec).map_err(|e| format!("--shard: {e}"))?)
             }
+            "--balance" => {
+                balance_set = true;
+                args.balance = parse_balance(it.next().as_deref())?
+            }
+            "--costs-json" => args.costs_json = Some(it.next().ok_or("--costs-json needs a path")?),
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
@@ -378,11 +426,16 @@ fn parse_args() -> Result<Args, String> {
                      [--defects-json PATH] [--timing-json PATH] \
                      [--checkpoint PATH] [--checkpoint-every N] \
                      [--stop-after N] [--mtbf-trace-json PATH] \
-                     [--merge serial|sharded] [--run-len N] [--shard i/N]\n\
+                     [--merge serial|sharded] [--run-len N] [--shard i/N] \
+                     [--balance uniform|static|measured] [--costs-json PATH]\n\
                      \x20      repro merge-checkpoints OUT IN1 IN2 ... \
                      [--seed N] [--phones N] [--days N] \
-                     [--corruption PROFILE] [--analyses LIST]\n\
-                     checkpoint/stop/trace/merge/shard flags need --engine streaming\n\
+                     [--corruption PROFILE] [--analyses LIST] [--partial]\n\
+                     \x20      repro plan-shards --shards N [--balance MODE] \
+                     [--costs-json PATH] [--seed N] [--phones N] [--days N] \
+                     [--corruption PROFILE]\n\
+                     checkpoint/stop/trace/merge/shard/balance flags need \
+                     --engine streaming\n\
                      --analyses takes a comma-list of pass names \
                      (default all): {}",
                     PassRegistry::NAMES.join(",")
@@ -406,10 +459,97 @@ fn parse_args() -> Result<Args, String> {
         return Err("--checkpoint, --checkpoint-every, --stop-after and \
                     --mtbf-trace-json need --engine streaming"
             .to_string());
-    } else if merge_set || args.run_len > 0 || args.shard.is_some() {
-        return Err("--merge, --run-len and --shard need --engine streaming".to_string());
+    } else if merge_set || args.run_len > 0 || args.shard.is_some() || balance_set {
+        return Err(
+            "--merge, --run-len, --shard and --balance need --engine streaming".to_string(),
+        );
+    }
+    if args.balance == Balance::Measured && args.costs_json.is_none() {
+        return Err("--balance measured needs --costs-json PATH".to_string());
+    }
+    if args.costs_json.is_some() && args.balance != Balance::Measured {
+        return Err("--costs-json only applies with --balance measured".to_string());
     }
     Ok(args)
+}
+
+fn parse_balance(v: Option<&str>) -> Result<Balance, String> {
+    match v {
+        Some("uniform") => Ok(Balance::Uniform),
+        Some("static") => Ok(Balance::Static),
+        Some("measured") => Ok(Balance::Measured),
+        other => Err(format!(
+            "--balance needs uniform, static or measured, got {other:?}"
+        )),
+    }
+}
+
+/// Resolves the CLI balance selector into a [`BalanceMode`], reading
+/// and validating the measured cost vector when one is named.
+fn balance_mode(
+    balance: Balance,
+    costs_json: Option<&str>,
+    phones: u32,
+) -> Result<BalanceMode, String> {
+    match balance {
+        Balance::Uniform => Ok(BalanceMode::Uniform),
+        Balance::Static => Ok(BalanceMode::Static),
+        Balance::Measured => {
+            let path = costs_json.ok_or("--balance measured needs --costs-json PATH")?;
+            Ok(BalanceMode::Measured(read_costs_json(path, phones)?))
+        }
+    }
+}
+
+/// Reads the `phone_costs` array from a prior run's `--timing-json`
+/// file (schema v7). The file must come from an *unsharded* run of
+/// the same fleet size: `phone_cost_start` must be 0 and the vector
+/// must cover every phone, otherwise the planner would balance on a
+/// partial view.
+fn read_costs_json(path: &str, phones: u32) -> Result<Vec<f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let start = json_u64_field(&text, "phone_cost_start").ok_or(format!(
+        "{path}: no phone_cost_start field (need timing JSON v7+)"
+    ))?;
+    if start != 0 {
+        return Err(format!(
+            "{path}: phone_cost_start is {start}, need a whole-fleet (unsharded) timing file"
+        ));
+    }
+    let costs = json_f64_array(&text, "phone_costs").ok_or(format!(
+        "{path}: no phone_costs array (need timing JSON v7+)"
+    ))?;
+    if costs.len() != phones as usize {
+        return Err(format!(
+            "{path}: phone_costs has {} entries, --phones says {phones}",
+            costs.len()
+        ));
+    }
+    Ok(costs)
+}
+
+/// Minimal field extraction for the timing JSON this binary itself
+/// writes (flat keys, no nesting inside the values we read) — keeps
+/// the measured-cost path dependency-free.
+fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = text[text.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_f64_array(text: &str, key: &str) -> Option<Vec<f64>> {
+    let pat = format!("\"{key}\":");
+    let rest = text[text.find(&pat)? + pat.len()..].trim_start();
+    let body = rest.strip_prefix('[')?;
+    let body = &body[..body.find(']')?];
+    let body = body.trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|tok| tok.trim().parse().ok()).collect()
 }
 
 /// One timed pipeline stage: wall-clock seconds plus the
@@ -452,6 +592,15 @@ struct CampaignRun {
     worker_stats: Vec<WorkerStats>,
     /// Merger-side shard counters (streaming engine; zero otherwise).
     merge_stats: MergeStats,
+    /// Measured per-phone parse seconds, aligned with `metas`
+    /// (streaming engine; empty otherwise).
+    phone_parse_seconds: Vec<f64>,
+    /// The shard interval this run actually folded (solo when
+    /// unsharded).
+    topology: ShardTopology,
+    /// The full cut table the planner chose (sharded streaming runs
+    /// only).
+    plan: Option<ShardPlan>,
 }
 
 /// Runs the fleet campaign and the analysis pipeline selected by
@@ -490,6 +639,7 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
             run_len: args.run_len,
             alloc_counter: Some(thread_alloc_calls),
             shard: args.shard,
+            balance: balance_mode(args.balance, args.costs_json.as_deref(), args.phones)?,
         };
         let (t, a) = (Instant::now(), alloc_now());
         let run = campaign
@@ -511,6 +661,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
             resumed_from: run.resumed_from,
             worker_stats: run.worker_stats,
             merge_stats: run.merge_stats,
+            phone_parse_seconds: run.phone_parse_seconds,
+            topology: run.topology,
+            plan: run.plan,
         });
     }
 
@@ -582,6 +735,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
         resumed_from: None,
         worker_stats: Vec::new(),
         merge_stats: MergeStats::default(),
+        phone_parse_seconds: Vec::new(),
+        topology: ShardTopology::solo(args.phones),
+        plan: None,
     })
 }
 
@@ -615,18 +771,50 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
                 .map_or_else(|| "null".to_string(), |n| n.to_string())
         })
         .collect();
-    let topology = args
-        .shard
-        .map(|s| s.topology(args.phones))
-        .unwrap_or(ShardTopology::solo(args.phones));
+    let topology = run.topology;
     let (shard_lo, shard_hi) = topology.interval();
+    // The cut table the planner chose, with the predicted cost per
+    // shard and — for the one shard this process actually ran — the
+    // measured per-phone parse seconds to calibrate against.
+    let own_measured: f64 = run.phone_parse_seconds.iter().sum();
+    let shard_plan: Vec<String> = run
+        .plan
+        .iter()
+        .flat_map(|plan| (0..plan.count()).map(move |i| (plan, i)))
+        .map(|(plan, i)| {
+            let (lo, hi) = plan.interval(i);
+            let measured = if i == topology.index {
+                format!("{own_measured:.6}")
+            } else {
+                "null".to_string()
+            };
+            format!(
+                "    {{\"index\": {}, \"start\": {}, \"end\": {}, \
+                 \"predicted_cost\": {:.3}, \"measured_seconds\": {}}}",
+                i,
+                lo,
+                hi,
+                plan.predicted_cost(i),
+                measured
+            )
+        })
+        .collect();
+    let phone_cost_start = run.metas.first().map(|m| m.phone_id).unwrap_or(shard_lo);
+    let phone_costs: Vec<String> = run
+        .phone_parse_seconds
+        .iter()
+        .map(|s| format!("{s:.6}"))
+        .collect();
     format!(
-        "{{\n  \"schema\": \"symfail-pipeline-timing/6\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"symfail-pipeline-timing/7\",\n  \"seed\": {},\n  \
          \"phones\": {},\n  \"days\": {},\n  \"workers\": {},\n  \
          \"pipeline\": \"{}\",\n  \"engine\": \"{}\",\n  \
          \"merge\": \"{}\",\n  \"run_len\": {},\n  \
          \"shard_index\": {},\n  \"shard_count\": {},\n  \
          \"shard_start\": {},\n  \"shard_end\": {},\n  \
+         \"balance\": \"{}\",\n  \
+         \"shard_plan\": [\n{}\n  ],\n  \
+         \"phone_cost_start\": {},\n  \"phone_costs\": [{}],\n  \
          \"corruption\": \"{}\",\n  \"parse_bytes\": {},\n  \
          \"parse_lines\": {},\n  \"parse_records_kept\": {},\n  \
          \"parse_defects\": {},\n  \"parse_seconds\": {:.6},\n  \
@@ -649,6 +837,10 @@ fn timing_json(args: &Args, run: &CampaignRun) -> String {
         topology.count,
         shard_lo,
         shard_hi,
+        args.balance.as_str(),
+        shard_plan.join(",\n"),
+        phone_cost_start,
+        phone_costs.join(", "),
         args.corruption.as_str(),
         run.parse_bytes,
         defects.lines_seen,
@@ -726,6 +918,7 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
     let mut days: u32 = 425;
     let mut corruption = CorruptionProfile::None;
     let mut analyses = "all".to_string();
+    let mut partial = false;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -760,10 +953,11 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
                     .ok_or("--analyses needs a comma-list")?
                     .to_string()
             }
+            "--partial" => partial = true,
             "--help" | "-h" => {
                 return Err("usage: repro merge-checkpoints OUT IN1 IN2 ... \
                             [--seed N] [--phones N] [--days N] \
-                            [--corruption PROFILE] [--analyses LIST]"
+                            [--corruption PROFILE] [--analyses LIST] [--partial]"
                     .to_string())
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -795,23 +989,51 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
         .iter()
         .map(|p| std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}")))
         .collect::<Result<_, _>>()?;
-    let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
-        .map_err(|e| format!("merge failed: {e}"))?;
-    if merger.absorbed() != phones {
+    let (merger, gaps) = if partial {
+        merge_shard_checkpoints_partial(&registry, config, fingerprint, &inputs)
+            .map_err(|e| format!("merge failed: {e}"))?
+    } else {
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+            .map_err(|e| format!("merge failed: {e}"))?;
+        (merger, Vec::new())
+    };
+    if !partial && merger.absorbed() != phones {
         return Err(format!(
             "merged checkpoints cover {} phones, --phones says {phones}",
             merger.absorbed()
         ));
     }
 
+    // The output checkpoint covers the contiguous absorbed prefix
+    // only — under `--partial` with a leading gap that can be fewer
+    // phones than the report below folds in, but it is always a valid
+    // resumable checkpoint.
     let merged = merger.snapshot(fingerprint, ShardTopology::solo(phones));
     std::fs::write(out_path, merged).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-    eprintln!(
-        "merged {} shard checkpoints ({phones} phones) into {out_path}",
-        in_paths.len()
-    );
+    if gaps.is_empty() {
+        eprintln!(
+            "merged {} shard checkpoints ({phones} phones) into {out_path}",
+            in_paths.len()
+        );
+    } else {
+        let missing: u32 = gaps.iter().map(|&(from, to)| to - from).sum();
+        eprintln!(
+            "partial merge: {} shard checkpoints ({} of {phones} phones) into {out_path}",
+            in_paths.len(),
+            phones - missing
+        );
+        for &(from, to) in &gaps {
+            eprintln!("  missing phones [{from}, {to}) — shard checkpoint absent");
+        }
+    }
 
     let report = merger.finish();
+    if !gaps.is_empty() {
+        println!("=== PARTIAL report: best-effort from an incomplete shard cover ===");
+        for &(from, to) in &gaps {
+            println!("=== missing phone interval [{from}, {to}) ===");
+        }
+    }
     println!("{}", report.render_all());
     println!("{}", report.render_per_phone());
     println!("{}", forum_report(seed));
@@ -820,10 +1042,126 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro plan-shards --shards N` — prints the cut table the planner
+/// would choose for the campaign (no simulation runs): one line per
+/// shard with its `[start, end)` interval, phone count and predicted
+/// cost, plus the predicted critical path versus the uniform split.
+fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
+    let mut seed: u64 = 2005;
+    let mut phones: u32 = 25;
+    let mut days: u32 = 425;
+    let mut corruption = CorruptionProfile::None;
+    let mut shards: u32 = 0;
+    let mut balance = Balance::Static;
+    let mut costs_json: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--phones" => {
+                phones = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--phones needs an integer")?
+            }
+            "--days" => {
+                days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--days needs an integer")?
+            }
+            "--corruption" => {
+                let profile = it.next().ok_or("--corruption needs a profile name")?;
+                corruption = CorruptionProfile::parse(profile).ok_or(format!(
+                    "unknown corruption profile {profile} (try none|light|moderate|worst)"
+                ))?
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--shards needs a positive shard count")?
+            }
+            "--balance" => balance = parse_balance(it.next().map(String::as_str))?,
+            "--costs-json" => {
+                costs_json = Some(it.next().ok_or("--costs-json needs a path")?.to_string())
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro plan-shards --shards N \
+                            [--balance uniform|static|measured] [--costs-json PATH] \
+                            [--seed N] [--phones N] [--days N] [--corruption PROFILE]"
+                    .to_string())
+            }
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    if shards == 0 {
+        return Err("plan-shards needs --shards N (e.g. --shards 4)".to_string());
+    }
+    let mode = balance_mode(balance, costs_json.as_deref(), phones)?;
+    let params = CalibrationParams {
+        phones,
+        campaign_days: days,
+        ..CalibrationParams::default()
+    };
+    let campaign = FleetCampaign::new(seed, params).with_corruption(corruption);
+    // Cost the uniform comparison under the SAME vector the chosen
+    // mode balances on, so the printed ratio is apples to apples.
+    let costs = match &mode {
+        BalanceMode::Measured(costs) => costs.clone(),
+        _ => campaign.estimate_phone_costs(),
+    };
+    let plan = match balance {
+        Balance::Uniform => ShardPlan::uniform(&costs, shards),
+        _ => ShardPlan::from_costs(&costs, shards),
+    };
+    let uniform = ShardPlan::uniform(&costs, shards);
+    println!(
+        "shard plan: {phones} phones x {days} days, corruption {}, \
+         {shards} shards, balance {}",
+        corruption.as_str(),
+        balance.as_str()
+    );
+    println!("  shard  interval            phones  predicted_cost");
+    for i in 0..plan.count() {
+        let (lo, hi) = plan.interval(i);
+        println!(
+            "  {i:>5}  [{lo:>6}, {hi:>6})    {:>6}  {:>14.3}",
+            hi - lo,
+            plan.predicted_cost(i)
+        );
+    }
+    let best = plan.max_predicted_cost();
+    let flat = uniform.max_predicted_cost();
+    println!("predicted max-shard cost: {best:.3}");
+    if balance != Balance::Uniform && best > 0.0 {
+        println!(
+            "uniform i/N split would cost {flat:.3} ({:.2}x the balanced critical path)",
+            flat / best
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("merge-checkpoints") {
         return match merge_checkpoints_cmd(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("plan-shards") {
+        return match plan_shards_cmd(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");

@@ -16,7 +16,8 @@
 //! ```text
 //! magic "SYMFCKPT" (8)  | schema version u32 | campaign fingerprint u64
 //! AnalysisConfig (4×u64 ms) | registry (u64 count, length-prefixed names)
-//! shard topology: index u32 | count u32 | fleet_phones u32 | start u32
+//! shard topology: index u32 | count u32 | fleet_phones u32
+//!   | start u32 | end u32
 //! next_id u32 | name table (u64 count, length-prefixed names)
 //! per-pass blobs (u64 byte length + pass-private encoding, registry order)
 //! shard section: u64 count, then per pending shard (ascending,
@@ -33,12 +34,16 @@
 //! [`snapshot_with_pending`](super::passes::StreamMerger::snapshot_with_pending)
 //! captures full state without quiescing the fold pipeline.
 //!
-//! The shard-topology header (schema v3) makes every checkpoint
-//! self-describing about *which slice of the fleet it covers*: a
-//! `repro --shard i/N` process records its [`ShardTopology`] and the
-//! first phone id of its interval, so the covered phone range is
-//! `[start, next_id)`. A solo (unsharded) run writes
-//! [`ShardTopology::solo`]. This is what lets
+//! The shard-topology header (schema v3, extended in v4) makes every
+//! checkpoint self-describing about *which slice of the fleet it
+//! covers*: a `repro --shard i/N` process records its
+//! [`ShardTopology`] — including the explicit phone-id interval
+//! `[start, end)` it owns — so the covered phone range is
+//! `[start, next_id)`. Since v4 the interval is stored verbatim
+//! rather than recomputed from `i/N`, which is what lets a
+//! cost-balanced planner assign *uneven* contiguous intervals and
+//! still round-trip them through checkpoints. A solo (unsharded) run
+//! writes [`ShardTopology::solo`]. This is what lets
 //! `repro merge-checkpoints` validate that a set of checkpoints from
 //! separate OS processes is disjoint and jointly covers the fleet
 //! before tree-merging them into one report.
@@ -59,14 +64,19 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SYMFCKPT";
 /// version are refused (no migration: re-running the campaign is
 /// always safe). v2 added the trailing pending-shard section; v3
 /// added the shard-topology header ([`ShardTopology`] + interval
-/// start) that makes multi-process checkpoint merging validatable.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 3;
+/// start) that makes multi-process checkpoint merging validatable;
+/// v4 stores each shard's explicit `[start, end)` interval in the
+/// topology so cost-balanced (uneven) contiguous partitions
+/// round-trip instead of being recomputed from `i/N`.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 4;
 
 /// Which slice of a fleet a checkpoint-writing process owned: shard
-/// `index` of `count` over a fleet of `fleet_phones` phones. Written
-/// into every checkpoint header (schema v3) so `merge-checkpoints`
-/// can prove a set of per-process checkpoints covers the whole fleet
-/// exactly once, and so resuming under a different `--shard i/N` is
+/// `index` of `count` over a fleet of `fleet_phones` phones, owning
+/// the explicit phone-id interval `[start, end)`. Written into every
+/// checkpoint header (schema v3, interval since v4) so
+/// `merge-checkpoints` can prove a set of per-process checkpoints
+/// covers the whole fleet exactly once, and so resuming under a
+/// different `--shard i/N` (or a different planner cut set) is
 /// refused instead of silently folding the wrong id range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardTopology {
@@ -76,6 +86,10 @@ pub struct ShardTopology {
     pub count: u32,
     /// Total phones in the campaign (all shards together).
     pub fleet_phones: u32,
+    /// First phone id this shard owns.
+    pub start: u32,
+    /// One past the last phone id this shard owns.
+    pub end: u32,
 }
 
 impl ShardTopology {
@@ -86,19 +100,34 @@ impl ShardTopology {
             index: 0,
             count: 1,
             fleet_phones,
+            start: 0,
+            end: fleet_phones,
         }
     }
 
-    /// The phone-id interval `[lo, hi)` this shard owns. Shards
-    /// partition `[0, fleet_phones)` into `count` near-equal contiguous
-    /// ranges (the first `fleet_phones % count` shards get one extra
-    /// phone); u64 arithmetic keeps `index * fleet_phones` exact.
+    /// The uniform `i/N` topology PR 7 shipped: shards partition
+    /// `[0, fleet_phones)` into `count` near-equal contiguous ranges
+    /// (the first `fleet_phones % count` shards get one extra phone);
+    /// u64 arithmetic keeps `index * fleet_phones` exact. The
+    /// cost-balanced planner replaces this with uneven cuts carried
+    /// verbatim in `start`/`end`.
+    pub const fn uniform(index: u32, count: u32, fleet_phones: u32) -> Self {
+        let p = fleet_phones as u64;
+        let n = count as u64;
+        let lo = (index as u64 * p) / n;
+        let hi = ((index as u64 + 1) * p) / n;
+        Self {
+            index,
+            count,
+            fleet_phones,
+            start: lo as u32,
+            end: hi as u32,
+        }
+    }
+
+    /// The phone-id interval `[start, end)` this shard owns.
     pub const fn interval(&self) -> (u32, u32) {
-        let p = self.fleet_phones as u64;
-        let n = self.count as u64;
-        let lo = (self.index as u64 * p) / n;
-        let hi = ((self.index as u64 + 1) * p) / n;
-        (lo as u32, hi as u32)
+        (self.start, self.end)
     }
 }
 
@@ -106,8 +135,8 @@ impl fmt::Display for ShardTopology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {}/{} of {} phones",
-            self.index, self.count, self.fleet_phones
+            "shard {}/{} of {} phones (phones [{}, {}))",
+            self.index, self.count, self.fleet_phones, self.start, self.end
         )
     }
 }
@@ -500,16 +529,12 @@ mod tests {
     }
 
     #[test]
-    fn shard_intervals_partition_the_fleet_exactly() {
+    fn uniform_shard_intervals_partition_the_fleet_exactly() {
         for &phones in &[0u32, 1, 5, 13, 250, 1000, 1001] {
             for &count in &[1u32, 2, 3, 4, 7, 8, 16] {
                 let mut cursor = 0;
                 for index in 0..count {
-                    let topo = ShardTopology {
-                        index,
-                        count,
-                        fleet_phones: phones,
-                    };
+                    let topo = ShardTopology::uniform(index, count, phones);
                     let (lo, hi) = topo.interval();
                     assert_eq!(lo, cursor, "{topo} must start where the last ended");
                     assert!(hi >= lo);
@@ -519,6 +544,7 @@ mod tests {
             }
         }
         assert_eq!(ShardTopology::solo(42).interval(), (0, 42));
+        assert_eq!(ShardTopology::uniform(0, 1, 42), ShardTopology::solo(42));
     }
 
     #[test]

@@ -866,13 +866,20 @@ impl<'r> StreamMerger<'r> {
         for pass in self.registry.passes() {
             w.str(pass.name());
         }
-        // v3 shard-topology header: which fleet slice this process
-        // owns, and where its covered interval [origin, next_id)
-        // starts.
+        // v4 shard-topology header: which fleet slice this process
+        // owns, as an explicit [start, end) interval. The covered
+        // interval is [start, next_id); the merger's origin is by
+        // construction the interval's low end.
+        assert_eq!(
+            topology.start, self.origin,
+            "snapshot topology {topology} does not start at merger origin {}",
+            self.origin
+        );
         w.u32(topology.index);
         w.u32(topology.count);
         w.u32(topology.fleet_phones);
-        w.u32(self.origin);
+        w.u32(topology.start);
+        w.u32(topology.end);
         w.u32(self.next_id);
         write_names(&mut w, &self.names);
         write_accs(&mut w, self.registry, &self.accs);
@@ -929,7 +936,7 @@ impl<'r> StreamMerger<'r> {
             accs: parsed.accs,
             pending: parsed.pending,
             next_id: parsed.next_id,
-            origin: parsed.start,
+            origin: parsed.topology.start,
             stats: MergeStats::default(),
         })
     }
@@ -938,11 +945,10 @@ impl<'r> StreamMerger<'r> {
 /// A fully decoded checkpoint, before any shard-topology expectation
 /// is applied — shared by [`StreamMerger::resume`] (which demands the
 /// resuming run's topology) and [`load_shard_checkpoint`] (which
-/// accepts whatever topology the file records).
+/// accepts whatever topology the file records). The covered interval
+/// is `[topology.start, next_id)`.
 struct ParsedCheckpoint {
     topology: ShardTopology,
-    /// First phone id of the covered interval `[start, next_id)`.
-    start: u32,
     next_id: u32,
     names: NameTable,
     accs: Vec<DynAcc>,
@@ -1013,19 +1019,26 @@ fn parse_checkpoint(
             expected: campaign_fingerprint,
         });
     }
-    // v3 shard-topology header.
+    // v4 shard-topology header: the explicit [start, end) interval.
     let topology = ShardTopology {
         index: r.u32()?,
         count: r.u32()?,
         fleet_phones: r.u32()?,
+        start: r.u32()?,
+        end: r.u32()?,
     };
     if topology.count == 0 || topology.index >= topology.count {
         return Err(CheckpointError::Corrupt("shard topology out of range"));
     }
-    let start = r.u32()?;
+    if topology.start > topology.end || topology.end > topology.fleet_phones {
+        return Err(CheckpointError::Corrupt("shard interval out of range"));
+    }
     let next_id = r.u32()?;
-    if start > next_id {
+    if topology.start > next_id {
         return Err(CheckpointError::Corrupt("shard start above watermark"));
+    }
+    if next_id > topology.end {
+        return Err(CheckpointError::Corrupt("watermark beyond shard interval"));
     }
     if next_id > topology.fleet_phones {
         return Err(CheckpointError::Corrupt("watermark beyond fleet"));
@@ -1057,7 +1070,6 @@ fn parse_checkpoint(
     }
     Ok(ParsedCheckpoint {
         topology,
-        start,
         next_id,
         names,
         accs,
@@ -1067,8 +1079,8 @@ fn parse_checkpoint(
 
 /// What [`load_shard_checkpoint`] learned about one merge input: the
 /// shard topology its writer recorded and the phone interval
-/// `[start, end)` the file actually covers (`end < ` the formula
-/// interval's high end means the shard was interrupted mid-run).
+/// `[start, end)` the file actually covers (`end < topology.end`
+/// means the shard was interrupted mid-run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardInfo {
     /// Topology recorded by the writing process.
@@ -1107,11 +1119,11 @@ pub fn load_shard_checkpoint(
     }
     let info = ShardInfo {
         topology: parsed.topology,
-        start: parsed.start,
+        start: parsed.topology.start,
         end: parsed.next_id,
     };
     let shard = FoldShard {
-        start: parsed.start,
+        start: parsed.topology.start,
         end: parsed.next_id,
         names: parsed.names,
         accs: parsed.accs,
@@ -1127,6 +1139,19 @@ pub fn load_shard_checkpoint(
 /// doubly-supplied file reports [`MergeError::DuplicateShard`], not
 /// the overlap its intervals would also trigger.
 pub fn validate_shard_cover(infos: &[ShardInfo]) -> Result<(), MergeError> {
+    match shard_cover_gaps(infos)?.first() {
+        Some(&(from, to)) => Err(MergeError::CoverageGap { from, to }),
+        None => Ok(()),
+    }
+}
+
+/// The partial-merge relaxation of [`validate_shard_cover`]: the same
+/// topology-consistency, duplicate, and overlap checks, but coverage
+/// gaps are *returned* (ascending, disjoint `[from, to)` intervals)
+/// instead of refused — an incomplete cover is a legitimate
+/// progress-monitoring state (some shards still running, one file
+/// lost), while overlaps and mixed topologies are never legitimate.
+pub fn shard_cover_gaps(infos: &[ShardInfo]) -> Result<Vec<(u32, u32)>, MergeError> {
     let first = infos.first().ok_or(MergeError::NoInputs)?;
     let expected = (first.topology.count, first.topology.fleet_phones);
     for info in infos {
@@ -1145,15 +1170,12 @@ pub fn validate_shard_cover(infos: &[ShardInfo]) -> Result<(), MergeError> {
     let mut sorted: Vec<&ShardInfo> = infos.iter().collect();
     sorted.sort_by_key(|i| (i.start, i.end));
     let mut prev: Option<&ShardInfo> = None;
+    let mut gaps = Vec::new();
     let mut cursor = 0u32;
     for info in sorted {
         if info.start > cursor {
-            return Err(MergeError::CoverageGap {
-                from: cursor,
-                to: info.start,
-            });
-        }
-        if info.start < cursor {
+            gaps.push((cursor, info.start));
+        } else if info.start < cursor {
             return Err(MergeError::Overlap {
                 a: prev.expect("cursor > 0 implies a prior interval").covered(),
                 b: info.covered(),
@@ -1163,12 +1185,9 @@ pub fn validate_shard_cover(infos: &[ShardInfo]) -> Result<(), MergeError> {
         prev = Some(info);
     }
     if cursor < expected.1 {
-        return Err(MergeError::CoverageGap {
-            from: cursor,
-            to: expected.1,
-        });
+        gaps.push((cursor, expected.1));
     }
-    Ok(())
+    Ok(gaps)
 }
 
 /// Merges the checkpoints written by `N` independent `--shard i/N`
@@ -1188,6 +1207,54 @@ pub fn merge_shard_checkpoints<'r>(
     campaign_fingerprint: u64,
     inputs: &[Vec<u8>],
 ) -> Result<StreamMerger<'r>, MergeError> {
+    let (infos, mut shards) = load_shard_inputs(registry, config, campaign_fingerprint, inputs)?;
+    validate_shard_cover(&infos)?;
+    let mut merger = StreamMerger::new(registry, config);
+    // Zero-width shards (a shard count above the fleet size leaves
+    // some processes with an empty interval) contribute nothing.
+    shards.retain(|s| !s.is_empty());
+    if let Some(merged) = tree_merge_shards(registry, shards) {
+        merger.push_shard(merged);
+    }
+    Ok(merger)
+}
+
+/// Best-effort variant of [`merge_shard_checkpoints`] for fleet-scale
+/// progress monitoring (`repro merge-checkpoints --partial`): accepts
+/// an *incomplete* cover and returns the merger holding every supplied
+/// slice plus the list of uncovered `[from, to)` phone intervals
+/// (empty when the cover is complete). Overlaps, duplicated indices,
+/// mixed topologies and invalid files are refused exactly as in the
+/// strict merge — only coverage gaps are downgraded from error to
+/// annotation. Non-contiguous slices are buffered by the merger and
+/// absorbed, still in phone-id order, at
+/// [`StreamMerger::finish`], so the rendered report covers exactly the
+/// supplied phones.
+pub fn merge_shard_checkpoints_partial<'r>(
+    registry: &'r PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    inputs: &[Vec<u8>],
+) -> Result<(StreamMerger<'r>, Vec<(u32, u32)>), MergeError> {
+    let (infos, mut shards) = load_shard_inputs(registry, config, campaign_fingerprint, inputs)?;
+    let gaps = shard_cover_gaps(&infos)?;
+    let mut merger = StreamMerger::new(registry, config);
+    shards.retain(|s| !s.is_empty());
+    shards.sort_by_key(|s| s.start);
+    for shard in shards {
+        merger.push_shard(shard);
+    }
+    Ok((merger, gaps))
+}
+
+/// Decodes and validates every merge input, mapping the first failure
+/// to its 0-based argv position.
+fn load_shard_inputs(
+    registry: &PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    inputs: &[Vec<u8>],
+) -> Result<(Vec<ShardInfo>, Vec<FoldShard>), MergeError> {
     if inputs.is_empty() {
         return Err(MergeError::NoInputs);
     }
@@ -1199,15 +1266,7 @@ pub fn merge_shard_checkpoints<'r>(
         infos.push(info);
         shards.push(shard);
     }
-    validate_shard_cover(&infos)?;
-    let mut merger = StreamMerger::new(registry, config);
-    // Zero-width shards (a shard count above the fleet size leaves
-    // some processes with an empty interval) contribute nothing.
-    shards.retain(|s| !s.is_empty());
-    if let Some(merged) = tree_merge_shards(registry, shards) {
-        merger.push_shard(merged);
-    }
-    Ok(merger)
+    Ok((infos, shards))
 }
 
 fn write_names(w: &mut ByteWriter, names: &NameTable) {
@@ -2334,6 +2393,34 @@ mod tests {
         );
     }
 
+    /// Schema v3 files (no explicit `[start, end)` interval in the
+    /// topology) are refused with the typed version error — on resume
+    /// and on merge — never mis-decoded or panicked on.
+    #[test]
+    fn v3_checkpoints_are_refused_with_a_typed_version_error() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let mut merger = StreamMerger::new(&registry, config);
+        merger.push(busy_fold(&registry, config, 0));
+        let mut bytes = merger.snapshot(1, TOPO);
+        bytes[8] = 3; // little-endian version word: v4 -> v3
+        let want = CheckpointError::SchemaVersion {
+            found: 3,
+            expected: CHECKPOINT_SCHEMA_VERSION,
+        };
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 1, TOPO, &bytes).err(),
+            Some(want.clone())
+        );
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 1, &[bytes]).err(),
+            Some(MergeError::Input {
+                input: 0,
+                error: want,
+            })
+        );
+    }
+
     #[test]
     fn resume_rejects_registry_config_and_campaign_mismatch() {
         let registry = PassRegistry::all();
@@ -2376,11 +2463,7 @@ mod tests {
 
         // Same fleet, different split: resuming a solo checkpoint in a
         // `--shard 0/2` process must be refused.
-        let other = ShardTopology {
-            index: 0,
-            count: 2,
-            fleet_phones: TOPO.fleet_phones,
-        };
+        let other = ShardTopology::uniform(0, 2, TOPO.fleet_phones);
         assert_eq!(
             StreamMerger::resume(&registry, config, 1, other, &bytes).err(),
             Some(CheckpointError::ShardMismatch {
@@ -2417,14 +2500,16 @@ mod tests {
         fleet: u32,
     ) -> Vec<u8> {
         let mut merger = StreamMerger::new_at(registry, config, ids.start);
-        for id in ids {
-            merger.push(busy_fold(registry, config, id));
-        }
         let topology = ShardTopology {
             index,
             count,
             fleet_phones: fleet,
+            start: ids.start,
+            end: ids.end,
         };
+        for id in ids {
+            merger.push(busy_fold(registry, config, id));
+        }
         merger.snapshot(fingerprint, topology)
     }
 

@@ -31,6 +31,8 @@ use crate::calibration::CalibrationParams;
 use crate::corruption::{CorruptionModel, CorruptionProfile, InjectedDefects};
 use crate::device::{Phone, PhoneStats};
 use crate::firmware::SymbianVersion;
+use crate::plan::{BalanceMode, ShardPlan};
+use crate::user::UserProfile;
 
 /// The result of running one phone through the campaign.
 #[derive(Debug)]
@@ -142,6 +144,10 @@ pub struct StreamingOptions {
     /// checkpoint records the topology so `merge-checkpoints` can
     /// stitch N such slices into the whole-fleet report.
     pub shard: Option<ShardSpec>,
+    /// How a sharded run cuts the phone-id space: the fixed `i/N`
+    /// formula (default) or cost-balanced cuts from the static
+    /// estimator / a measured cost vector. Ignored without `shard`.
+    pub balance: BalanceMode,
 }
 
 /// Which slice of the fleet this process owns: shard `index` of
@@ -155,23 +161,95 @@ pub struct ShardSpec {
     pub count: u32,
 }
 
+/// Why a `--shard i/N` argument was rejected: each variant names the
+/// offending token and the constraint it violated, so `--shard 4/2`
+/// fails with "index 4 must be < count 2" instead of a generic usage
+/// line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSpecError {
+    /// The argument has no `/` separator.
+    NoSlash {
+        /// The whole argument as given.
+        input: String,
+    },
+    /// The part before the `/` is not an unsigned integer.
+    BadIndex {
+        /// The offending index token.
+        token: String,
+    },
+    /// The part after the `/` is not an unsigned integer.
+    BadCount {
+        /// The offending count token.
+        token: String,
+    },
+    /// The shard count is zero (`0/0`): a fleet cannot be split into
+    /// zero shards.
+    ZeroCount,
+    /// The index is not below the count (`4/2`, `2/2`).
+    IndexOutOfRange {
+        /// Parsed shard index.
+        index: u32,
+        /// Parsed shard count.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSpecError::NoSlash { input } => {
+                write!(
+                    f,
+                    "shard spec \"{input}\" is not of the form i/N (e.g. 2/4)"
+                )
+            }
+            ShardSpecError::BadIndex { token } => {
+                write!(f, "shard index \"{token}\" is not an unsigned integer")
+            }
+            ShardSpecError::BadCount { token } => {
+                write!(f, "shard count \"{token}\" is not an unsigned integer")
+            }
+            ShardSpecError::ZeroCount => {
+                write!(f, "shard count must be >= 1 (got 0)")
+            }
+            ShardSpecError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} must be < shard count {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardSpecError {}
+
 impl ShardSpec {
     /// Parses the CLI form `i/N` (e.g. `2/4`), requiring `i < N` and
-    /// `N >= 1`.
-    pub fn parse(s: &str) -> Option<Self> {
-        let (index, count) = s.split_once('/')?;
-        let index = index.parse().ok()?;
-        let count = count.parse().ok()?;
-        (count >= 1 && index < count).then_some(Self { index, count })
+    /// `N >= 1`. Failures name the offending token and the violated
+    /// constraint ([`ShardSpecError`]).
+    pub fn parse(s: &str) -> Result<Self, ShardSpecError> {
+        let (index, count) = s.split_once('/').ok_or_else(|| ShardSpecError::NoSlash {
+            input: s.to_string(),
+        })?;
+        let index: u32 = index.parse().map_err(|_| ShardSpecError::BadIndex {
+            token: index.to_string(),
+        })?;
+        let count: u32 = count.parse().map_err(|_| ShardSpecError::BadCount {
+            token: count.to_string(),
+        })?;
+        if count == 0 {
+            return Err(ShardSpecError::ZeroCount);
+        }
+        if index >= count {
+            return Err(ShardSpecError::IndexOutOfRange { index, count });
+        }
+        Ok(Self { index, count })
     }
 
-    /// The topology of this shard over a `fleet_phones`-phone campaign.
+    /// The uniform (`i/N` formula) topology of this shard over a
+    /// `fleet_phones`-phone campaign — the [`BalanceMode::Uniform`]
+    /// partition. Cost-balanced runs derive their topology from
+    /// [`FleetCampaign::shard_plan`] instead.
     pub fn topology(self, fleet_phones: u32) -> ShardTopology {
-        ShardTopology {
-            index: self.index,
-            count: self.count,
-            fleet_phones,
-        }
+        ShardTopology::uniform(self.index, self.count, fleet_phones)
     }
 }
 
@@ -381,14 +459,75 @@ impl FleetCampaign {
         (((perm as f64) + 0.5) / (n as f64)) < self.params.nightly_shutdown_fraction
     }
 
-    fn run_phone(&self, id: u32) -> PhoneHarvest {
+    /// The deterministic per-phone prologue shared by the simulator
+    /// and the cost estimator: forks the phone's RNG stream, draws its
+    /// enrollment window and behaviour profile. Keeping one code path
+    /// means the estimator prices exactly the phone the simulator will
+    /// run — the two cannot drift.
+    fn phone_setup(&self, id: u32) -> (SimRng, (u64, u64), UserProfile) {
         let mut rng = SimRng::seed_from(self.seed).fork("phone", id as u64);
-        let (enrolled_day, retired_day) = self.window(id, &mut rng);
-        let profile = crate::user::UserProfile::sample_with_nightly(
-            &self.params,
-            &mut rng,
-            self.is_nightly(id),
-        );
+        let window = self.window(id, &mut rng);
+        let profile = UserProfile::sample_with_nightly(&self.params, &mut rng, self.is_nightly(id));
+        (rng, window, profile)
+    }
+
+    /// Static per-phone cost estimate, in expected log lines — the
+    /// `--balance static` input. Cost concentrates exactly where the
+    /// paper found failures concentrating: a handful of phones
+    /// dominate. The model prices what the pipeline actually pays for:
+    /// parse time is linear in log lines, and a phone writes one
+    /// heartbeat per period over its powered span plus a few lines per
+    /// user event, for every active day of its enrollment window.
+    /// Derived from the same [`Self::phone_setup`] draw the simulator
+    /// uses, so the estimate tracks each phone's true window and
+    /// volumes without simulating anything.
+    pub fn estimate_phone_costs(&self) -> Vec<f64> {
+        (0..self.params.phones)
+            .map(|id| {
+                let (_rng, (enrolled, retired), profile) = self.phone_setup(id);
+                let days = (retired - enrolled) as f64;
+                let powered_secs = if profile.nightly_shutdown {
+                    profile.sleep_secs.saturating_sub(profile.wake_secs)
+                } else {
+                    24 * 3600
+                };
+                let heartbeats =
+                    powered_secs as f64 / self.params.heartbeat_period_secs.max(1) as f64;
+                // Each user event (call/message/app session) costs a
+                // few log lines — boundary records plus occasional
+                // episode traffic — weighed against one heartbeat
+                // line each.
+                let events =
+                    profile.calls_per_day + profile.messages_per_day + profile.app_sessions_per_day;
+                days * (heartbeats + 2.0 * events)
+            })
+            .collect()
+    }
+
+    /// Plans the shard cut table for a `count`-process run under
+    /// `mode`: the fixed `i/N` formula for [`BalanceMode::Uniform`]
+    /// (costed so the predicted imbalance is visible), balanced cuts
+    /// from [`Self::estimate_phone_costs`] for
+    /// [`BalanceMode::Static`], or from the supplied per-phone seconds
+    /// for [`BalanceMode::Measured`] (which must hold exactly one
+    /// entry per phone).
+    pub fn shard_plan(&self, count: u32, mode: &BalanceMode) -> ShardPlan {
+        match mode {
+            BalanceMode::Uniform => ShardPlan::uniform(&self.estimate_phone_costs(), count),
+            BalanceMode::Static => ShardPlan::from_costs(&self.estimate_phone_costs(), count),
+            BalanceMode::Measured(costs) => {
+                assert_eq!(
+                    costs.len(),
+                    self.params.phones as usize,
+                    "measured cost vector must hold one entry per phone"
+                );
+                ShardPlan::from_costs(costs, count)
+            }
+        }
+    }
+
+    fn run_phone(&self, id: u32) -> PhoneHarvest {
+        let (rng, (enrolled_day, retired_day), profile) = self.phone_setup(id);
         let mut phone = Phone::with_profile(id, self.params, profile, rng.fork("device", 0));
         let firmware = SymbianVersion::assign(id, self.params.phones);
         phone.set_firmware(firmware);
@@ -592,9 +731,17 @@ impl FleetCampaign {
     ) -> Result<StreamingRun, CheckpointError> {
         let phones = self.params.phones;
         let fingerprint = self.fingerprint();
-        let topology = match opts.shard {
-            Some(spec) => spec.topology(phones),
-            None => ShardTopology::solo(phones),
+        // Sharded runs derive their interval from the shard plan —
+        // the uniform i/N formula or cost-balanced cuts, depending on
+        // opts.balance. Every process of one run must use the same
+        // balance mode (and cost vector): the cuts must agree for the
+        // checkpoints to merge.
+        let plan = opts
+            .shard
+            .map(|spec| self.shard_plan(spec.count, &opts.balance));
+        let topology = match (&plan, opts.shard) {
+            (Some(plan), Some(spec)) => plan.topology(spec.index),
+            _ => ShardTopology::solo(phones),
         };
         // The slice of the id space this process owns — the whole
         // fleet for a solo run.
@@ -801,9 +948,11 @@ impl FleetCampaign {
         }
         runs.sort_unstable_by_key(|(m, _)| m.phone_id);
         let mut metas = Vec::with_capacity(runs.len());
+        let mut phone_parse_seconds = Vec::with_capacity(runs.len());
         let mut parse_cpu_seconds = 0.0;
         for (m, secs) in runs {
             metas.push(m);
+            phone_parse_seconds.push(secs);
             parse_cpu_seconds += secs;
         }
         let parse_bytes = metas.iter().map(|m| m.flash_bytes).sum();
@@ -812,12 +961,15 @@ impl FleetCampaign {
             metas,
             report: st.merger.finish(),
             parse_cpu_seconds,
+            phone_parse_seconds,
             parse_bytes,
             reclaimed_flash_bytes: parse_bytes,
             mtbf_trace: st.trace,
             resumed_from,
             worker_stats,
             merge_stats,
+            topology,
+            plan,
         })
     }
 }
@@ -854,6 +1006,9 @@ pub struct StreamingRun {
     pub report: StudyReport,
     /// CPU seconds spent inside flash parsing, summed across workers.
     pub parse_cpu_seconds: f64,
+    /// Per-phone parse seconds, aligned with `metas` — the measured
+    /// cost vector a later `--balance measured` run can plan from.
+    pub phone_parse_seconds: Vec<f64>,
     /// Total flash bytes parsed.
     pub parse_bytes: u64,
     /// Flash bytes freed phone-by-phone (equals `parse_bytes`).
@@ -874,6 +1029,14 @@ pub struct StreamingRun {
     /// Merger-side counters: shards absorbed and peak pending
     /// buffering (shards / phones / estimated heap bytes).
     pub merge_stats: MergeStats,
+    /// The fleet slice this run owned ([`ShardTopology::solo`] when
+    /// unsharded).
+    pub topology: ShardTopology,
+    /// The full cut table the run was planned under — `Some` exactly
+    /// when [`StreamingOptions::shard`] was set. Carries every shard's
+    /// interval and predicted cost for the timing JSON's
+    /// `shard_plan` section.
+    pub plan: Option<ShardPlan>,
 }
 
 /// Per-firmware panic counts across a campaign, for the version

@@ -50,5 +50,6 @@ pub mod device;
 pub mod faults;
 pub mod firmware;
 pub mod fleet;
+pub mod plan;
 pub mod recovery;
 pub mod user;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Multi-process sharding datapoints: runs the 1000-phone campaign as
 # 1, 2, 4 and 8 shard *processes* (real `repro --shard i/N`
-# invocations, each writing a schema-v3 checkpoint), merges each set
+# invocations, each writing a schema-v4 checkpoint), merges each set
 # with `repro merge-checkpoints`, and demands the merged report is
 # byte-identical to the single-process run at every shard count.
 #
@@ -11,9 +11,15 @@
 # scheduler, not the pipeline), so the *distributed* wall-clock is the
 # critical path — max(shard wall) + merge wall — exactly what N
 # single-process machines plus one merge step would take. The speedup
-# column is single wall / critical-path wall; the run fails if the
-# SPEEDUP_AT-process point falls below SPEEDUP_FLOOR. The JSON is only
-# written once the identity and speedup gates pass.
+# column is single wall / critical-path wall.
+#
+# BALANCE picks the shard planner (`uniform` is the fixed i/N formula
+# split; `static` is the cost-balanced planner — the default, because
+# stratified enrollment makes early phone ids ~3x more expensive and
+# the uniform first shard dominates the critical path). SPEEDUP_FLOORS
+# is a list of `processes:floor` pairs; each listed point must reach
+# its floor or the run fails. The JSON is only written once the
+# identity and speedup gates pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,8 +29,8 @@ PHONES="${PHONES:-1000}"
 DAYS="${DAYS:-425}"
 CORRUPTION="${CORRUPTION:-worst}"
 SHARD_COUNTS="${SHARD_COUNTS:-2 4 8}"
-SPEEDUP_AT="${SPEEDUP_AT:-4}"
-SPEEDUP_FLOOR="${SPEEDUP_FLOOR:-1.6}"
+BALANCE="${BALANCE:-static}"
+SPEEDUP_FLOORS="${SPEEDUP_FLOORS:-2:1.7 4:3.0}"
 
 cargo build --release -p symfail-bench --bin repro >/dev/null
 BIN="$(pwd)/target/release/repro"
@@ -49,6 +55,8 @@ points="    {\"processes\": 1, \"max_shard_wall_seconds\": $single_wall,
      \"speedup\": 1.00}"
 fail=0
 for n in $SHARD_COUNTS; do
+    "$BIN" plan-shards --shards "$n" --seed "$SEED" --phones "$PHONES" \
+        --days "$DAYS" --corruption "$CORRUPTION" --balance "$BALANCE" >&2
     max_shard=0
     files=""
     for i in $(seq 0 $((n - 1))); do
@@ -56,9 +64,10 @@ for n in $SHARD_COUNTS; do
         t0="$(now)"
         "$BIN" --exp targets --seed "$SEED" --phones "$PHONES" \
             --days "$DAYS" --engine streaming --corruption "$CORRUPTION" \
-            --workers 1 --shard "$i/$n" --checkpoint "shard$i.bin" \
-            > /dev/null
+            --workers 1 --shard "$i/$n" --balance "$BALANCE" \
+            --checkpoint "shard$i.bin" > /dev/null
         w="$(elapsed "$t0" "$(now)")"
+        echo "bench_shard: $n-way shard $i wall ${w}s" >&2
         max_shard="$(awk -v a="$max_shard" -v b="$w" \
             'BEGIN { printf "%.3f", (b > a) ? b : a }')"
         files="$files shard$i.bin"
@@ -80,12 +89,16 @@ for n in $SHARD_COUNTS; do
         'BEGIN { printf "%.2f", (w > 0) ? s / w : 0 }')"
     echo "bench_shard: $n processes: max shard ${max_shard}s +" \
         "merge ${merge_wall}s = ${wall}s (speedup ${speedup}x)" >&2
-    if [ "$n" = "$SPEEDUP_AT" ] && ! awk -v s="$speedup" -v f="$SPEEDUP_FLOOR" \
-        'BEGIN { exit !(s + 0 >= f) }'; then
-        echo "bench_shard: SPEEDUP GATE: ${speedup}x at $n processes" \
-            "< floor ${SPEEDUP_FLOOR}x" >&2
-        fail=1
-    fi
+    for pair in $SPEEDUP_FLOORS; do
+        at="${pair%%:*}"
+        floor="${pair#*:}"
+        if [ "$n" = "$at" ] && ! awk -v s="$speedup" -v f="$floor" \
+            'BEGIN { exit !(s + 0 >= f) }'; then
+            echo "bench_shard: SPEEDUP GATE: ${speedup}x at $n processes" \
+                "< floor ${floor}x" >&2
+            fail=1
+        fi
+    done
     points="$points,
     {\"processes\": $n, \"max_shard_wall_seconds\": $max_shard,
      \"merge_wall_seconds\": $merge_wall, \"wall_seconds\": $wall,
@@ -96,11 +109,12 @@ done
 cd - >/dev/null
 {
     printf '{\n'
-    printf '  "schema": "symfail-bench-shard/1",\n'
+    printf '  "schema": "symfail-bench-shard/2",\n'
     printf '  "seed": %s,\n' "$SEED"
     printf '  "phones": %s,\n' "$PHONES"
     printf '  "days": %s,\n' "$DAYS"
     printf '  "corruption": "%s",\n' "$CORRUPTION"
+    printf '  "balance": "%s",\n' "$BALANCE"
     printf '  "workers_per_process": 1,\n'
     printf '  "model": "critical path: shards run back to back on one host; distributed wall = max(shard wall) + merge wall (one process per machine)",\n'
     printf '  "single_wall_seconds": %s,\n' "$single_wall"

@@ -58,15 +58,33 @@ echo "ci_gates: checkpoint interrupt/resume byte identity (kill at phone 97)" >&
 cmp report_stream.txt report_resumed.txt
 grep -q '"resumed_from": 97' mtbf_trace.json
 
-echo "ci_gates: 4-process shard merge byte identity" >&2
+echo "ci_gates: 4-process cost-balanced shard merge byte identity" >&2
 for i in 0 1 2 3; do
     "$BIN" --exp targets --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
         --engine streaming --corruption worst \
-        --shard "$i/4" --checkpoint "shard$i.bin" > /dev/null
+        --shard "$i/4" --balance static --checkpoint "shard$i.bin" > /dev/null
 done
 "$BIN" merge-checkpoints merged.bin shard0.bin shard1.bin shard2.bin shard3.bin \
     --seed "$SEED" --phones "$PHONES" --days "$DAYS" --corruption worst \
     > report_merged.txt
 cmp report_stream.txt report_merged.txt
+
+echo "ci_gates: partial merge smoke (shard 2 withheld)" >&2
+# One shard file missing: strict merge must refuse; --partial must
+# exit zero, fold the present shards, and name the hole.
+if "$BIN" merge-checkpoints partial.bin shard0.bin shard1.bin shard3.bin \
+    --seed "$SEED" --phones "$PHONES" --days "$DAYS" --corruption worst \
+    > /dev/null 2>&1; then
+    echo "ci_gates: strict merge accepted an incomplete cover" >&2
+    exit 1
+fi
+"$BIN" merge-checkpoints partial.bin shard0.bin shard1.bin shard3.bin \
+    --seed "$SEED" --phones "$PHONES" --days "$DAYS" --corruption worst \
+    --partial > report_partial.txt
+grep -q "missing phone interval" report_partial.txt
+if cmp -s report_stream.txt report_partial.txt; then
+    echo "ci_gates: partial report impossibly matches the full fleet" >&2
+    exit 1
+fi
 
 echo "ci_gates: all gates passed" >&2

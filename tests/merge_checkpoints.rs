@@ -1,14 +1,18 @@
 //! Multi-process campaign sharding via checkpoint merge.
 //!
 //! The contract under test: run shard `i/N` of a campaign in its own
-//! driver invocation (its own process, in CI), each writing a schema-v3
-//! checkpoint that records its shard topology — then merge the N files
-//! with [`merge_shard_checkpoints`] and demand the rendered study is
-//! byte-identical to a single-process streaming run, for any N and any
-//! partition of the phone-id space. Plus the refusal matrix: coverage
-//! gaps, duplicated files, overlapping intervals, and inputs from a
-//! different campaign/config/registry must all be rejected with the
-//! right error, never silently merged.
+//! driver invocation (its own process, in CI), each writing a schema-v4
+//! checkpoint that records its shard topology with an explicit
+//! `[start, end)` interval — then merge the N files with
+//! [`merge_shard_checkpoints`] and demand the rendered study is
+//! byte-identical to a single-process streaming run, for any N, any
+//! partition of the phone-id space, and any balance mode (uniform
+//! formula cuts, statically planned cuts, measured-cost cuts). Plus
+//! the refusal matrix: coverage gaps, duplicated files, overlapping
+//! intervals, and inputs from a different campaign/config/registry
+//! must all be rejected with the right error, never silently merged —
+//! unless the caller opts into a best-effort partial merge, which
+//! instead names every missing interval.
 
 use std::ops::Range;
 use std::path::PathBuf;
@@ -19,13 +23,14 @@ use proptest::test_runner::Config as ProptestConfig;
 use symfail::core::analysis::checkpoint::{CheckpointError, MergeError, ShardTopology};
 use symfail::core::analysis::dataset::PhoneDataset;
 use symfail::core::analysis::passes::{
-    merge_shard_checkpoints, PassRegistry, PhoneLens, StreamMerger,
+    merge_shard_checkpoints, merge_shard_checkpoints_partial, PassRegistry, PhoneLens, StreamMerger,
 };
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::records::{LogRecord, PanicRecord};
 use symfail::phone::calibration::CalibrationParams;
 use symfail::phone::corruption::CorruptionProfile;
 use symfail::phone::fleet::{FleetCampaign, ShardSpec, StreamingOptions};
+use symfail::phone::plan::{BalanceMode, ShardPlan};
 use symfail::sim::{SimDuration, SimTime};
 use symfail::symbian::panic::{codes, Panic};
 use symfail::symbian::servers::logdb::ActivityKind;
@@ -66,12 +71,28 @@ fn ckpt_path(tag: &str) -> PathBuf {
 /// streaming driver — exactly what one `repro --shard i/N` process
 /// does — and returns the checkpoint bytes it wrote.
 fn shard_ckpt(seed: u64, corruption: CorruptionProfile, index: u32, count: u32) -> Vec<u8> {
-    let tag = format!("{seed}-{}-{index}of{count}", corruption.as_str());
+    shard_ckpt_balanced(seed, corruption, index, count, BalanceMode::Uniform)
+}
+
+/// Same, with an explicit balance mode (`--balance static|measured`).
+fn shard_ckpt_balanced(
+    seed: u64,
+    corruption: CorruptionProfile,
+    index: u32,
+    count: u32,
+    balance: BalanceMode,
+) -> Vec<u8> {
+    let tag = format!(
+        "{seed}-{}-{index}of{count}-{}",
+        corruption.as_str(),
+        balance.as_str()
+    );
     let path = ckpt_path(&tag);
     let _ = std::fs::remove_file(&path);
     let opts = StreamingOptions {
         checkpoint: Some(path.clone()),
         shard: Some(ShardSpec { index, count }),
+        balance,
         ..StreamingOptions::default()
     };
     campaign(seed, corruption)
@@ -135,6 +156,112 @@ fn merged_shard_checkpoints_match_single_process_under_worst_corruption() {
     merged_shards_match_single_process(CorruptionProfile::Worst);
 }
 
+/// Cost-balanced shards (`--balance static` and `--balance measured`)
+/// cut the phone-id space at planner-chosen points instead of the
+/// `i/N` formula — the merged report must still be byte-identical to
+/// the single-process run, and the checkpoints must record exactly
+/// the planner's intervals.
+#[test]
+fn balanced_shard_checkpoints_match_single_process() {
+    let corruption = CorruptionProfile::Worst;
+    let registry = PassRegistry::all();
+    let config = AnalysisConfig::default();
+    let baseline = render(
+        &campaign(SEED, corruption)
+            .run_streaming(4, config, &registry)
+            .report,
+    );
+    let fingerprint = campaign(SEED, corruption).fingerprint();
+    // A deliberately lopsided measured-cost vector: phone 0 costs as
+    // much as the rest of the fleet together.
+    let mut measured = vec![1.0f64; PHONES as usize];
+    measured[0] = PHONES as f64;
+    for (count, mode) in [
+        (2u32, BalanceMode::Static),
+        (4, BalanceMode::Static),
+        (4, BalanceMode::Measured(measured)),
+    ] {
+        let plan = campaign(SEED, corruption).shard_plan(count, &mode);
+        let inputs: Vec<Vec<u8>> = (0..count)
+            .map(|i| shard_ckpt_balanced(SEED, corruption, i, count, mode.clone()))
+            .collect();
+        // The checkpoints carry the planner's cut points verbatim.
+        for (i, bytes) in inputs.iter().enumerate() {
+            let want = plan.topology(i as u32);
+            let resumed = StreamMerger::resume(&registry, config, fingerprint, want, bytes)
+                .unwrap_or_else(|e| panic!("{}-balanced shard {i}/{count}: {e}", mode.as_str()));
+            assert_eq!(
+                resumed.absorbed(),
+                want.end,
+                "shard {i} covers its interval"
+            );
+        }
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+            .unwrap_or_else(|e| panic!("{}-balanced {count}-way merge failed: {e}", mode.as_str()));
+        assert_eq!(
+            render(&merger.finish()),
+            baseline,
+            "{}-balanced {count}-way merge differs from single process",
+            mode.as_str()
+        );
+    }
+}
+
+/// `merge-checkpoints --partial` semantics: with one shard file
+/// missing the partial merge succeeds, names exactly the dropped
+/// interval, and still folds every phone from the shards that are
+/// present; with the full set present it degrades to the strict
+/// merge, byte for byte.
+#[test]
+fn partial_merge_names_the_missing_interval_and_folds_the_rest() {
+    let registry = PassRegistry::all();
+    let config = AnalysisConfig::default();
+    let fingerprint = campaign(SEED, CorruptionProfile::None).fingerprint();
+    let shards: Vec<Vec<u8>> = (0..4)
+        .map(|i| shard_ckpt(SEED, CorruptionProfile::None, i, 4))
+        .collect();
+
+    // Full cover: partial == strict, including the rendered bytes.
+    let (full, gaps) = merge_shard_checkpoints_partial(&registry, config, fingerprint, &shards)
+        .expect("full cover must merge");
+    assert_eq!(gaps, Vec::<(u32, u32)>::new());
+    assert_eq!(full.absorbed(), PHONES);
+    let strict = merge_shard_checkpoints(&registry, config, fingerprint, &shards)
+        .expect("strict merge of a full cover");
+    assert_eq!(render(&full.finish()), render(&strict.finish()));
+
+    // Shard 1 missing: its interval is the one gap, and the phones of
+    // shards 0, 2 and 3 all still reach the report.
+    let (hole_from, hole_to) = ShardTopology::uniform(1, 4, PHONES).interval();
+    let missing = [shards[0].clone(), shards[2].clone(), shards[3].clone()];
+    let (merger, gaps) = merge_shard_checkpoints_partial(&registry, config, fingerprint, &missing)
+        .expect("partial merge must tolerate a missing shard");
+    assert_eq!(gaps, vec![(hole_from, hole_to)]);
+    let report = merger.finish();
+    assert_eq!(
+        report.per_phone.len() as u32,
+        PHONES - (hole_to - hole_from),
+        "best-effort report folds every present phone"
+    );
+
+    // Overlaps are corruption, not incompleteness: still refused.
+    let fp = 0xFEED_F00D;
+    let overlapping = [
+        hand_ckpt(&registry, config, fp, 0..3, 0, 2, 6),
+        hand_ckpt(&registry, config, fp, 2..6, 1, 2, 6),
+    ];
+    let err = merge_shard_checkpoints_partial(&registry, config, fp, &overlapping)
+        .map(|_| ())
+        .expect_err("partial merge must still refuse overlaps");
+    assert_eq!(
+        err,
+        MergeError::Overlap {
+            a: (0, 3),
+            b: (2, 6)
+        }
+    );
+}
+
 /// Folds `ids` into a shard-scoped merger and snapshots it under a
 /// hand-chosen topology — for refusal cases the formula-driven driver
 /// cannot produce (overlaps).
@@ -147,20 +274,20 @@ fn hand_ckpt(
     count: u32,
     fleet_phones: u32,
 ) -> Vec<u8> {
+    let topology = ShardTopology {
+        index,
+        count,
+        fleet_phones,
+        start: ids.start,
+        end: ids.end,
+    };
     let mut merger = StreamMerger::new_at(registry, config, ids.start);
     for id in ids {
         let phone = PhoneDataset::new(id, Vec::new(), Vec::new());
         let lens = PhoneLens::new(&phone, config, registry.needs_coalesce());
         merger.push(registry.fold_phone(&lens));
     }
-    merger.snapshot(
-        fingerprint,
-        ShardTopology {
-            index,
-            count,
-            fleet_phones,
-        },
-    )
+    merger.snapshot(fingerprint, topology)
 }
 
 /// `expect_err` needs `Debug` on the success arm, which
@@ -193,12 +320,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         merge_shard_checkpoints(&registry, config, fingerprint, &missing),
         "coverage gap must be refused",
     );
-    let (hole_from, hole_to) = ShardTopology {
-        index: 2,
-        count: 4,
-        fleet_phones: PHONES,
-    }
-    .interval();
+    let (hole_from, hole_to) = ShardTopology::uniform(2, 4, PHONES).interval();
     assert_eq!(
         err,
         MergeError::CoverageGap {
@@ -384,6 +506,8 @@ proptest! {
                     index: index as u32,
                     count,
                     fleet_phones: phones.len() as u32,
+                    start: w[0] as u32,
+                    end: w[1] as u32,
                 })
             })
             .collect();
@@ -398,6 +522,82 @@ proptest! {
             unsharded,
             render(&merger.finish()),
             "partition {:?} changed the study", cuts
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// For ANY per-phone cost vector — including zeros, negatives,
+    /// NaNs and infinities — the planner's cuts partition `[0, P)`
+    /// exactly, and checkpoints cut at those points merge to the
+    /// unsharded merger's bytes. The cost model only moves the cuts;
+    /// it must never be able to change the study.
+    #[test]
+    fn planner_cuts_partition_exactly_and_merge_byte_identical(
+        raw_costs in prop::collection::vec((0u8..5, 0.0f64..100.0), 1..40),
+        count in 1u32..9,
+    ) {
+        let costs: Vec<f64> = raw_costs
+            .iter()
+            .map(|&(sel, v)| match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -v,
+                3 => 0.0,
+                _ => v,
+            })
+            .collect();
+        let plan = ShardPlan::from_costs(&costs, count);
+        let phones_total = costs.len() as u32;
+
+        // Exact partition: intervals chain from 0 to P with no gap or
+        // overlap, and each matches the recorded topology.
+        prop_assert_eq!(plan.count(), count);
+        prop_assert_eq!(plan.fleet_phones(), phones_total);
+        let mut cursor = 0u32;
+        for i in 0..count {
+            let (lo, hi) = plan.interval(i);
+            prop_assert_eq!(lo, cursor, "shard {} must start where {} ended", i, i.wrapping_sub(1));
+            prop_assert!(hi >= lo);
+            let topo = plan.topology(i);
+            prop_assert_eq!((topo.start, topo.end), (lo, hi));
+            cursor = hi;
+        }
+        prop_assert_eq!(cursor, phones_total, "cuts must cover the fleet");
+
+        // Byte-identity: fold empty phone datasets along the cuts.
+        let phones: Vec<PhoneDataset> = (0..phones_total)
+            .map(|id| PhoneDataset::new(id, Vec::new(), Vec::new()))
+            .collect();
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let fingerprint = 0xC057_BA1A_u64;
+        let unsharded = {
+            let mut merger = StreamMerger::new(&registry, config);
+            for phone in &phones {
+                let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                merger.push(registry.fold_phone(&lens));
+            }
+            render(&merger.finish())
+        };
+        let ckpts: Vec<Vec<u8>> = (0..count)
+            .map(|i| {
+                let (lo, hi) = plan.interval(i);
+                let mut merger = StreamMerger::new_at(&registry, config, lo);
+                for phone in &phones[lo as usize..hi as usize] {
+                    let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
+                    merger.push(registry.fold_phone(&lens));
+                }
+                merger.snapshot(fingerprint, plan.topology(i))
+            })
+            .collect();
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &ckpts)
+            .expect("planner cuts must form a full disjoint cover");
+        prop_assert_eq!(
+            unsharded,
+            render(&merger.finish()),
+            "planner cuts changed the study for costs {:?}", costs
         );
     }
 }
