@@ -7,6 +7,7 @@
 //!       [--seed N] [--phones N] [--days N] [--workers N] [--sweep]
 //!       [--pipeline fused|staged] [--engine batch|streaming]
 //!       [--analyses all|comma-list]
+//!       [--fleet default|mixed|class:share,...]
 //!       [--corruption none|light|moderate|worst] [--defects-json PATH]
 //!       [--timing-json PATH]
 //!       [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
@@ -14,9 +15,11 @@
 //!       [--shard i/N] [--balance uniform|static|measured]
 //!       [--costs-json PATH]
 //! repro merge-checkpoints OUT IN1 IN2 ... [--seed N] [--phones N]
-//!       [--days N] [--corruption PROFILE] [--analyses LIST] [--partial]
+//!       [--days N] [--corruption PROFILE] [--fleet SPEC]
+//!       [--analyses LIST] [--partial]
 //! repro plan-shards --shards N [--balance MODE] [--costs-json PATH]
 //!       [--seed N] [--phones N] [--days N] [--corruption PROFILE]
+//!       [--fleet SPEC]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -72,9 +75,21 @@
 //! prints the planned cut table and predicted max-shard cost without
 //! running anything.
 //!
+//! `--fleet` picks the fleet composition: `default` (25 identical
+//! smartphones), `mixed` (the built-in communicator / smartphone /
+//! entry-level blend), or an explicit `class:share,...` list. Device
+//! class scales each phone's usage intensity, fault rate and
+//! corruption tendency, and the report grows a device-class ×
+//! failure-type breakdown (with a chi-square independence check) for
+//! any fleet with at least two classes. The composition is part of the
+//! campaign fingerprint and of the checkpoint header, so shards and
+//! resumes from a different composition are refused with a typed
+//! error.
+//!
 //! The checkpoint a shard writes records the shard topology with its
-//! explicit `[start, end)` interval (schema v4 — v3 files are
-//! refused with a typed version error), and `repro merge-checkpoints
+//! explicit `[start, end)` interval plus the fleet-composition spec
+//! (schema v5 — v4 files are refused with a typed version error), and
+//! `repro merge-checkpoints
 //! out.bin a.bin b.bin ...` validates N such checkpoints (same
 //! campaign, config and registry; intervals disjoint and jointly
 //! covering the fleet), tree-merges them, writes the merged
@@ -104,6 +119,7 @@ use symfail_core::analysis::{
 };
 use symfail_core::flashfs::FlashFs;
 use symfail_phone::calibration::CalibrationParams;
+use symfail_phone::composition::FleetComposition;
 use symfail_phone::corruption::CorruptionProfile;
 use symfail_phone::fleet::{
     harvest_metas, FleetCampaign, MergeMode, PhoneMeta, ShardSpec, StreamingOptions, WorkerStats,
@@ -267,6 +283,7 @@ struct Args {
     engine: Engine,
     analyses: String,
     corruption: CorruptionProfile,
+    fleet: FleetComposition,
     defects_json: Option<String>,
     timing_json: Option<String>,
     checkpoint: Option<String>,
@@ -298,6 +315,7 @@ fn parse_args() -> Result<Args, String> {
         engine: Engine::Batch,
         analyses: "all".to_string(),
         corruption: CorruptionProfile::None,
+        fleet: FleetComposition::default(),
         defects_json: None,
         timing_json: None,
         checkpoint: None,
@@ -363,6 +381,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--analyses" => args.analyses = it.next().ok_or("--analyses needs a comma-list")?,
+            "--fleet" => {
+                let spec = it.next().ok_or("--fleet needs a composition spec")?;
+                args.fleet = FleetComposition::parse(&spec).map_err(|e| format!("--fleet: {e}"))?
+            }
             "--corruption" => {
                 let profile = it.next().ok_or("--corruption needs a profile name")?;
                 args.corruption = CorruptionProfile::parse(&profile).ok_or(format!(
@@ -422,6 +444,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--exp NAME] [--seed N] [--phones N] [--days N] \
                      [--workers N] [--sweep] [--pipeline fused|staged] \
                      [--engine batch|streaming] [--analyses LIST] \
+                     [--fleet default|mixed|class:share,...] \
                      [--corruption none|light|moderate|worst] \
                      [--defects-json PATH] [--timing-json PATH] \
                      [--checkpoint PATH] [--checkpoint-every N] \
@@ -430,10 +453,11 @@ fn parse_args() -> Result<Args, String> {
                      [--balance uniform|static|measured] [--costs-json PATH]\n\
                      \x20      repro merge-checkpoints OUT IN1 IN2 ... \
                      [--seed N] [--phones N] [--days N] \
-                     [--corruption PROFILE] [--analyses LIST] [--partial]\n\
+                     [--corruption PROFILE] [--fleet SPEC] [--analyses LIST] \
+                     [--partial]\n\
                      \x20      repro plan-shards --shards N [--balance MODE] \
                      [--costs-json PATH] [--seed N] [--phones N] [--days N] \
-                     [--corruption PROFILE]\n\
+                     [--corruption PROFILE] [--fleet SPEC]\n\
                      checkpoint/stop/trace/merge/shard/balance flags need \
                      --engine streaming\n\
                      --analyses takes a comma-list of pass names \
@@ -612,7 +636,9 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
         campaign_days: args.days,
         ..CalibrationParams::default()
     };
-    let campaign = FleetCampaign::new(args.seed, params).with_corruption(args.corruption);
+    let campaign = FleetCampaign::new(args.seed, params)
+        .with_corruption(args.corruption)
+        .with_fleet(args.fleet.clone());
     let mut timings: Vec<StageTiming> = Vec::new();
     let mut stage = |name, t: Instant, a0: (u64, u64)| {
         let (a1, b1) = alloc_now();
@@ -720,7 +746,8 @@ fn run_campaign(args: &Args, registry: &PassRegistry) -> Result<CampaignRun, Str
     stage("bursts", t, a);
 
     let (t, a) = (Instant::now(), alloc_now());
-    let report = StudyReport::analyze_with(&fleet, config, registry);
+    let report =
+        StudyReport::analyze_with_labels(&fleet, config, registry, |id| campaign.device_labels(id));
     stage("report_total", t, a);
 
     Ok(CampaignRun {
@@ -917,6 +944,7 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
     let mut phones: u32 = 25;
     let mut days: u32 = 425;
     let mut corruption = CorruptionProfile::None;
+    let mut fleet = FleetComposition::default();
     let mut analyses = "all".to_string();
     let mut partial = false;
     let mut paths: Vec<&str> = Vec::new();
@@ -947,6 +975,10 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
                     "unknown corruption profile {profile} (try none|light|moderate|worst)"
                 ))?
             }
+            "--fleet" => {
+                let spec = it.next().ok_or("--fleet needs a composition spec")?;
+                fleet = FleetComposition::parse(spec).map_err(|e| format!("--fleet: {e}"))?
+            }
             "--analyses" => {
                 analyses = it
                     .next()
@@ -957,7 +989,8 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err("usage: repro merge-checkpoints OUT IN1 IN2 ... \
                             [--seed N] [--phones N] [--days N] \
-                            [--corruption PROFILE] [--analyses LIST] [--partial]"
+                            [--corruption PROFILE] [--fleet SPEC] \
+                            [--analyses LIST] [--partial]"
                     .to_string())
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -979,7 +1012,9 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
     };
     let fingerprint = FleetCampaign::new(seed, params)
         .with_corruption(corruption)
+        .with_fleet(fleet.clone())
         .fingerprint();
+    let composition = fleet.spec_string();
     let config = AnalysisConfig {
         uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
         ..AnalysisConfig::default()
@@ -990,10 +1025,10 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
         .map(|p| std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}")))
         .collect::<Result<_, _>>()?;
     let (merger, gaps) = if partial {
-        merge_shard_checkpoints_partial(&registry, config, fingerprint, &inputs)
+        merge_shard_checkpoints_partial(&registry, config, fingerprint, &composition, &inputs)
             .map_err(|e| format!("merge failed: {e}"))?
     } else {
-        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &composition, &inputs)
             .map_err(|e| format!("merge failed: {e}"))?;
         (merger, Vec::new())
     };
@@ -1008,7 +1043,7 @@ fn merge_checkpoints_cmd(argv: &[String]) -> Result<(), String> {
     // only — under `--partial` with a leading gap that can be fewer
     // phones than the report below folds in, but it is always a valid
     // resumable checkpoint.
-    let merged = merger.snapshot(fingerprint, ShardTopology::solo(phones));
+    let merged = merger.snapshot(fingerprint, &composition, ShardTopology::solo(phones));
     std::fs::write(out_path, merged).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     if gaps.is_empty() {
         eprintln!(
@@ -1051,6 +1086,7 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
     let mut phones: u32 = 25;
     let mut days: u32 = 425;
     let mut corruption = CorruptionProfile::None;
+    let mut fleet = FleetComposition::default();
     let mut shards: u32 = 0;
     let mut balance = Balance::Static;
     let mut costs_json: Option<String> = None;
@@ -1081,6 +1117,10 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
                     "unknown corruption profile {profile} (try none|light|moderate|worst)"
                 ))?
             }
+            "--fleet" => {
+                let spec = it.next().ok_or("--fleet needs a composition spec")?;
+                fleet = FleetComposition::parse(spec).map_err(|e| format!("--fleet: {e}"))?
+            }
             "--shards" => {
                 shards = it
                     .next()
@@ -1095,7 +1135,8 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err("usage: repro plan-shards --shards N \
                             [--balance uniform|static|measured] [--costs-json PATH] \
-                            [--seed N] [--phones N] [--days N] [--corruption PROFILE]"
+                            [--seed N] [--phones N] [--days N] \
+                            [--corruption PROFILE] [--fleet SPEC]"
                     .to_string())
             }
             flag => return Err(format!("unknown flag {flag}")),
@@ -1110,7 +1151,9 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
         campaign_days: days,
         ..CalibrationParams::default()
     };
-    let campaign = FleetCampaign::new(seed, params).with_corruption(corruption);
+    let campaign = FleetCampaign::new(seed, params)
+        .with_corruption(corruption)
+        .with_fleet(fleet.clone());
     // Cost the uniform comparison under the SAME vector the chosen
     // mode balances on, so the printed ratio is apples to apples.
     let costs = match &mode {
@@ -1124,8 +1167,9 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
     let uniform = ShardPlan::uniform(&costs, shards);
     println!(
         "shard plan: {phones} phones x {days} days, corruption {}, \
-         {shards} shards, balance {}",
+         fleet {}, {shards} shards, balance {}",
         corruption.as_str(),
+        fleet.spec_string(),
         balance.as_str()
     );
     println!("  shard  interval            phones  predicted_cost");
@@ -1322,14 +1366,13 @@ fn main() -> ExitCode {
             {
                 println!("{}", ia.render("freezes + self-shutdowns"));
             }
-            println!("panic counts by firmware (ground truth):");
-            for (version, phones, panics) in symfail_phone::fleet::panics_by_firmware(metas) {
-                let per_phone = if phones > 0 {
-                    panics as f64 / phones as f64
-                } else {
-                    0.0
-                };
-                println!("  {version:<12} {phones:>2} phones  {panics:>4} panics  ({per_phone:.1}/phone)");
+            // Firmware breakdown comes from the registered `firmware`
+            // pass — logged data folded under either engine — instead
+            // of the old metas-walking free function.
+            print!("{}", report.render_firmware());
+            let classes = report.render_device_classes();
+            if !classes.is_empty() {
+                print!("{classes}");
             }
             println!();
             let sev = symfail_core::analysis::severity::SeverityAnalysis::from_counts(

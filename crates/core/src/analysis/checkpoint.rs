@@ -67,8 +67,11 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SYMFCKPT";
 /// start) that makes multi-process checkpoint merging validatable;
 /// v4 stores each shard's explicit `[start, end)` interval in the
 /// topology so cost-balanced (uneven) contiguous partitions
-/// round-trip instead of being recomputed from `i/N`.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 4;
+/// round-trip instead of being recomputed from `i/N`; v5 adds the
+/// fleet-composition spec string to the header (refused with a typed
+/// mismatch when it differs), registers the `firmware` pass, and
+/// groups the `activity`/`runapps` blobs by device class.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 5;
 
 /// Which slice of a fleet a checkpoint-writing process owned: shard
 /// `index` of `count` over a fleet of `fleet_phones` phones, owning
@@ -170,6 +173,14 @@ pub enum CheckpointError {
     ///
     /// [`AnalysisConfig`]: super::report::AnalysisConfig
     ConfigMismatch,
+    /// The checkpoint was written under a different fleet composition
+    /// (`--fleet` spec), so its per-class folds are not comparable.
+    CompositionMismatch {
+        /// Composition spec stored in the file.
+        found: String,
+        /// Composition spec of the resuming campaign.
+        expected: String,
+    },
     /// The checkpoint belongs to a different campaign (seed, fleet
     /// size, duration or corruption profile).
     CampaignMismatch {
@@ -213,6 +224,11 @@ impl fmt::Display for CheckpointError {
             CheckpointError::ConfigMismatch => {
                 write!(f, "checkpoint written under a different analysis config")
             }
+            CheckpointError::CompositionMismatch { found, expected } => write!(
+                f,
+                "checkpoint written under fleet composition `{found}` \
+                 (this run uses `{expected}`)"
+            ),
             CheckpointError::CampaignMismatch { found, expected } => write!(
                 f,
                 "checkpoint belongs to a different campaign \

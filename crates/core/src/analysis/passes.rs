@@ -163,16 +163,64 @@ pub enum PassOutput {
         /// Freezes + self-shutdown HL events, `(phone, time)`-sorted.
         hl_events: Vec<HlEvent>,
     },
-    /// Table 3 section.
-    Activity(ActivityAnalysis),
-    /// Table 4 / Figure 6 section.
-    RunningApps(RunningAppsAnalysis),
+    /// Table 3 section, sliced by device class.
+    Activity {
+        /// The whole-fleet table (all classes merged).
+        total: ActivityAnalysis,
+        /// Per-device-class slices, in label order.
+        by_class: Vec<(String, ActivityAnalysis)>,
+    },
+    /// Table 4 / Figure 6 section, sliced by device class.
+    RunningApps {
+        /// The whole-fleet table (all classes merged).
+        total: RunningAppsAnalysis,
+        /// Per-device-class slices, in label order.
+        by_class: Vec<(String, RunningAppsAnalysis)>,
+    },
     /// Table 2 panic distribution.
     PanicDistribution(CategoricalDist),
+    /// Firmware-version table plus the Section-4-style device-class ×
+    /// failure-type contingency table.
+    Firmware(FirmwareBreakdown),
     /// Parse-defect accounting.
     Defects(DefectReport),
     /// Per-phone breakdown rows.
     PerPhone(Vec<PhoneRow>),
+}
+
+/// The firmware pass's finished section: the panics-by-firmware table
+/// the batch-only `panics_by_firmware` free function used to compute,
+/// plus the paper's Section-4 device-class × failure-type contingency
+/// table.
+#[derive(Debug, Clone, Default)]
+pub struct FirmwareBreakdown {
+    /// `(firmware label, phones, panics)` rows in label order.
+    pub versions: Vec<(String, u64, u64)>,
+    /// Device class (rows) × failure type (`panic` / `freeze` /
+    /// `self-shutdown` columns) counts.
+    pub class_failures: ContingencyTable,
+}
+
+/// The device-profile labels a phone folds under: which device class
+/// and firmware version the simulator assigned it. Drivers that know
+/// the fleet composition attach real labels
+/// ([`PhoneLens::with_device`]); standalone datasets fall back to the
+/// homogeneous default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLabels {
+    /// Device-class label (the composition's `DeviceClass::as_str`).
+    pub device_class: &'static str,
+    /// Firmware-version label (`SymbianVersion::as_str`).
+    pub firmware: &'static str,
+}
+
+impl Default for DeviceLabels {
+    fn default() -> Self {
+        Self {
+            device_class: "smartphone",
+            firmware: "Symbian 8.0",
+        }
+    }
 }
 
 /// Everything a pass may want from one phone, computed once and shared
@@ -193,14 +241,28 @@ pub struct PhoneLens<'a> {
     hl: Vec<HlEvent>,
     coalesced: PhoneCoalesce,
     coalesced_all: PhoneCoalesce,
+    /// Device class + firmware labels the phone folds under.
+    device: DeviceLabels,
 }
 
 impl<'a> PhoneLens<'a> {
     /// Precomputes the shared per-phone views. `needs_coalesce` gates
     /// the HL merge + coalescence folds (use
-    /// [`PassRegistry::needs_coalesce`]).
+    /// [`PassRegistry::needs_coalesce`]). The device labels default to
+    /// the homogeneous fleet's.
     pub fn new(phone: &'a PhoneDataset, config: AnalysisConfig, needs_coalesce: bool) -> Self {
         Self::with_names(phone, phone.names(), config, needs_coalesce)
+    }
+
+    /// [`Self::new`] with explicit device labels — the streaming
+    /// drivers attach the composition's per-phone assignment here.
+    pub fn with_device(
+        phone: &'a PhoneDataset,
+        config: AnalysisConfig,
+        needs_coalesce: bool,
+        device: DeviceLabels,
+    ) -> Self {
+        Self::with_names_device(phone, phone.names(), config, needs_coalesce, device)
     }
 
     /// [`Self::new`] with an explicit resolve table. The batch driver
@@ -211,6 +273,24 @@ impl<'a> PhoneLens<'a> {
         names: &'a NameTable,
         config: AnalysisConfig,
         needs_coalesce: bool,
+    ) -> Self {
+        Self::with_names_device(
+            phone,
+            names,
+            config,
+            needs_coalesce,
+            DeviceLabels::default(),
+        )
+    }
+
+    /// [`Self::with_names`] with explicit device labels — the
+    /// labelled batch driver's entry point.
+    pub fn with_names_device(
+        phone: &'a PhoneDataset,
+        names: &'a NameTable,
+        config: AnalysisConfig,
+        needs_coalesce: bool,
+        device: DeviceLabels,
     ) -> Self {
         let self_shutdowns = phone
             .shutdown_events()
@@ -266,6 +346,7 @@ impl<'a> PhoneLens<'a> {
             hl,
             coalesced,
             coalesced_all,
+            device,
         }
     }
 
@@ -277,6 +358,11 @@ impl<'a> PhoneLens<'a> {
     /// The intern table the phone's panic ids resolve against.
     pub fn names(&self) -> &NameTable {
         self.names
+    }
+
+    /// The device labels the phone folds under.
+    pub fn device(&self) -> DeviceLabels {
+        self.device
     }
 }
 
@@ -298,9 +384,9 @@ pub struct PassRegistry {
 
 impl PassRegistry {
     /// Every pass name, in canonical (registry) order.
-    pub const NAMES: [&'static str; 9] = [
-        "shutdown", "mtbf", "bursts", "coalesce", "activity", "runapps", "panics", "defects",
-        "perphone",
+    pub const NAMES: [&'static str; 10] = [
+        "shutdown", "mtbf", "bursts", "coalesce", "activity", "runapps", "panics", "firmware",
+        "defects", "perphone",
     ];
 
     /// The full registry: every pass, in canonical order.
@@ -353,6 +439,7 @@ impl PassRegistry {
             "activity" => Box::new(ActivityPass),
             "runapps" => Box::new(RunningAppsPass),
             "panics" => Box::new(PanicDistPass),
+            "firmware" => Box::new(FirmwarePass),
             "defects" => Box::new(DefectsPass),
             "perphone" => Box::new(PerPhonePass),
             _ => unreachable!("validated pass name"),
@@ -827,9 +914,16 @@ impl<'r> StreamMerger<'r> {
     /// `topology` records which fleet slice the writing process owns —
     /// [`ShardTopology::solo`] for an unsharded run — making the file
     /// self-describing for both resume validation and
-    /// [`merge_shard_checkpoints`].
-    pub fn snapshot(&self, campaign_fingerprint: u64, topology: ShardTopology) -> Vec<u8> {
-        self.snapshot_impl(campaign_fingerprint, topology, false)
+    /// [`merge_shard_checkpoints`]. `composition` is the campaign's
+    /// fleet-composition spec string (v5 header), validated on resume
+    /// with a typed mismatch error.
+    pub fn snapshot(
+        &self,
+        campaign_fingerprint: u64,
+        composition: &str,
+        topology: ShardTopology,
+    ) -> Vec<u8> {
+        self.snapshot_impl(campaign_fingerprint, composition, topology, false)
     }
 
     /// [`Self::snapshot`] plus the buffered out-of-order shards — a
@@ -843,14 +937,16 @@ impl<'r> StreamMerger<'r> {
     pub fn snapshot_with_pending(
         &self,
         campaign_fingerprint: u64,
+        composition: &str,
         topology: ShardTopology,
     ) -> Vec<u8> {
-        self.snapshot_impl(campaign_fingerprint, topology, true)
+        self.snapshot_impl(campaign_fingerprint, composition, topology, true)
     }
 
     fn snapshot_impl(
         &self,
         campaign_fingerprint: u64,
+        composition: &str,
         topology: ShardTopology,
         with_pending: bool,
     ) -> Vec<u8> {
@@ -862,6 +958,10 @@ impl<'r> StreamMerger<'r> {
         w.u64(self.config.coalescence_window.as_millis());
         w.u64(self.config.burst_gap.as_millis());
         w.u64(self.config.uptime_gap.as_millis());
+        // v5 composition header: the fleet-composition spec string, so
+        // a checkpoint is refused (typed) under a different fleet mix
+        // even before the fingerprint comparison explains less.
+        w.str(composition);
         w.usize(self.registry.passes().len());
         for pass in self.registry.passes() {
             w.str(pass.name());
@@ -919,10 +1019,11 @@ impl<'r> StreamMerger<'r> {
         registry: &'r PassRegistry,
         config: AnalysisConfig,
         campaign_fingerprint: u64,
+        composition: &str,
         topology: ShardTopology,
         bytes: &[u8],
     ) -> Result<Self, CheckpointError> {
-        let parsed = parse_checkpoint(registry, config, campaign_fingerprint, bytes)?;
+        let parsed = parse_checkpoint(registry, config, campaign_fingerprint, composition, bytes)?;
         if parsed.topology != topology {
             return Err(CheckpointError::ShardMismatch {
                 found: parsed.topology,
@@ -959,6 +1060,7 @@ fn parse_checkpoint(
     registry: &PassRegistry,
     config: AnalysisConfig,
     campaign_fingerprint: u64,
+    composition: &str,
     bytes: &[u8],
 ) -> Result<ParsedCheckpoint, CheckpointError> {
     let magic_len = CHECKPOINT_MAGIC.len();
@@ -991,6 +1093,8 @@ fn parse_checkpoint(
         burst_gap: SimDuration::from_millis(r.u64()?),
         uptime_gap: SimDuration::from_millis(r.u64()?),
     };
+    // v5 composition header.
+    let found_composition = r.str()?;
     let n_passes = r.usize()?;
     if n_passes > PassRegistry::NAMES.len() {
         return Err(CheckpointError::Corrupt("pass count out of range"));
@@ -1012,6 +1116,15 @@ fn parse_checkpoint(
     }
     if stored_config != config {
         return Err(CheckpointError::ConfigMismatch);
+    }
+    // Checked before the fingerprint: a composition change also moves
+    // the campaign fingerprint, and the composition mismatch is the
+    // error that names the cause.
+    if found_composition != composition {
+        return Err(CheckpointError::CompositionMismatch {
+            found: found_composition,
+            expected: composition.to_string(),
+        });
     }
     if found_fingerprint != campaign_fingerprint {
         return Err(CheckpointError::CampaignMismatch {
@@ -1109,9 +1222,10 @@ pub fn load_shard_checkpoint(
     registry: &PassRegistry,
     config: AnalysisConfig,
     campaign_fingerprint: u64,
+    composition: &str,
     bytes: &[u8],
 ) -> Result<(ShardInfo, FoldShard), CheckpointError> {
-    let parsed = parse_checkpoint(registry, config, campaign_fingerprint, bytes)?;
+    let parsed = parse_checkpoint(registry, config, campaign_fingerprint, composition, bytes)?;
     if !parsed.pending.is_empty() {
         return Err(CheckpointError::Corrupt(
             "merge input carries pending shards",
@@ -1205,9 +1319,11 @@ pub fn merge_shard_checkpoints<'r>(
     registry: &'r PassRegistry,
     config: AnalysisConfig,
     campaign_fingerprint: u64,
+    composition: &str,
     inputs: &[Vec<u8>],
 ) -> Result<StreamMerger<'r>, MergeError> {
-    let (infos, mut shards) = load_shard_inputs(registry, config, campaign_fingerprint, inputs)?;
+    let (infos, mut shards) =
+        load_shard_inputs(registry, config, campaign_fingerprint, composition, inputs)?;
     validate_shard_cover(&infos)?;
     let mut merger = StreamMerger::new(registry, config);
     // Zero-width shards (a shard count above the fleet size leaves
@@ -1234,9 +1350,11 @@ pub fn merge_shard_checkpoints_partial<'r>(
     registry: &'r PassRegistry,
     config: AnalysisConfig,
     campaign_fingerprint: u64,
+    composition: &str,
     inputs: &[Vec<u8>],
 ) -> Result<(StreamMerger<'r>, Vec<(u32, u32)>), MergeError> {
-    let (infos, mut shards) = load_shard_inputs(registry, config, campaign_fingerprint, inputs)?;
+    let (infos, mut shards) =
+        load_shard_inputs(registry, config, campaign_fingerprint, composition, inputs)?;
     let gaps = shard_cover_gaps(&infos)?;
     let mut merger = StreamMerger::new(registry, config);
     shards.retain(|s| !s.is_empty());
@@ -1253,6 +1371,7 @@ fn load_shard_inputs(
     registry: &PassRegistry,
     config: AnalysisConfig,
     campaign_fingerprint: u64,
+    composition: &str,
     inputs: &[Vec<u8>],
 ) -> Result<(Vec<ShardInfo>, Vec<FoldShard>), MergeError> {
     if inputs.is_empty() {
@@ -1261,8 +1380,9 @@ fn load_shard_inputs(
     let mut infos = Vec::with_capacity(inputs.len());
     let mut shards = Vec::with_capacity(inputs.len());
     for (input, bytes) in inputs.iter().enumerate() {
-        let (info, shard) = load_shard_checkpoint(registry, config, campaign_fingerprint, bytes)
-            .map_err(|error| MergeError::Input { input, error })?;
+        let (info, shard) =
+            load_shard_checkpoint(registry, config, campaign_fingerprint, composition, bytes)
+                .map_err(|error| MergeError::Input { input, error })?;
         infos.push(info);
         shards.push(shard);
     }
@@ -1819,8 +1939,40 @@ impl AnalysisPass for CoalescePass {
     }
 }
 
-/// Table 3: per-phone activity tables, additively merged.
+/// A fleet accumulator sliced by device-class label: one inner
+/// accumulator per class, merged additively. The whole-fleet total is
+/// recovered at finish by absorbing the groups in label order — equal
+/// to the ungrouped phone-order fold because the inner merges are
+/// order-insensitive additive counters. Checkpoint form (the v5
+/// "grouped blob"): group count, then `label + inner encoding` per
+/// group in label order.
+struct Grouped<A> {
+    groups: BTreeMap<String, A>,
+}
+
+impl<A> Grouped<A> {
+    fn new() -> Self {
+        Self {
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The group for `label`, created with `empty` on first use.
+    fn group(&mut self, label: &str, empty: impl FnOnce() -> A) -> &mut A {
+        if !self.groups.contains_key(label) {
+            self.groups.insert(label.to_string(), empty());
+        }
+        self.groups.get_mut(label).expect("group just ensured")
+    }
+}
+
+/// Table 3: per-phone activity tables, additively merged, grouped by
+/// device class.
 struct ActivityPass;
+
+fn empty_activity() -> ActivityAnalysis {
+    ActivityAnalysis::from_coalesced(&[])
+}
 
 impl AnalysisPass for ActivityPass {
     fn name(&self) -> &'static str {
@@ -1832,45 +1984,87 @@ impl AnalysisPass for ActivityPass {
     }
 
     fn new_acc(&self) -> DynAcc {
-        Box::new(ActivityAnalysis::from_coalesced(&[]))
+        Box::new(Grouped::<ActivityAnalysis>::new())
     }
 
     fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
-        Box::new(ActivityAnalysis::from_coalesced(&lens.coalesced.panics))
+        Box::new((
+            lens.device.device_class,
+            ActivityAnalysis::from_coalesced(&lens.coalesced.panics),
+        ))
     }
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
-        acc_of::<ActivityAnalysis>(acc).absorb(&take::<ActivityAnalysis>(fold));
+        let (class, fold) = take::<(&'static str, ActivityAnalysis)>(fold);
+        acc_of::<Grouped<ActivityAnalysis>>(acc)
+            .group(class, empty_activity)
+            .absorb(&fold);
+    }
+
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, _ctx: &MergeCtx<'_>) {
+        let other = take::<Grouped<ActivityAnalysis>>(other);
+        let acc = acc_of::<Grouped<ActivityAnalysis>>(acc);
+        for (label, a) in other.groups {
+            acc.group(&label, empty_activity).absorb(&a);
+        }
     }
 
     fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
-        table_heap_bytes(acc_ref::<ActivityAnalysis>(acc).table())
+        acc_ref::<Grouped<ActivityAnalysis>>(acc)
+            .groups
+            .iter()
+            .map(|(label, a)| label.len() + 48 + table_heap_bytes(a.table()))
+            .sum()
     }
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
-        PassOutput::Activity(take::<ActivityAnalysis>(acc))
+        let acc = take::<Grouped<ActivityAnalysis>>(acc);
+        let mut total = empty_activity();
+        for a in acc.groups.values() {
+            total.absorb(a);
+        }
+        PassOutput::Activity {
+            total,
+            by_class: acc.groups.into_iter().collect(),
+        }
     }
 
     fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
-        let acc = acc_ref::<ActivityAnalysis>(acc);
-        write_table(out, acc.table());
-        out.usize(acc.total());
-        out.usize(acc.real_time_count());
+        let acc = acc_ref::<Grouped<ActivityAnalysis>>(acc);
+        out.usize(acc.groups.len());
+        for (label, a) in &acc.groups {
+            out.str(label);
+            write_table(out, a.table());
+            out.usize(a.total());
+            out.usize(a.real_time_count());
+        }
     }
 
     fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
-        let table = read_table(src)?;
-        let total = src.usize()?;
-        let real_time = src.usize()?;
-        Ok(Box::new(ActivityAnalysis::from_parts(
-            table, total, real_time,
-        )))
+        let n = src.usize()?;
+        let mut grouped = Grouped::<ActivityAnalysis>::new();
+        for _ in 0..n {
+            let label = src.str()?;
+            let table = read_table(src)?;
+            let total = src.usize()?;
+            let real_time = src.usize()?;
+            let a = ActivityAnalysis::from_parts(table, total, real_time);
+            if grouped.groups.insert(label, a).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate group label"));
+            }
+        }
+        Ok(Box::new(grouped))
     }
 }
 
 /// Table 4 / Figure 6: per-phone app tables with names resolved to
-/// strings at fold time (no remapping needed at merge).
+/// strings at fold time (no remapping needed at merge), grouped by
+/// device class.
 struct RunningAppsPass;
+
+fn empty_runapps() -> RunningAppsAnalysis {
+    RunningAppsAnalysis::from_events(&NameTable::default(), std::iter::empty(), &[])
+}
 
 impl AnalysisPass for RunningAppsPass {
     fn name(&self) -> &'static str {
@@ -1882,55 +2076,88 @@ impl AnalysisPass for RunningAppsPass {
     }
 
     fn new_acc(&self) -> DynAcc {
-        Box::new(RunningAppsAnalysis::from_events(
-            &NameTable::default(),
-            std::iter::empty(),
-            &[],
-        ))
+        Box::new(Grouped::<RunningAppsAnalysis>::new())
     }
 
     fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
-        Box::new(RunningAppsAnalysis::from_events(
-            lens.names,
-            lens.phone.panics().iter(),
-            &lens.coalesced.panics,
+        Box::new((
+            lens.device.device_class,
+            RunningAppsAnalysis::from_events(
+                lens.names,
+                lens.phone.panics().iter(),
+                &lens.coalesced.panics,
+            ),
         ))
     }
 
     fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
-        acc_of::<RunningAppsAnalysis>(acc).absorb(&take::<RunningAppsAnalysis>(fold));
+        let (class, fold) = take::<(&'static str, RunningAppsAnalysis)>(fold);
+        acc_of::<Grouped<RunningAppsAnalysis>>(acc)
+            .group(class, empty_runapps)
+            .absorb(&fold);
+    }
+
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, _ctx: &MergeCtx<'_>) {
+        let other = take::<Grouped<RunningAppsAnalysis>>(other);
+        let acc = acc_of::<Grouped<RunningAppsAnalysis>>(acc);
+        for (label, a) in other.groups {
+            acc.group(&label, empty_runapps).absorb(&a);
+        }
     }
 
     fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
-        let acc = acc_ref::<RunningAppsAnalysis>(acc);
-        dist_heap_bytes(acc.concurrency())
-            + table_heap_bytes(acc.table())
-            + dist_heap_bytes(acc.app_share())
+        acc_ref::<Grouped<RunningAppsAnalysis>>(acc)
+            .groups
+            .iter()
+            .map(|(label, a)| {
+                label.len()
+                    + 48
+                    + dist_heap_bytes(a.concurrency())
+                    + table_heap_bytes(a.table())
+                    + dist_heap_bytes(a.app_share())
+            })
+            .sum()
     }
 
     fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
-        PassOutput::RunningApps(take::<RunningAppsAnalysis>(acc))
+        let acc = take::<Grouped<RunningAppsAnalysis>>(acc);
+        let mut total = empty_runapps();
+        for a in acc.groups.values() {
+            total.absorb(a);
+        }
+        PassOutput::RunningApps {
+            total,
+            by_class: acc.groups.into_iter().collect(),
+        }
     }
 
     fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
-        let acc = acc_ref::<RunningAppsAnalysis>(acc);
-        write_dist(out, acc.concurrency());
-        write_table(out, acc.table());
-        write_dist(out, acc.app_share());
-        out.usize(acc.total_panics());
+        let acc = acc_ref::<Grouped<RunningAppsAnalysis>>(acc);
+        out.usize(acc.groups.len());
+        for (label, a) in &acc.groups {
+            out.str(label);
+            write_dist(out, a.concurrency());
+            write_table(out, a.table());
+            write_dist(out, a.app_share());
+            out.usize(a.total_panics());
+        }
     }
 
     fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
-        let concurrency = read_dist(src)?;
-        let table = read_table(src)?;
-        let app_share = read_dist(src)?;
-        let total_panics = src.usize()?;
-        Ok(Box::new(RunningAppsAnalysis::from_parts(
-            concurrency,
-            table,
-            app_share,
-            total_panics,
-        )))
+        let n = src.usize()?;
+        let mut grouped = Grouped::<RunningAppsAnalysis>::new();
+        for _ in 0..n {
+            let label = src.str()?;
+            let concurrency = read_dist(src)?;
+            let table = read_table(src)?;
+            let app_share = read_dist(src)?;
+            let total_panics = src.usize()?;
+            let a = RunningAppsAnalysis::from_parts(concurrency, table, app_share, total_panics);
+            if grouped.groups.insert(label, a).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate group label"));
+            }
+        }
+        Ok(Box::new(grouped))
     }
 }
 
@@ -1972,6 +2199,124 @@ impl AnalysisPass for PanicDistPass {
 
     fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
         Ok(Box::new(read_dist(src)?))
+    }
+}
+
+/// The firmware/device-class pass: panics per firmware version plus
+/// the Section-4 device-class × failure-type contingency table, both
+/// order-insensitive additive counters — the registered replacement
+/// for the batch-only `panics_by_firmware` free function, so every
+/// engine (batch, streaming, sharded, merged) renders the tables.
+#[derive(Default)]
+struct FirmwareAcc {
+    /// firmware label → (phones, panics).
+    versions: BTreeMap<String, (u64, u64)>,
+    /// device class × failure type.
+    class_failures: ContingencyTable,
+}
+
+/// One phone's firmware/class contribution.
+struct FirmwareFold {
+    firmware: &'static str,
+    class: &'static str,
+    panics: u64,
+    freezes: u64,
+    self_shutdowns: u64,
+}
+
+struct FirmwarePass;
+
+impl AnalysisPass for FirmwarePass {
+    fn name(&self) -> &'static str {
+        "firmware"
+    }
+
+    fn new_acc(&self) -> DynAcc {
+        Box::new(FirmwareAcc::default())
+    }
+
+    fn fold_phone(&self, lens: &PhoneLens<'_>) -> DynFold {
+        Box::new(FirmwareFold {
+            firmware: lens.device.firmware,
+            class: lens.device.device_class,
+            panics: lens.phone.panics().len() as u64,
+            freezes: lens.phone.freezes().len() as u64,
+            self_shutdowns: lens.self_shutdowns as u64,
+        })
+    }
+
+    fn merge(&self, acc: &mut DynAcc, fold: DynFold, _ctx: &MergeCtx<'_>) {
+        let fold = take::<FirmwareFold>(fold);
+        let acc = acc_of::<FirmwareAcc>(acc);
+        let entry = acc
+            .versions
+            .entry(fold.firmware.to_string())
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += fold.panics;
+        // Zero counts still create the cells, so the table keeps all
+        // three failure-type columns for every present class.
+        acc.class_failures.add_n(fold.class, "panic", fold.panics);
+        acc.class_failures.add_n(fold.class, "freeze", fold.freezes);
+        acc.class_failures
+            .add_n(fold.class, "self-shutdown", fold.self_shutdowns);
+    }
+
+    fn merge_acc(&self, acc: &mut DynAcc, other: DynAcc, _ctx: &MergeCtx<'_>) {
+        let other = take::<FirmwareAcc>(other);
+        let acc = acc_of::<FirmwareAcc>(acc);
+        for (label, (phones, panics)) in other.versions {
+            let entry = acc.versions.entry(label).or_insert((0, 0));
+            entry.0 += phones;
+            entry.1 += panics;
+        }
+        acc.class_failures.merge(&other.class_failures);
+    }
+
+    fn acc_heap_bytes(&self, acc: &DynAcc) -> usize {
+        let acc = acc_ref::<FirmwareAcc>(acc);
+        acc.versions.keys().map(|l| l.len() + 48).sum::<usize>()
+            + table_heap_bytes(&acc.class_failures)
+    }
+
+    fn finish(&self, acc: DynAcc, _config: AnalysisConfig) -> PassOutput {
+        let acc = take::<FirmwareAcc>(acc);
+        PassOutput::Firmware(FirmwareBreakdown {
+            versions: acc
+                .versions
+                .into_iter()
+                .map(|(label, (phones, panics))| (label, phones, panics))
+                .collect(),
+            class_failures: acc.class_failures,
+        })
+    }
+
+    fn snapshot_acc(&self, acc: &DynAcc, out: &mut ByteWriter) {
+        let acc = acc_ref::<FirmwareAcc>(acc);
+        out.usize(acc.versions.len());
+        for (label, (phones, panics)) in &acc.versions {
+            out.str(label);
+            out.u64(*phones);
+            out.u64(*panics);
+        }
+        write_table(out, &acc.class_failures);
+    }
+
+    fn restore_acc(&self, src: &mut ByteReader<'_>) -> Result<DynAcc, CheckpointError> {
+        let n = src.usize()?;
+        let mut versions = BTreeMap::new();
+        for _ in 0..n {
+            let label = src.str()?;
+            let phones = src.u64()?;
+            let panics = src.u64()?;
+            if versions.insert(label, (phones, panics)).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate firmware label"));
+            }
+        }
+        Ok(Box::new(FirmwareAcc {
+            versions,
+            class_failures: read_table(src)?,
+        }))
     }
 }
 
@@ -2301,20 +2646,21 @@ mod tests {
         merger.push_shard(shard_of(&registry, config, 4..6)); // buffered
         assert_eq!(merger.pending_len(), 2);
 
-        let plain = merger.snapshot(7, TOPO);
-        let full = merger.snapshot_with_pending(7, TOPO);
+        let plain = merger.snapshot(7, "default", TOPO);
+        let full = merger.snapshot_with_pending(7, "default", TOPO);
         assert!(
             full.len() > plain.len(),
             "pending shards must add bytes only to the full capture"
         );
 
         // The plain snapshot resumes with the pending shards dropped…
-        let resumed = StreamMerger::resume(&registry, config, 7, TOPO, &plain).unwrap();
+        let resumed = StreamMerger::resume(&registry, config, 7, "default", TOPO, &plain).unwrap();
         assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 0));
 
         // …the full capture resumes with them intact: filling the gap
         // renders byte-identically to an uninterrupted serial merge.
-        let mut resumed = StreamMerger::resume(&registry, config, 7, TOPO, &full).unwrap();
+        let mut resumed =
+            StreamMerger::resume(&registry, config, 7, "default", TOPO, &full).unwrap();
         assert_eq!((resumed.absorbed(), resumed.pending_len()), (2, 2));
         resumed.push_shard(shard_of(&registry, config, 2..4));
         assert_eq!(resumed.absorbed(), 6);
@@ -2332,8 +2678,9 @@ mod tests {
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
         merger.push(busy_fold(&registry, config, 1));
-        let bytes = merger.snapshot(7, TOPO);
-        let mut resumed = StreamMerger::resume(&registry, config, 7, TOPO, &bytes).unwrap();
+        let bytes = merger.snapshot(7, "default", TOPO);
+        let mut resumed =
+            StreamMerger::resume(&registry, config, 7, "default", TOPO, &bytes).unwrap();
         assert_eq!(resumed.absorbed(), 2);
         assert_eq!(resumed.names(), merger.names());
         assert_eq!(resumed.mtbf_estimate(), merger.mtbf_estimate());
@@ -2359,19 +2706,19 @@ mod tests {
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let bytes = merger.snapshot(1, TOPO);
+        let bytes = merger.snapshot(1, "default", TOPO);
 
         let mut bad = bytes.clone();
         bad[0] ^= 0xff;
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, "default", TOPO, &bad).err(),
             Some(CheckpointError::BadMagic)
         );
 
         let mut bad = bytes.clone();
         bad[8] = 99; // schema version little-endian low byte
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, "default", TOPO, &bad).err(),
             Some(CheckpointError::SchemaVersion {
                 found: 99,
                 expected: CHECKPOINT_SCHEMA_VERSION,
@@ -2379,7 +2726,7 @@ mod tests {
         );
 
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, TOPO, &bytes[..10]).err(),
+            StreamMerger::resume(&registry, config, 1, "default", TOPO, &bytes[..10]).err(),
             Some(CheckpointError::Truncated)
         );
 
@@ -2387,36 +2734,54 @@ mod tests {
         let mid = bad.len() / 2;
         bad[mid] ^= 0x10;
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, TOPO, &bad).err(),
+            StreamMerger::resume(&registry, config, 1, "default", TOPO, &bad).err(),
             Some(CheckpointError::Checksum),
             "any payload bit flip must fail the checksum"
         );
     }
 
-    /// Schema v3 files (no explicit `[start, end)` interval in the
-    /// topology) are refused with the typed version error — on resume
-    /// and on merge — never mis-decoded or panicked on.
+    /// Schema v4 files (no composition header, ungrouped activity and
+    /// runapps blobs, no firmware pass) are refused with the typed
+    /// version error — on resume and on merge — never mis-decoded or
+    /// panicked on.
     #[test]
-    fn v3_checkpoints_are_refused_with_a_typed_version_error() {
+    fn v4_checkpoints_are_refused_with_a_typed_version_error() {
         let registry = PassRegistry::all();
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let mut bytes = merger.snapshot(1, TOPO);
-        bytes[8] = 3; // little-endian version word: v4 -> v3
+        let mut bytes = merger.snapshot(1, "default", TOPO);
+        bytes[8] = 4; // little-endian version word: v5 -> v4
         let want = CheckpointError::SchemaVersion {
-            found: 3,
+            found: 4,
             expected: CHECKPOINT_SCHEMA_VERSION,
         };
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, TOPO, &bytes).err(),
+            StreamMerger::resume(&registry, config, 1, "default", TOPO, &bytes).err(),
             Some(want.clone())
         );
         assert_eq!(
-            merge_shard_checkpoints(&registry, config, 1, &[bytes]).err(),
+            merge_shard_checkpoints(&registry, config, 1, "default", &[bytes]).err(),
             Some(MergeError::Input {
                 input: 0,
                 error: want,
+            })
+        );
+    }
+
+    #[test]
+    fn merge_rejects_composition_mismatch_with_argv_position() {
+        let registry = PassRegistry::all();
+        let config = AnalysisConfig::default();
+        let input = shard_snapshot(&registry, config, 9, 0..2, 0, 1, 2);
+        assert_eq!(
+            merge_shard_checkpoints(&registry, config, 9, "communicator:1", &[input]).err(),
+            Some(MergeError::Input {
+                input: 0,
+                error: CheckpointError::CompositionMismatch {
+                    found: "default".to_string(),
+                    expected: "communicator:1".to_string(),
+                },
             })
         );
     }
@@ -2427,11 +2792,11 @@ mod tests {
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let bytes = merger.snapshot(1, TOPO);
+        let bytes = merger.snapshot(1, "default", TOPO);
 
         let subset = PassRegistry::select("mtbf").unwrap();
         assert!(matches!(
-            StreamMerger::resume(&subset, config, 1, TOPO, &bytes),
+            StreamMerger::resume(&subset, config, 1, "default", TOPO, &bytes),
             Err(CheckpointError::RegistryMismatch { .. })
         ));
 
@@ -2440,12 +2805,23 @@ mod tests {
             ..config
         };
         assert_eq!(
-            StreamMerger::resume(&registry, other_config, 1, TOPO, &bytes).err(),
+            StreamMerger::resume(&registry, other_config, 1, "default", TOPO, &bytes).err(),
             Some(CheckpointError::ConfigMismatch)
         );
 
+        // A different fleet composition is named as such — checked
+        // before the fingerprint, which a composition change also
+        // moves.
         assert_eq!(
-            StreamMerger::resume(&registry, config, 2, TOPO, &bytes).err(),
+            StreamMerger::resume(&registry, config, 2, "communicator:1", TOPO, &bytes).err(),
+            Some(CheckpointError::CompositionMismatch {
+                found: "default".to_string(),
+                expected: "communicator:1".to_string(),
+            })
+        );
+
+        assert_eq!(
+            StreamMerger::resume(&registry, config, 2, "default", TOPO, &bytes).err(),
             Some(CheckpointError::CampaignMismatch {
                 found: 1,
                 expected: 2,
@@ -2459,13 +2835,13 @@ mod tests {
         let config = AnalysisConfig::default();
         let mut merger = StreamMerger::new(&registry, config);
         merger.push(busy_fold(&registry, config, 0));
-        let bytes = merger.snapshot(1, TOPO);
+        let bytes = merger.snapshot(1, "default", TOPO);
 
         // Same fleet, different split: resuming a solo checkpoint in a
         // `--shard 0/2` process must be refused.
         let other = ShardTopology::uniform(0, 2, TOPO.fleet_phones);
         assert_eq!(
-            StreamMerger::resume(&registry, config, 1, other, &bytes).err(),
+            StreamMerger::resume(&registry, config, 1, "default", other, &bytes).err(),
             Some(CheckpointError::ShardMismatch {
                 found: TOPO,
                 expected: other,
@@ -2510,7 +2886,7 @@ mod tests {
         for id in ids {
             merger.push(busy_fold(registry, config, id));
         }
-        merger.snapshot(fingerprint, topology)
+        merger.snapshot(fingerprint, "default", topology)
     }
 
     #[test]
@@ -2532,7 +2908,7 @@ mod tests {
             shard_snapshot(&registry, config, 9, 0..1, 0, 3, fleet),
             shard_snapshot(&registry, config, 9, 1..5, 1, 3, fleet),
         ];
-        let merger = merge_shard_checkpoints(&registry, config, 9, &inputs).unwrap();
+        let merger = merge_shard_checkpoints(&registry, config, 9, "default", &inputs).unwrap();
         assert_eq!(merger.absorbed(), fleet);
         assert_eq!(rendered(&merger.finish()), expected);
     }
@@ -2547,19 +2923,33 @@ mod tests {
         };
 
         assert_eq!(
-            merge_shard_checkpoints(&registry, config, 9, &[]).err(),
+            merge_shard_checkpoints(&registry, config, 9, "default", &[]).err(),
             Some(MergeError::NoInputs)
         );
 
         // Missing middle shard: the walk stops at the first gap.
         assert_eq!(
-            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), snap(4..6, 2)]).err(),
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                9,
+                "default",
+                &[snap(0..2, 0), snap(4..6, 2)]
+            )
+            .err(),
             Some(MergeError::CoverageGap { from: 2, to: 4 })
         );
 
         // Missing tail shard.
         assert_eq!(
-            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), snap(2..4, 1)]).err(),
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                9,
+                "default",
+                &[snap(0..2, 0), snap(2..4, 1)]
+            )
+            .err(),
             Some(MergeError::CoverageGap { from: 4, to: 6 })
         );
 
@@ -2570,6 +2960,7 @@ mod tests {
                 &registry,
                 config,
                 9,
+                "default",
                 &[snap(0..3, 0), snap(2..6, 1), snap(5..6, 2)],
             )
             .err(),
@@ -2585,6 +2976,7 @@ mod tests {
                 &registry,
                 config,
                 9,
+                "default",
                 &[snap(0..2, 0), snap(0..2, 0), snap(2..6, 1)],
             )
             .err(),
@@ -2594,7 +2986,14 @@ mod tests {
         // Inputs from different splits of the same fleet.
         let other_split = shard_snapshot(&registry, config, 9, 2..6, 1, 2, fleet);
         assert_eq!(
-            merge_shard_checkpoints(&registry, config, 9, &[snap(0..2, 0), other_split]).err(),
+            merge_shard_checkpoints(
+                &registry,
+                config,
+                9,
+                "default",
+                &[snap(0..2, 0), other_split]
+            )
+            .err(),
             Some(MergeError::TopologyMismatch {
                 found: (2, fleet),
                 expected: (3, fleet),
@@ -2607,6 +3006,7 @@ mod tests {
                 &registry,
                 config,
                 1,
+                "default",
                 &[
                     shard_snapshot(&registry, config, 1, 0..2, 0, 3, fleet),
                     snap(2..6, 1),

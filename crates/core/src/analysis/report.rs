@@ -14,7 +14,9 @@ use super::coalesce::{CoalescenceAnalysis, COALESCENCE_WINDOW};
 use super::dataset::{FleetDataset, HlEvent};
 use super::defects::DefectReport;
 use super::mtbf::{MtbfAnalysis, DEFAULT_UPTIME_GAP};
-use super::passes::{MergeCtx, PassOutput, PassRegistry, PhoneLens};
+use super::passes::{
+    DeviceLabels, FirmwareBreakdown, MergeCtx, PassOutput, PassRegistry, PhoneLens,
+};
 use super::runapps::RunningAppsAnalysis;
 use super::shutdown::{ShutdownAnalysis, SELF_SHUTDOWN_THRESHOLD};
 use super::targets;
@@ -76,8 +78,16 @@ pub struct StudyReport {
     pub coalescence_all_shutdowns: CoalescenceAnalysis,
     /// Table 3.
     pub activity: ActivityAnalysis,
+    /// Table 3 sliced by device class, in label order. A single entry
+    /// under the default homogeneous composition.
+    pub activity_by_class: Vec<(String, ActivityAnalysis)>,
     /// Table 4 / Figure 6.
     pub runapps: RunningAppsAnalysis,
+    /// Table 4 / Figure 6 sliced by device class, in label order.
+    pub runapps_by_class: Vec<(String, RunningAppsAnalysis)>,
+    /// Per-firmware failure counts and the device-class × failure-type
+    /// contingency table from the `firmware` pass.
+    pub firmware: FirmwareBreakdown,
     /// Table 2: panic distribution by code.
     pub panic_distribution: CategoricalDist,
     /// Parse-defect accounting from the lossy flash parse.
@@ -108,12 +118,32 @@ impl StudyReport {
         config: AnalysisConfig,
         registry: &PassRegistry,
     ) -> Self {
+        Self::analyze_with_labels(fleet, config, registry, |_| DeviceLabels::default())
+    }
+
+    /// The batch driver with per-phone device labels: `labels` maps
+    /// each phone id to its device class and firmware version, which
+    /// the class-aware passes use to slice their tables. The streaming
+    /// engine feeds the same labels through [`PhoneLens`], keeping the
+    /// two paths byte-identical for any composition.
+    pub fn analyze_with_labels(
+        fleet: &FleetDataset,
+        config: AnalysisConfig,
+        registry: &PassRegistry,
+        labels: impl Fn(u32) -> DeviceLabels,
+    ) -> Self {
         let needs_coalesce = registry.needs_coalesce();
         let mut accs = registry.new_accs();
         for phone in fleet.phones() {
             // Member panics carry fleet ids; resolve against the
             // merged table (phones no longer own copies of it).
-            let lens = PhoneLens::with_names(phone, fleet.names(), config, needs_coalesce);
+            let lens = PhoneLens::with_names_device(
+                phone,
+                fleet.names(),
+                config,
+                needs_coalesce,
+                labels(phone.phone_id()),
+            );
             let ctx = MergeCtx {
                 phone_id: phone.phone_id(),
                 remap: None,
@@ -136,11 +166,14 @@ impl StudyReport {
             coalescence: empty_coalesce(),
             coalescence_all_shutdowns: empty_coalesce(),
             activity: ActivityAnalysis::from_coalesced(&[]),
+            activity_by_class: Vec::new(),
             runapps: RunningAppsAnalysis::from_events(
                 &crate::intern::NameTable::default(),
                 std::iter::empty(),
                 &[],
             ),
+            runapps_by_class: Vec::new(),
+            firmware: FirmwareBreakdown::default(),
             panic_distribution: CategoricalDist::new(),
             defects: DefectReport::default(),
             per_phone: Vec::new(),
@@ -160,8 +193,15 @@ impl StudyReport {
                     report.coalescence_all_shutdowns = all_shutdowns;
                     report.hl_events = hl_events;
                 }
-                PassOutput::Activity(a) => report.activity = a,
-                PassOutput::RunningApps(a) => report.runapps = a,
+                PassOutput::Activity { total, by_class } => {
+                    report.activity = total;
+                    report.activity_by_class = by_class;
+                }
+                PassOutput::RunningApps { total, by_class } => {
+                    report.runapps = total;
+                    report.runapps_by_class = by_class;
+                }
+                PassOutput::Firmware(b) => report.firmware = b,
                 PassOutput::PanicDistribution(d) => report.panic_distribution = d,
                 PassOutput::Defects(d) => report.defects = d,
                 PassOutput::PerPhone(rows) => report.per_phone = rows,
@@ -394,9 +434,62 @@ impl StudyReport {
         self.defects.render()
     }
 
-    /// Renders every table and figure.
+    /// Renders the per-firmware failure counts from the `firmware`
+    /// pass (the extensions experiment's ground-truth view, now
+    /// derivable from logged data under both engines).
+    pub fn render_firmware(&self) -> String {
+        let mut out = String::from("panic counts by firmware version\n");
+        for (version, phones, panics) in &self.firmware.versions {
+            let per_phone = *panics as f64 / (*phones).max(1) as f64;
+            out.push_str(&format!(
+                "  {version:<12} {phones:>2} phones  {panics:>4} panics  ({per_phone:.1}/phone)\n"
+            ));
+        }
+        out
+    }
+
+    /// Renders the device-class × failure-type breakdown (the paper's
+    /// Section 4 cut: do communicators fail differently from
+    /// entry-level handsets?). Empty for a homogeneous fleet, where a
+    /// one-row table carries no class contrast — which also keeps
+    /// default-composition reports byte-identical to the
+    /// pre-composition pipeline.
+    pub fn render_device_classes(&self) -> String {
+        let table = &self.firmware.class_failures;
+        if table.rows().len() < 2 {
+            return String::new();
+        }
+        let mut out = table.render_percent(
+            "failures by device class (% of failure type)",
+            &["panic", "freeze", "self-shutdown"],
+        );
+        let chi2 = table.chi_square_independence().ok();
+        let p_value = chi2.and_then(|stat| {
+            let df = (table.rows().len().saturating_sub(1) * table.cols().len().saturating_sub(1))
+                as u32;
+            symfail_stats::chi_square_survival(stat, df.max(1)).ok()
+        });
+        out.push_str(&match (chi2, p_value) {
+            (Some(stat), Some(p)) => {
+                format!("device class vs failure type independence: chi2={stat:.1}, p={p:.3}\n")
+            }
+            _ => "device class vs failure type independence: n/a\n".to_string(),
+        });
+        for (class, a) in &self.activity_by_class {
+            out.push_str(&format!(
+                "  {class:<14} real-time activity share {:.1}% over {} HL-related panics\n",
+                100.0 * a.real_time_fraction(),
+                a.total(),
+            ));
+        }
+        out
+    }
+
+    /// Renders every table and figure. The device-class section only
+    /// appears for heterogeneous fleets, so default-composition output
+    /// is unchanged.
     pub fn render_all(&self) -> String {
-        [
+        let mut sections = vec![
             self.render_fig2(),
             self.render_mtbf(),
             self.render_table2(),
@@ -406,8 +499,12 @@ impl StudyReport {
             self.render_fig6(),
             self.render_table4(),
             self.render_defects(),
-        ]
-        .join("\n")
+        ];
+        let classes = self.render_device_classes();
+        if !classes.is_empty() {
+            sections.push(classes);
+        }
+        sections.join("\n")
     }
 
     /// Compares the measured study against the paper's headline

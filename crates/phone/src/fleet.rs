@@ -20,7 +20,7 @@ use symfail_core::analysis::checkpoint::{fnv1a64, CheckpointError, ShardTopology
 use symfail_core::analysis::dataset::{FleetDataset, ParseScratch, PhoneDataset};
 use symfail_core::analysis::mtbf::MtbfAnalysis;
 use symfail_core::analysis::passes::{
-    FoldShard, MergeStats, PassRegistry, PhoneLens, StreamMerger,
+    DeviceLabels, FoldShard, MergeStats, PassRegistry, PhoneLens, StreamMerger,
 };
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::flashfs::FlashFs;
@@ -28,6 +28,7 @@ use symfail_core::logger::{UserReportChannel, UserReportKind};
 use symfail_sim_core::{SimRng, SimTime};
 
 use crate::calibration::CalibrationParams;
+use crate::composition::{DeviceClass, FleetComposition};
 use crate::corruption::{CorruptionModel, CorruptionProfile, InjectedDefects};
 use crate::device::{Phone, PhoneStats};
 use crate::firmware::SymbianVersion;
@@ -45,6 +46,8 @@ pub struct PhoneHarvest {
     pub retired_day: u64,
     /// The Symbian OS release the phone ran.
     pub firmware: SymbianVersion,
+    /// The device class the composition assigned to the phone.
+    pub device_class: DeviceClass,
     /// The flash filesystem collected from the phone.
     pub flashfs: FlashFs,
     /// Simulator ground truth (for validation only).
@@ -69,6 +72,8 @@ pub struct PhoneMeta {
     pub retired_day: u64,
     /// The Symbian OS release the phone ran.
     pub firmware: SymbianVersion,
+    /// The device class the composition assigned to the phone.
+    pub device_class: DeviceClass,
     /// Simulator ground truth (for validation only).
     pub stats: PhoneStats,
     /// Injected-defect counts for the campaign's corruption profile.
@@ -88,6 +93,7 @@ impl PhoneMeta {
             enrolled_day: h.enrolled_day,
             retired_day: h.retired_day,
             firmware: h.firmware,
+            device_class: h.device_class,
             stats: h.stats,
             injected: h.injected,
             flash_bytes: h.flashfs.total_size(),
@@ -322,6 +328,7 @@ fn on_boundary(
     m: &StreamMerger<'_>,
     opts: &StreamingOptions,
     fingerprint: u64,
+    composition: &str,
     topology: ShardTopology,
     trace: &mut Vec<(u32, MtbfAnalysis)>,
     write_error: &mut Option<CheckpointError>,
@@ -337,7 +344,7 @@ fn on_boundary(
     }
     if write_error.is_none() {
         if let Some(path) = &opts.checkpoint {
-            if let Err(e) = write_atomic(path, &m.snapshot(fingerprint, topology)) {
+            if let Err(e) = write_atomic(path, &m.snapshot(fingerprint, composition, topology)) {
                 *write_error = Some(e);
             }
         }
@@ -379,6 +386,7 @@ pub struct FleetCampaign {
     seed: u64,
     params: CalibrationParams,
     corruption: CorruptionProfile,
+    composition: FleetComposition,
 }
 
 impl FleetCampaign {
@@ -388,7 +396,22 @@ impl FleetCampaign {
             seed,
             params,
             corruption: CorruptionProfile::None,
+            composition: FleetComposition::default(),
         }
+    }
+
+    /// Sets the fleet composition (device-class mix). The default is
+    /// the homogeneous pre-composition fleet; class assignment is a
+    /// pure function of the phone id, so any worker count, shard
+    /// layout or resume point sees the same per-phone classes.
+    pub fn with_fleet(mut self, composition: FleetComposition) -> Self {
+        self.composition = composition;
+        self
+    }
+
+    /// The fleet composition in effect.
+    pub fn composition(&self) -> &FleetComposition {
+        &self.composition
     }
 
     /// Enables flash-log corruption injection on every harvested
@@ -411,15 +434,16 @@ impl FleetCampaign {
     }
 
     /// A stable fingerprint of the campaign's identity — seed, every
-    /// calibration parameter, and the corruption profile — stored in
-    /// checkpoints so a snapshot of one campaign can never silently
-    /// resume another.
+    /// calibration parameter, the corruption profile, and the fleet
+    /// composition — stored in checkpoints so a snapshot of one
+    /// campaign can never silently resume another.
     pub fn fingerprint(&self) -> u64 {
         let identity = format!(
-            "{}|{:?}|{}",
+            "{}|{:?}|{}|{}",
             self.seed,
             self.params,
-            self.corruption.as_str()
+            self.corruption.as_str(),
+            self.composition.spec_string()
         );
         fnv1a64(identity.as_bytes())
     }
@@ -461,14 +485,33 @@ impl FleetCampaign {
 
     /// The deterministic per-phone prologue shared by the simulator
     /// and the cost estimator: forks the phone's RNG stream, draws its
-    /// enrollment window and behaviour profile. Keeping one code path
-    /// means the estimator prices exactly the phone the simulator will
-    /// run — the two cannot drift.
-    fn phone_setup(&self, id: u32) -> (SimRng, (u64, u64), UserProfile) {
+    /// enrollment window, scales the calibration through the phone's
+    /// device class, and samples its behaviour profile from the scaled
+    /// parameters. Keeping one code path means the estimator prices
+    /// exactly the phone the simulator will run — per-class usage
+    /// multipliers included — so the two cannot drift. For the default
+    /// composition the scaling is a bitwise no-op and the profile
+    /// draws are unchanged.
+    fn phone_setup(&self, id: u32) -> (SimRng, (u64, u64), UserProfile, CalibrationParams) {
         let mut rng = SimRng::seed_from(self.seed).fork("phone", id as u64);
         let window = self.window(id, &mut rng);
-        let profile = UserProfile::sample_with_nightly(&self.params, &mut rng, self.is_nightly(id));
-        (rng, window, profile)
+        let params = self
+            .composition
+            .profile(id, self.params.phones)
+            .scale_params(&self.params);
+        let profile = UserProfile::sample_with_nightly(&params, &mut rng, self.is_nightly(id));
+        (rng, window, profile, params)
+    }
+
+    /// The device labels (class + firmware) the analysis layer tags
+    /// phone `id`'s folds with — what the grouped contingency
+    /// accumulators and the firmware pass slice on.
+    pub fn device_labels(&self, id: u32) -> DeviceLabels {
+        let device = self.composition.profile(id, self.params.phones);
+        DeviceLabels {
+            device_class: device.class.as_str(),
+            firmware: device.firmware.as_str(),
+        }
     }
 
     /// Static per-phone cost estimate, in expected log lines — the
@@ -484,7 +527,7 @@ impl FleetCampaign {
     pub fn estimate_phone_costs(&self) -> Vec<f64> {
         (0..self.params.phones)
             .map(|id| {
-                let (_rng, (enrolled, retired), profile) = self.phone_setup(id);
+                let (_rng, (enrolled, retired), profile, _params) = self.phone_setup(id);
                 let days = (retired - enrolled) as f64;
                 let powered_secs = if profile.nightly_shutdown {
                     profile.sleep_secs.saturating_sub(profile.wake_secs)
@@ -527,10 +570,10 @@ impl FleetCampaign {
     }
 
     fn run_phone(&self, id: u32) -> PhoneHarvest {
-        let (rng, (enrolled_day, retired_day), profile) = self.phone_setup(id);
-        let mut phone = Phone::with_profile(id, self.params, profile, rng.fork("device", 0));
-        let firmware = SymbianVersion::assign(id, self.params.phones);
-        phone.set_firmware(firmware);
+        let (rng, (enrolled_day, retired_day), profile, params) = self.phone_setup(id);
+        let device = self.composition.profile(id, self.params.phones);
+        let mut phone = Phone::with_profile(id, params, profile, rng.fork("device", 0));
+        phone.set_firmware(device.firmware);
         for day in enrolled_day..retired_day {
             phone.simulate_day(day);
         }
@@ -540,13 +583,15 @@ impl FleetCampaign {
             InjectedDefects::default()
         } else {
             let mut crng = SimRng::seed_from(self.seed).fork("corruption", id as u64);
-            CorruptionModel::from_profile(self.corruption).inject(&mut flashfs, &mut crng)
+            let rates = device.scale_corruption(self.corruption.rates());
+            CorruptionModel::new(rates).inject(&mut flashfs, &mut crng)
         };
         PhoneHarvest {
             phone_id: id,
             enrolled_day,
             retired_day,
-            firmware,
+            firmware: device.firmware,
+            device_class: device.class,
             flashfs,
             stats,
             injected,
@@ -731,6 +776,8 @@ impl FleetCampaign {
     ) -> Result<StreamingRun, CheckpointError> {
         let phones = self.params.phones;
         let fingerprint = self.fingerprint();
+        let composition = self.composition.spec_string();
+        let composition = composition.as_str();
         // Sharded runs derive their interval from the shard plan —
         // the uniform i/N formula or cost-balanced cuts, depending on
         // opts.balance. Every process of one run must use the same
@@ -752,7 +799,14 @@ impl FleetCampaign {
             if path.exists() {
                 let bytes = std::fs::read(path)
                     .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
-                merger = StreamMerger::resume(registry, config, fingerprint, topology, &bytes)?;
+                merger = StreamMerger::resume(
+                    registry,
+                    config,
+                    fingerprint,
+                    composition,
+                    topology,
+                    &bytes,
+                )?;
                 resumed_from = Some(merger.absorbed());
             }
         }
@@ -801,7 +855,12 @@ impl FleetCampaign {
                                         let secs = t0.elapsed().as_secs_f64();
                                         let meta = PhoneMeta::from_harvest(&harvest);
                                         drop(harvest);
-                                        let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                                        let lens = PhoneLens::with_device(
+                                            &ds,
+                                            config,
+                                            needs_coalesce,
+                                            self.device_labels(id as u32),
+                                        );
                                         let folds = registry.fold_phone(&lens);
                                         drop(lens);
                                         // The dataset's buffers go back
@@ -821,6 +880,7 @@ impl FleetCampaign {
                                                 m,
                                                 opts,
                                                 fingerprint,
+                                                composition,
                                                 topology,
                                                 trace,
                                                 write_error,
@@ -882,7 +942,12 @@ impl FleetCampaign {
                                             let secs = t0.elapsed().as_secs_f64();
                                             let meta = PhoneMeta::from_harvest(&harvest);
                                             drop(harvest);
-                                            let lens = PhoneLens::new(&ds, config, needs_coalesce);
+                                            let lens = PhoneLens::with_device(
+                                                &ds,
+                                                config,
+                                                needs_coalesce,
+                                                self.device_labels(id),
+                                            );
                                             shard.absorb_phone(registry, &lens);
                                             drop(lens);
                                             ds.recycle(&mut scratch);
@@ -905,6 +970,7 @@ impl FleetCampaign {
                                                 m,
                                                 opts,
                                                 fingerprint,
+                                                composition,
                                                 topology,
                                                 trace,
                                                 write_error,
@@ -936,7 +1002,10 @@ impl FleetCampaign {
         // at exactly `stop` (the kill-point contract), a completed run
         // leaves one that resumes into an immediate finish.
         if let Some(path) = &opts.checkpoint {
-            write_atomic(path, &st.merger.snapshot(fingerprint, topology))?;
+            write_atomic(
+                path,
+                &st.merger.snapshot(fingerprint, composition, topology),
+            )?;
         }
         if opts.mtbf_trace {
             let absorbed = st.merger.absorbed();
@@ -1037,23 +1106,6 @@ pub struct StreamingRun {
     /// interval and predicted cost for the timing JSON's
     /// `shard_plan` section.
     pub plan: Option<ShardPlan>,
-}
-
-/// Per-firmware panic counts across a campaign, for the version
-/// breakdown of `repro --exp extensions`.
-pub fn panics_by_firmware(metas: &[PhoneMeta]) -> Vec<(SymbianVersion, u64, u64)> {
-    SymbianVersion::ALL
-        .iter()
-        .map(|&v| {
-            let phones = metas.iter().filter(|m| m.firmware == v).count() as u64;
-            let panics = metas
-                .iter()
-                .filter(|m| m.firmware == v)
-                .map(|m| m.stats.panics)
-                .sum();
-            (v, phones, panics)
-        })
-        .collect()
 }
 
 /// Aggregate injected-defect counters across a campaign.
@@ -1236,6 +1288,92 @@ mod tests {
             assert_eq!(streamed.reclaimed_flash_bytes, streamed.parse_bytes);
             assert!(streamed.parse_bytes > 0);
         }
+    }
+
+    #[test]
+    fn mixed_fleet_is_deterministic_and_classed() {
+        let c = FleetCampaign::new(13, tiny_params()).with_fleet(FleetComposition::mixed());
+        let a = c.run();
+        let b = c.run_parallel(3);
+        let mut classes = std::collections::BTreeSet::new();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.device_class, y.device_class);
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
+            classes.insert(x.device_class);
+        }
+        assert!(
+            classes.len() >= 2,
+            "mixed fleet has >= 2 classes: {classes:?}"
+        );
+    }
+
+    #[test]
+    fn default_composition_is_the_homogeneous_fleet() {
+        let plain = FleetCampaign::new(11, tiny_params());
+        let explicit =
+            FleetCampaign::new(11, tiny_params()).with_fleet(FleetComposition::default());
+        assert_eq!(plain.fingerprint(), explicit.fingerprint());
+        for (x, y) in plain.run().iter().zip(&explicit.run()) {
+            assert_eq!(x.device_class, DeviceClass::Smartphone);
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(x.flashfs.read_bytes("log"), y.flashfs.read_bytes("log"));
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_streaming_matches_labeled_batch() {
+        let c = FleetCampaign::new(13, tiny_params())
+            .with_fleet(FleetComposition::mixed())
+            .with_corruption(CorruptionProfile::Worst);
+        let config = AnalysisConfig::default();
+        let registry = PassRegistry::all();
+        let batch = {
+            let fused = c.run_fused(2);
+            StudyReport::analyze_with_labels(&fused.dataset, config, &registry, |id| {
+                c.device_labels(id)
+            })
+        };
+        assert!(
+            batch.render_all().contains("device class"),
+            "a mixed fleet renders the device-class section"
+        );
+        for workers in [1, 2, 3] {
+            let streamed = c.run_streaming(workers, config, &registry);
+            assert_eq!(
+                streamed.report.render_all(),
+                batch.render_all(),
+                "mixed-fleet streaming ({workers} workers) must match labeled batch"
+            );
+        }
+    }
+
+    #[test]
+    fn composition_moves_fingerprint_and_per_class_costs() {
+        let params = CalibrationParams {
+            phones: 30,
+            campaign_days: 20,
+            enrollment_spread_days: 0,
+            attrition_spread_days: 0,
+            ..CalibrationParams::default()
+        };
+        let plain = FleetCampaign::new(11, params);
+        let mixed = FleetCampaign::new(11, params).with_fleet(FleetComposition::mixed());
+        assert_ne!(plain.fingerprint(), mixed.fingerprint());
+        // The static cost estimator prices per-class usage: heavy-use
+        // communicators must out-cost entry-level phones on average.
+        let costs = mixed.estimate_phone_costs();
+        let mean_of = |class: DeviceClass| {
+            let picked: Vec<f64> = (0..params.phones)
+                .filter(|&id| mixed.composition().assign(id, params.phones) == class)
+                .map(|id| costs[id as usize])
+                .collect();
+            picked.iter().sum::<f64>() / picked.len() as f64
+        };
+        assert!(
+            mean_of(DeviceClass::Communicator) > mean_of(DeviceClass::EntryLevel),
+            "class usage multipliers must show up in the cost estimates"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod apps;
 pub mod battery;
 pub mod calibration;
+pub mod composition;
 pub mod corruption;
 pub mod device;
 pub mod faults;

@@ -16,9 +16,12 @@
 # wall clock; and across the whole sweep the *last* point's streaming
 # parse MB/s must hold at least CLIFF_RATIO of the first point's — the
 # anti-cliff gate that pins the sharded merger's flat throughput
-# profile at fleet scale. The fresh document is only written once every
-# gate passes, so a failing run never overwrites the baseline it was
-# judged against.
+# profile at fleet scale. A heterogeneous MIXED_PHONES-phone datapoint
+# (`--fleet mixed`) rides under the same anti-cliff floor: device-class
+# skew concentrates cost on communicator phones, and the grouped
+# accumulators must not reopen the cliff. The fresh document is only
+# written once every gate passes, so a failing run never overwrites the
+# baseline it was judged against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +36,7 @@ STREAM_GATE_MIN="${STREAM_GATE_MIN:-100}"
 STREAM_PEAK_RATIO="${STREAM_PEAK_RATIO:-0.5}"
 STREAM_WALL_RATIO="${STREAM_WALL_RATIO:-1.25}"
 CLIFF_RATIO="${CLIFF_RATIO:-0.5}"
+MIXED_PHONES="${MIXED_PHONES:-250}"
 
 cargo build --release -p symfail-bench --bin repro >/dev/null
 BIN=target/release/repro
@@ -40,8 +44,9 @@ BIN=target/release/repro
 tmp_staged="$(mktemp)"
 tmp_fused="$(mktemp)"
 tmp_stream="$(mktemp)"
+tmp_mixed="$(mktemp)"
 tmp_out="$(mktemp)"
-trap 'rm -f "$tmp_staged" "$tmp_fused" "$tmp_stream" "$tmp_out"' EXIT
+trap 'rm -f "$tmp_staged" "$tmp_fused" "$tmp_stream" "$tmp_mixed" "$tmp_out"' EXIT
 
 # First numeric value of a key in a timing-JSON dump.
 jget() { grep -o "\"$2\": [0-9.]*" "$1" | head -n1 | awk '{print $2}'; }
@@ -53,7 +58,7 @@ jwall() {
 
 {
     printf '{\n'
-    printf '  "schema": "symfail-bench-scale/3",\n'
+    printf '  "schema": "symfail-bench-scale/4",\n'
     printf '  "seed": %s,\n' "$SEED"
     printf '  "days": %s,\n' "$DAYS"
     printf '  "workers": %s,\n' "$WORKERS"
@@ -113,7 +118,25 @@ jwall() {
         printf '     "streaming_reclaimed_flash_bytes": %s}' \
             "$(jget "$tmp_stream" reclaimed_flash_bytes)"
     done
-    printf '\n  ]\n}\n'
+    printf '\n  ],\n'
+
+    # The heterogeneous datapoint: same streaming path, mixed fleet.
+    # Key names are deliberately distinct from the per-point keys so
+    # the per-point gates above never pick this block up by accident.
+    echo "bench_scale: mixed fleet $MIXED_PHONES phones x $DAYS days..." >&2
+    "$BIN" --exp defects --seed "$SEED" --phones "$MIXED_PHONES" --days "$DAYS" \
+        --workers "$WORKERS" --engine streaming --fleet mixed \
+        --timing-json "$tmp_mixed" >/dev/null 2>&1
+    m_seconds="$(jget "$tmp_mixed" parse_seconds)"
+    m_bytes="$(jget "$tmp_mixed" parse_bytes)"
+    m_mbps="$(awk -v b="$m_bytes" -v s="$m_seconds" \
+        'BEGIN { printf "%.2f", (s > 0) ? b / s / 1048576 : 0 }')"
+    printf '  "mixed_fleet": {"fleet": "mixed", "mixed_phones": %s,\n' "$MIXED_PHONES"
+    printf '    "mixed_parse_seconds": %s,\n' "$m_seconds"
+    printf '    "mixed_parse_bytes": %s,\n' "$m_bytes"
+    printf '    "mixed_parse_mbps": %s,\n' "$m_mbps"
+    printf '    "mixed_peak_alloc": %s}\n' "$(jget "$tmp_mixed" peak_alloc_bytes)"
+    printf '}\n'
 } >"$tmp_out"
 
 # Within-run gates: the streaming engine must actually buy memory
@@ -165,6 +188,19 @@ if ! awk -v f="$first_mbps" -v l="$last_mbps" -v r="$CLIFF_RATIO" \
 fi
 echo "bench_scale: cliff gate ok: streaming $first_mbps MB/s ->" \
     "$last_mbps MB/s across the sweep" >&2
+
+# The heterogeneous datapoint sits under the same anti-cliff floor:
+# a mixed fleet's class-skewed per-phone cost must not reopen the
+# throughput cliff the sharded merger removed.
+mixed_mbps="$(awk -F'[:,]' '/"mixed_parse_mbps"/ { print $2 + 0 }' "$tmp_out")"
+if ! awk -v f="$first_mbps" -v m="$mixed_mbps" -v r="$CLIFF_RATIO" \
+    'BEGIN { exit !(m + 0 >= r * f) }'; then
+    echo "bench_scale: MIXED-FLEET CLIFF GATE: $mixed_mbps MB/s at" \
+        "$MIXED_PHONES heterogeneous phones < $CLIFF_RATIO x $first_mbps MB/s" >&2
+    exit 1
+fi
+echo "bench_scale: mixed-fleet gate ok: $mixed_mbps MB/s at" \
+    "$MIXED_PHONES heterogeneous phones" >&2
 
 # Regression gate: staged parse MB/s per phone count vs the baseline.
 pairs() {

@@ -69,6 +69,25 @@ done
     > report_merged.txt
 cmp report_stream.txt report_merged.txt
 
+echo "ci_gates: mixed-fleet sharded vs serial byte identity" >&2
+# Heterogeneous composition: the device-class dimension must survive
+# the sharded merge path bit for bit, and the report must actually
+# carry the device-class breakdown.
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" \
+    --fleet mixed > report_mixed_sharded.txt
+"$BIN" --exp all --seed "$SEED" --phones "$PHONES" --days "$DAYS" \
+    --engine streaming --corruption worst --workers "$WORKERS" \
+    --fleet mixed --merge serial > report_mixed_serial.txt
+cmp report_mixed_sharded.txt report_mixed_serial.txt
+grep -q "device class" report_mixed_sharded.txt
+# And the default composition must NOT grow the section: the
+# homogeneous report stays byte-compatible with the pre-fleet output.
+if grep -q "device class" report_stream.txt; then
+    echo "ci_gates: default fleet unexpectedly renders device classes" >&2
+    exit 1
+fi
+
 echo "ci_gates: partial merge smoke (shard 2 withheld)" >&2
 # One shard file missing: strict merge must refuse; --partial must
 # exit zero, fold the present shards, and name the hole.

@@ -14,6 +14,7 @@ use symfail::core::analysis::checkpoint::CheckpointError;
 use symfail::core::analysis::passes::PassRegistry;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::composition::FleetComposition;
 use symfail::phone::corruption::CorruptionProfile;
 use symfail::phone::fleet::{FleetCampaign, FusedRun, MergeMode, StreamingOptions};
 use symfail::sim::SimDuration;
@@ -255,6 +256,68 @@ fn checkpoint_with_different_config_or_registry_is_refused() {
     assert!(
         matches!(err, CheckpointError::RegistryMismatch { .. }),
         "wrong error: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The heterogeneous-fleet leg of the resume contract: interrupt the
+/// mixed-composition campaign mid-run and resume it — the study,
+/// device-class tables included, must match the uninterrupted run byte
+/// for byte. And the same checkpoint resumed under a *different*
+/// composition must be refused with the typed composition error (not
+/// the campaign-fingerprint error it also implies: the composition is
+/// validated first because it names the actual cause).
+#[test]
+fn mixed_fleet_checkpoint_roundtrip_and_composition_refusal() {
+    let path = ckpt_path("mixed-fleet");
+    let _ = std::fs::remove_file(&path);
+    let config = AnalysisConfig::default();
+    let registry = PassRegistry::all();
+    let mixed = || campaign(CorruptionProfile::None).with_fleet(FleetComposition::mixed());
+
+    let baseline = render(&mixed().run_streaming(4, config, &registry).report);
+    assert!(
+        baseline.contains("device class"),
+        "mixed fleet must render the device-class section"
+    );
+
+    let interrupted = StreamingOptions {
+        checkpoint: Some(path.clone()),
+        checkpoint_every: 1,
+        stop_after_phones: Some(5),
+        ..StreamingOptions::default()
+    };
+    mixed()
+        .run_streaming_opts(2, config, &registry, &interrupted)
+        .expect("interrupted mixed-fleet run writes its checkpoint");
+
+    // Resuming under the default composition is a different fleet:
+    // refused, naming both spec strings.
+    let resumed = StreamingOptions {
+        checkpoint: Some(path.clone()),
+        ..StreamingOptions::default()
+    };
+    let err = campaign(CorruptionProfile::None)
+        .run_streaming_opts(2, config, &registry, &resumed)
+        .expect_err("composition mismatch must refuse the checkpoint");
+    match err {
+        CheckpointError::CompositionMismatch { found, expected } => {
+            assert_eq!(found, FleetComposition::mixed().spec_string());
+            assert_eq!(expected, "default");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+
+    // Resuming under the matching composition completes the campaign
+    // to the uninterrupted bytes.
+    let second = mixed()
+        .run_streaming_opts(2, config, &registry, &resumed)
+        .expect("matching composition must resume");
+    assert_eq!(second.resumed_from, Some(5));
+    assert_eq!(
+        render(&second.report),
+        baseline,
+        "mixed-fleet resume differs from uninterrupted"
     );
     let _ = std::fs::remove_file(&path);
 }

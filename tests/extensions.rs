@@ -6,11 +6,12 @@ use symfail::core::analysis::baseline::BaselineComparison;
 use symfail::core::analysis::dataset::FleetDataset;
 use symfail::core::analysis::interarrival::InterArrivalAnalysis;
 use symfail::core::analysis::output_failures::OutputFailureAnalysis;
+use symfail::core::analysis::passes::PassRegistry;
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::analysis::severity::SeverityAnalysis;
 use symfail::phone::calibration::CalibrationParams;
 use symfail::phone::firmware::SymbianVersion;
-use symfail::phone::fleet::{harvest_metas, panics_by_firmware, total_stats, FleetCampaign};
+use symfail::phone::fleet::{harvest_metas, total_stats, FleetCampaign};
 use symfail::sim::SimDuration;
 
 fn params() -> CalibrationParams {
@@ -113,19 +114,29 @@ fn severity_burden_matches_detected_failures() {
 
 #[test]
 fn firmware_mix_and_breakdown() {
-    let harvest = FleetCampaign::new(47, params()).run();
-    let breakdown = panics_by_firmware(&harvest_metas(&harvest));
+    // The breakdown now comes from the registered `firmware` pass
+    // (folded from logged data), not a metas-walking free function.
+    let campaign = FleetCampaign::new(47, params());
+    let harvest = campaign.run();
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let report = StudyReport::analyze_with_labels(&fleet, config(), &PassRegistry::all(), |id| {
+        campaign.device_labels(id)
+    });
+    let breakdown = &report.firmware.versions;
     let phones: u64 = breakdown.iter().map(|(_, n, _)| n).sum();
     assert_eq!(phones, params().phones as u64);
     // The majority version is represented.
     let v80 = breakdown
         .iter()
-        .find(|(v, _, _)| *v == SymbianVersion::V8_0)
+        .find(|(v, _, _)| v == SymbianVersion::V8_0.as_str())
         .unwrap();
     assert!(
         v80.1 >= phones / 2,
         "8.0 is the fleet majority: {breakdown:?}"
     );
+    // The pass counts every logged panic, sliced by firmware.
+    let total_panics: u64 = breakdown.iter().map(|(_, _, p)| p).sum();
+    assert_eq!(total_panics, report.panic_distribution.total());
     // Firmware assignment is deterministic.
     let again = FleetCampaign::new(48, params()).run();
     for (a, b) in harvest.iter().zip(&again) {

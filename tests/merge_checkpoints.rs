@@ -1,15 +1,16 @@
 //! Multi-process campaign sharding via checkpoint merge.
 //!
 //! The contract under test: run shard `i/N` of a campaign in its own
-//! driver invocation (its own process, in CI), each writing a schema-v4
+//! driver invocation (its own process, in CI), each writing a schema-v5
 //! checkpoint that records its shard topology with an explicit
-//! `[start, end)` interval — then merge the N files with
-//! [`merge_shard_checkpoints`] and demand the rendered study is
-//! byte-identical to a single-process streaming run, for any N, any
-//! partition of the phone-id space, and any balance mode (uniform
-//! formula cuts, statically planned cuts, measured-cost cuts). Plus
-//! the refusal matrix: coverage gaps, duplicated files, overlapping
-//! intervals, and inputs from a different campaign/config/registry
+//! `[start, end)` interval and the fleet-composition spec — then merge
+//! the N files with [`merge_shard_checkpoints`] and demand the
+//! rendered study is byte-identical to a single-process streaming run,
+//! for any N, any partition of the phone-id space, any balance mode
+//! (uniform formula cuts, statically planned cuts, measured-cost
+//! cuts), and any fleet composition. Plus the refusal matrix: coverage
+//! gaps, duplicated files, overlapping intervals, and inputs from a
+//! different campaign/config/registry/composition
 //! must all be rejected with the right error, never silently merged —
 //! unless the caller opts into a best-effort partial merge, which
 //! instead names every missing interval.
@@ -28,6 +29,7 @@ use symfail::core::analysis::passes::{
 use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail::core::records::{LogRecord, PanicRecord};
 use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::composition::FleetComposition;
 use symfail::phone::corruption::CorruptionProfile;
 use symfail::phone::fleet::{FleetCampaign, ShardSpec, StreamingOptions};
 use symfail::phone::plan::{BalanceMode, ShardPlan};
@@ -121,7 +123,7 @@ fn merged_shards_match_single_process(corruption: CorruptionProfile) {
         let inputs: Vec<Vec<u8>> = (0..count)
             .map(|i| shard_ckpt(SEED, corruption, i, count))
             .collect();
-        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, "default", &inputs)
             .unwrap_or_else(|e| panic!("{count}-way merge failed: {e}"));
         assert_eq!(
             merger.absorbed(),
@@ -130,9 +132,16 @@ fn merged_shards_match_single_process(corruption: CorruptionProfile) {
         );
 
         let solo = ShardTopology::solo(PHONES);
-        let merged_ckpt = merger.snapshot(fingerprint, solo);
-        let resumed = StreamMerger::resume(&registry, config, fingerprint, solo, &merged_ckpt)
-            .unwrap_or_else(|e| panic!("{count}-way merged checkpoint refused on resume: {e}"));
+        let merged_ckpt = merger.snapshot(fingerprint, "default", solo);
+        let resumed = StreamMerger::resume(
+            &registry,
+            config,
+            fingerprint,
+            "default",
+            solo,
+            &merged_ckpt,
+        )
+        .unwrap_or_else(|e| panic!("{count}-way merged checkpoint refused on resume: {e}"));
         assert_eq!(
             render(&resumed.finish()),
             baseline,
@@ -154,6 +163,52 @@ fn merged_shard_checkpoints_match_single_process() {
 #[test]
 fn merged_shard_checkpoints_match_single_process_under_worst_corruption() {
     merged_shards_match_single_process(CorruptionProfile::Worst);
+}
+
+/// Runs shard `index`/4 of the *mixed-composition* campaign through
+/// the streaming driver and returns its checkpoint bytes.
+fn mixed_shard_ckpt(index: u32) -> Vec<u8> {
+    let path = ckpt_path(&format!("mixed-{index}of4"));
+    let _ = std::fs::remove_file(&path);
+    let opts = StreamingOptions {
+        checkpoint: Some(path.clone()),
+        shard: Some(ShardSpec { index, count: 4 }),
+        ..StreamingOptions::default()
+    };
+    campaign(SEED, CorruptionProfile::None)
+        .with_fleet(FleetComposition::mixed())
+        .run_streaming_opts(2, AnalysisConfig::default(), &PassRegistry::all(), &opts)
+        .unwrap_or_else(|e| panic!("mixed shard {index}/4 run failed: {e}"));
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// A heterogeneous fleet shards and merges exactly like the default
+/// one: 4 shard checkpoints of the mixed-composition campaign merge to
+/// the single-process streaming report byte for byte — and that report
+/// carries the device-class breakdown, which the grouped accumulators
+/// must have reassembled across shard files.
+#[test]
+fn mixed_fleet_shard_checkpoints_merge_byte_identical() {
+    let registry = PassRegistry::all();
+    let config = AnalysisConfig::default();
+    let mixed = || campaign(SEED, CorruptionProfile::None).with_fleet(FleetComposition::mixed());
+    let spec = FleetComposition::mixed().spec_string();
+    let baseline = render(&mixed().run_streaming(4, config, &registry).report);
+    assert!(
+        baseline.contains("device class"),
+        "mixed fleet must render the device-class section"
+    );
+    let fingerprint = mixed().fingerprint();
+    let inputs: Vec<Vec<u8>> = (0..4).map(mixed_shard_ckpt).collect();
+    let merger = merge_shard_checkpoints(&registry, config, fingerprint, &spec, &inputs)
+        .unwrap_or_else(|e| panic!("mixed-fleet 4-way merge failed: {e}"));
+    assert_eq!(
+        render(&merger.finish()),
+        baseline,
+        "mixed-fleet merge differs from single process"
+    );
 }
 
 /// Cost-balanced shards (`--balance static` and `--balance measured`)
@@ -188,15 +243,18 @@ fn balanced_shard_checkpoints_match_single_process() {
         // The checkpoints carry the planner's cut points verbatim.
         for (i, bytes) in inputs.iter().enumerate() {
             let want = plan.topology(i as u32);
-            let resumed = StreamMerger::resume(&registry, config, fingerprint, want, bytes)
-                .unwrap_or_else(|e| panic!("{}-balanced shard {i}/{count}: {e}", mode.as_str()));
+            let resumed =
+                StreamMerger::resume(&registry, config, fingerprint, "default", want, bytes)
+                    .unwrap_or_else(|e| {
+                        panic!("{}-balanced shard {i}/{count}: {e}", mode.as_str())
+                    });
             assert_eq!(
                 resumed.absorbed(),
                 want.end,
                 "shard {i} covers its interval"
             );
         }
-        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &inputs)
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, "default", &inputs)
             .unwrap_or_else(|e| panic!("{}-balanced {count}-way merge failed: {e}", mode.as_str()));
         assert_eq!(
             render(&merger.finish()),
@@ -222,11 +280,12 @@ fn partial_merge_names_the_missing_interval_and_folds_the_rest() {
         .collect();
 
     // Full cover: partial == strict, including the rendered bytes.
-    let (full, gaps) = merge_shard_checkpoints_partial(&registry, config, fingerprint, &shards)
-        .expect("full cover must merge");
+    let (full, gaps) =
+        merge_shard_checkpoints_partial(&registry, config, fingerprint, "default", &shards)
+            .expect("full cover must merge");
     assert_eq!(gaps, Vec::<(u32, u32)>::new());
     assert_eq!(full.absorbed(), PHONES);
-    let strict = merge_shard_checkpoints(&registry, config, fingerprint, &shards)
+    let strict = merge_shard_checkpoints(&registry, config, fingerprint, "default", &shards)
         .expect("strict merge of a full cover");
     assert_eq!(render(&full.finish()), render(&strict.finish()));
 
@@ -234,8 +293,9 @@ fn partial_merge_names_the_missing_interval_and_folds_the_rest() {
     // shards 0, 2 and 3 all still reach the report.
     let (hole_from, hole_to) = ShardTopology::uniform(1, 4, PHONES).interval();
     let missing = [shards[0].clone(), shards[2].clone(), shards[3].clone()];
-    let (merger, gaps) = merge_shard_checkpoints_partial(&registry, config, fingerprint, &missing)
-        .expect("partial merge must tolerate a missing shard");
+    let (merger, gaps) =
+        merge_shard_checkpoints_partial(&registry, config, fingerprint, "default", &missing)
+            .expect("partial merge must tolerate a missing shard");
     assert_eq!(gaps, vec![(hole_from, hole_to)]);
     let report = merger.finish();
     assert_eq!(
@@ -250,7 +310,7 @@ fn partial_merge_names_the_missing_interval_and_folds_the_rest() {
         hand_ckpt(&registry, config, fp, 0..3, 0, 2, 6),
         hand_ckpt(&registry, config, fp, 2..6, 1, 2, 6),
     ];
-    let err = merge_shard_checkpoints_partial(&registry, config, fp, &overlapping)
+    let err = merge_shard_checkpoints_partial(&registry, config, fp, "default", &overlapping)
         .map(|_| ())
         .expect_err("partial merge must still refuse overlaps");
     assert_eq!(
@@ -287,7 +347,7 @@ fn hand_ckpt(
         let lens = PhoneLens::new(&phone, config, registry.needs_coalesce());
         merger.push(registry.fold_phone(&lens));
     }
-    merger.snapshot(fingerprint, topology)
+    merger.snapshot(fingerprint, "default", topology)
 }
 
 /// `expect_err` needs `Debug` on the success arm, which
@@ -309,7 +369,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         .collect();
 
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fingerprint, &[]),
+        merge_shard_checkpoints(&registry, config, fingerprint, "default", &[]),
         "empty input list must be refused",
     );
     assert_eq!(err, MergeError::NoInputs);
@@ -317,7 +377,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
     // Shard 2 missing: the gap reported is exactly its interval.
     let missing = [shards[0].clone(), shards[1].clone(), shards[3].clone()];
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fingerprint, &missing),
+        merge_shard_checkpoints(&registry, config, fingerprint, "default", &missing),
         "coverage gap must be refused",
     );
     let (hole_from, hole_to) = ShardTopology::uniform(2, 4, PHONES).interval();
@@ -338,7 +398,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         shards[3].clone(),
     ];
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fingerprint, &doubled),
+        merge_shard_checkpoints(&registry, config, fingerprint, "default", &doubled),
         "duplicated shard file must be refused",
     );
     assert_eq!(err, MergeError::DuplicateShard { index: 1 });
@@ -348,7 +408,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
     let mut foreign = shards.clone();
     foreign[2] = shard_ckpt(SEED + 1, CorruptionProfile::None, 2, 4);
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fingerprint, &foreign),
+        merge_shard_checkpoints(&registry, config, fingerprint, "default", &foreign),
         "foreign campaign must be refused",
     );
     assert!(
@@ -369,7 +429,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         ..config
     };
     let err = must_fail(
-        merge_shard_checkpoints(&registry, skewed, fingerprint, &shards),
+        merge_shard_checkpoints(&registry, skewed, fingerprint, "default", &shards),
         "config mismatch must be refused",
     );
     assert!(
@@ -382,9 +442,27 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         ),
         "wrong error: {err}"
     );
+    // A shard written under a different fleet composition is refused
+    // with the offending input position — even though the bytes are
+    // otherwise a perfectly valid checkpoint.
+    let err = must_fail(
+        merge_shard_checkpoints(&registry, config, fingerprint, "communicator:1", &shards),
+        "composition mismatch must be refused",
+    );
+    assert_eq!(
+        err,
+        MergeError::Input {
+            input: 0,
+            error: CheckpointError::CompositionMismatch {
+                found: "default".to_string(),
+                expected: "communicator:1".to_string(),
+            }
+        }
+    );
+
     let subset = PassRegistry::select("mtbf,panics").unwrap();
     let err = must_fail(
-        merge_shard_checkpoints(&subset, config, fingerprint, &shards),
+        merge_shard_checkpoints(&subset, config, fingerprint, "default", &shards),
         "registry mismatch must be refused",
     );
     assert!(
@@ -406,7 +484,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         hand_ckpt(&registry, config, fp, 2..6, 1, 2, 6),
     ];
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fp, &overlapping),
+        merge_shard_checkpoints(&registry, config, fp, "default", &overlapping),
         "overlapping intervals must be refused",
     );
     assert_eq!(
@@ -423,7 +501,7 @@ fn merge_refuses_gaps_duplicates_and_foreign_inputs() {
         hand_ckpt(&registry, config, fp, 3..6, 1, 3, 6),
     ];
     let err = must_fail(
-        merge_shard_checkpoints(&registry, config, fp, &mixed),
+        merge_shard_checkpoints(&registry, config, fp, "default", &mixed),
         "mixed topologies must be refused",
     );
     assert_eq!(
@@ -502,7 +580,7 @@ proptest! {
                     let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
                     merger.push(registry.fold_phone(&lens));
                 }
-                merger.snapshot(fingerprint, ShardTopology {
+                merger.snapshot(fingerprint, "default", ShardTopology {
                     index: index as u32,
                     count,
                     fleet_phones: phones.len() as u32,
@@ -516,7 +594,7 @@ proptest! {
             2 => ckpts.sort_by_key(|b| b.len()),
             _ => {}
         }
-        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &ckpts)
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, "default", &ckpts)
             .expect("a full disjoint cover must merge");
         prop_assert_eq!(
             unsharded,
@@ -589,10 +667,10 @@ proptest! {
                     let lens = PhoneLens::new(phone, config, registry.needs_coalesce());
                     merger.push(registry.fold_phone(&lens));
                 }
-                merger.snapshot(fingerprint, plan.topology(i))
+                merger.snapshot(fingerprint, "default", plan.topology(i))
             })
             .collect();
-        let merger = merge_shard_checkpoints(&registry, config, fingerprint, &ckpts)
+        let merger = merge_shard_checkpoints(&registry, config, fingerprint, "default", &ckpts)
             .expect("planner cuts must form a full disjoint cover");
         prop_assert_eq!(
             unsharded,

@@ -1002,9 +1002,10 @@ proptest! {
             direct.push(fold(p));
             snapped.push(fold(p));
         }
-        let bytes = snapped.snapshot(fingerprint, topology);
-        let mut restored = StreamMerger::resume(&registry, config, fingerprint, topology, &bytes)
-            .expect("own snapshot must restore");
+        let bytes = snapped.snapshot(fingerprint, "default", topology);
+        let mut restored =
+            StreamMerger::resume(&registry, config, fingerprint, "default", topology, &bytes)
+                .expect("own snapshot must restore");
         prop_assert_eq!(restored.absorbed(), split as u32);
         for p in &phones[split..] {
             direct.push(fold(p));
@@ -1043,19 +1044,111 @@ proptest! {
         for p in &phones {
             merger.push(registry.fold_phone(&PhoneLens::new(p, config, registry.needs_coalesce())));
         }
-        let bytes = merger.snapshot(7, topology);
+        let bytes = merger.snapshot(7, "default", topology);
 
         let mut flipped = bytes.clone();
         let pos = (pos_sel as usize) % flipped.len();
         flipped[pos] ^= mask;
-        let outcome = StreamMerger::resume(&registry, config, 7, topology, &flipped);
+        let outcome = StreamMerger::resume(&registry, config, 7, "default", topology, &flipped);
         prop_assert!(
             outcome.is_err(),
             "flipping byte {} with mask {:#04x} was not detected", pos, mask
         );
 
         let cut = (cut_sel as usize) % bytes.len();
-        let outcome = StreamMerger::resume(&registry, config, 7, topology, &bytes[..cut]);
+        let outcome = StreamMerger::resume(&registry, config, 7, "default", topology, &bytes[..cut]);
         prop_assert!(outcome.is_err(), "truncation to {} bytes was not detected", cut);
+    }
+}
+
+// ---------------------------------------------------------------
+// Contingency tables: the merge algebra the sharded checkpoint path
+// relies on, and chi-square's indifference to label names.
+// ---------------------------------------------------------------
+
+/// Fixed label pools so generated cells collide across shards the way
+/// device classes and failure types do.
+const CT_ROWS: [&str; 5] = [
+    "communicator",
+    "smartphone",
+    "entry-level",
+    "pda",
+    "candybar",
+];
+const CT_COLS: [&str; 4] = ["panic", "freeze", "self-shutdown", "charging"];
+
+fn ct_from(cells: &[(usize, usize, u64)]) -> symfail::stats::ContingencyTable {
+    let mut t = symfail::stats::ContingencyTable::new();
+    for &(r, c, n) in cells {
+        t.add_n(CT_ROWS[r % CT_ROWS.len()], CT_COLS[c % CT_COLS.len()], n);
+    }
+    t
+}
+
+proptest! {
+    /// Any split of the cell stream — including every split along row
+    /// boundaries, the shape a per-device-class shard produces —
+    /// merges back to the whole table, whichever way the merges
+    /// associate. This is the algebra that lets shard checkpoints
+    /// carry partial class × failure tables and still merge to the
+    /// single-process bytes.
+    #[test]
+    fn contingency_merge_is_associative_for_any_split(
+        cells in prop::collection::vec((0usize..5, 0usize..4, 0u64..40), 0..40),
+        cut_a in 0u32..u32::MAX,
+        cut_b in 0u32..u32::MAX,
+    ) {
+        let mut cuts = [
+            (cut_a as usize) % (cells.len() + 1),
+            (cut_b as usize) % (cells.len() + 1),
+        ];
+        cuts.sort_unstable();
+        let (x, rest) = cells.split_at(cuts[0]);
+        let (y, z) = rest.split_at(cuts[1] - cuts[0]);
+        let whole = ct_from(&cells);
+        // (X ⊔ Y) ⊔ Z
+        let mut left = ct_from(x);
+        left.merge(&ct_from(y));
+        left.merge(&ct_from(z));
+        // X ⊔ (Y ⊔ Z)
+        let mut tail = ct_from(y);
+        tail.merge(&ct_from(z));
+        let mut right = ct_from(x);
+        right.merge(&tail);
+        prop_assert_eq!(&left, &whole, "left association changed the table");
+        prop_assert_eq!(&right, &whole, "right association changed the table");
+    }
+
+    /// Chi-square measures row/column dependence, not label spelling:
+    /// any cyclic permutation of the row labels and the column labels
+    /// leaves the statistic unchanged — and preserves degeneracy (a
+    /// table refused before permutation is refused after).
+    #[test]
+    fn contingency_chi_square_invariant_under_label_permutation(
+        cells in prop::collection::vec((0usize..5, 0usize..4, 1u64..40), 1..40),
+        row_rot in 0usize..5,
+        col_rot in 0usize..4,
+    ) {
+        let original = ct_from(&cells);
+        let relabeled: Vec<(usize, usize, u64)> = cells
+            .iter()
+            .map(|&(r, c, n)| (r + row_rot, c + col_rot, n))
+            .collect();
+        let permuted = ct_from(&relabeled);
+        prop_assert_eq!(original.grand_total(), permuted.grand_total());
+        match (
+            original.chi_square_independence(),
+            permuted.chi_square_independence(),
+        ) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "chi2 moved under relabeling: {} vs {}", a, b
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "permutation changed degeneracy: {:?} vs {:?}", a, b
+            ),
+        }
     }
 }
