@@ -20,6 +20,12 @@
 //! repro plan-shards --shards N [--balance MODE] [--costs-json PATH]
 //!       [--seed N] [--phones N] [--days N] [--corruption PROFILE]
 //!       [--fleet SPEC]
+//! repro extract-signatures [--signature-json OUT]
+//!       [--from-checkpoint PATH] [--seed N] [--phones N] [--days N]
+//!       [--corruption PROFILE] [--fleet SPEC] [--analyses LIST]
+//! repro minimize --signature-json PATH [--signature-index I]
+//!       [--max-days N] [--max-seeds N] [--match core|strict]
+//!       [--start-corruption PROFILE] [--out PATH]
 //! ```
 //!
 //! The default runs the full 25-phone / 14-month campaign plus the
@@ -99,6 +105,20 @@
 //! jointly-covering requirement: a best-effort report is rendered
 //! from whatever shards are present, with every missing phone
 //! interval named, and the process exits zero.
+//!
+//! `repro extract-signatures` distills a campaign into its distinct
+//! fault-signature catalog — panic code, raising component, running
+//! apps, concurrent activity, related high-level event, device class
+//! and firmware line — either by streaming the campaign phone by
+//! phone (no checkpoint needed) or straight from a v5 checkpoint via
+//! `--from-checkpoint`, which never re-simulates. `repro minimize`
+//! takes one signature from that catalog and runs the ddmin-style
+//! search of `symfail_phone::repro`: seed hunt, corruption drop, day
+//! bisection, greedy fault-channel drop, final re-bisection — every
+//! probe a full simulate→parse→match run — and emits the minimal
+//! single-phone campaign config, replay-verified before it is
+//! written. The search is a pure function of (signature, budgets), so
+//! the emitted JSON is byte-identical across runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -110,10 +130,13 @@ use symfail_core::analysis::bursts::BurstAnalysis;
 use symfail_core::analysis::checkpoint::ShardTopology;
 use symfail_core::analysis::dataset::FleetDataset;
 use symfail_core::analysis::mtbf::MtbfAnalysis;
-use symfail_core::analysis::passes::{merge_shard_checkpoints, merge_shard_checkpoints_partial};
-use symfail_core::analysis::passes::{MergeStats, PassRegistry};
+use symfail_core::analysis::passes::{checkpoint_coalesced, merge_shard_checkpoints};
+use symfail_core::analysis::passes::{merge_shard_checkpoints_partial, MergeStats, PassRegistry};
 use symfail_core::analysis::report::{AnalysisConfig, StudyReport};
 use symfail_core::analysis::shutdown::ShutdownAnalysis;
+use symfail_core::analysis::signature::{
+    distinct_signatures, signatures_from_json, signatures_to_json, MatchMode,
+};
 use symfail_core::analysis::{
     coalesce, targets, COALESCENCE_SWEEP_WINDOWS_SECS, SHUTDOWN_THRESHOLD_SWEEP_SECS,
 };
@@ -125,6 +148,7 @@ use symfail_phone::fleet::{
     harvest_metas, FleetCampaign, MergeMode, PhoneMeta, ShardSpec, StreamingOptions, WorkerStats,
 };
 use symfail_phone::plan::{BalanceMode, ShardPlan};
+use symfail_phone::repro::{extract_fleet_signatures, minimize, MinimizeOptions};
 use symfail_sim_core::SimDuration;
 
 /// A counting wrapper around the system allocator: lets
@@ -458,6 +482,12 @@ fn parse_args() -> Result<Args, String> {
                      \x20      repro plan-shards --shards N [--balance MODE] \
                      [--costs-json PATH] [--seed N] [--phones N] [--days N] \
                      [--corruption PROFILE] [--fleet SPEC]\n\
+                     \x20      repro extract-signatures [--signature-json OUT] \
+                     [--from-checkpoint PATH] [campaign flags]\n\
+                     \x20      repro minimize --signature-json PATH \
+                     [--signature-index I] [--max-days N] [--max-seeds N] \
+                     [--match core|strict] [--start-corruption PROFILE] \
+                     [--out PATH]\n\
                      checkpoint/stop/trace/merge/shard/balance flags need \
                      --engine streaming\n\
                      --analyses takes a comma-list of pass names \
@@ -1193,8 +1223,243 @@ fn plan_shards_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro extract-signatures` — distills a campaign into its distinct
+/// fault-signature catalog. With `--from-checkpoint` the signatures
+/// come out of a v5 checkpoint's coalesce accumulators without
+/// re-simulating; otherwise the campaign streams phone by phone.
+fn extract_signatures_cmd(argv: &[String]) -> Result<(), String> {
+    let mut seed: u64 = 2005;
+    let mut phones: u32 = 25;
+    let mut days: u32 = 425;
+    let mut corruption = CorruptionProfile::None;
+    let mut fleet = FleetComposition::default();
+    let mut analyses = "all".to_string();
+    let mut from_checkpoint: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--phones" => {
+                phones = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--phones needs an integer")?
+            }
+            "--days" => {
+                days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--days needs an integer")?
+            }
+            "--corruption" => {
+                let profile = it.next().ok_or("--corruption needs a profile name")?;
+                corruption = CorruptionProfile::parse(profile).ok_or(format!(
+                    "unknown corruption profile {profile} (try none|light|moderate|worst)"
+                ))?
+            }
+            "--fleet" => {
+                let spec = it.next().ok_or("--fleet needs a composition spec")?;
+                fleet = FleetComposition::parse(spec).map_err(|e| format!("--fleet: {e}"))?
+            }
+            "--analyses" => {
+                analyses = it
+                    .next()
+                    .ok_or("--analyses needs a comma-list")?
+                    .to_string()
+            }
+            "--from-checkpoint" => {
+                from_checkpoint = Some(
+                    it.next()
+                        .ok_or("--from-checkpoint needs a path")?
+                        .to_string(),
+                )
+            }
+            "--signature-json" => {
+                out = Some(
+                    it.next()
+                        .ok_or("--signature-json needs a path")?
+                        .to_string(),
+                )
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro extract-signatures [--signature-json OUT] \
+                            [--from-checkpoint PATH] [--seed N] [--phones N] [--days N] \
+                            [--corruption PROFILE] [--fleet SPEC] [--analyses LIST]"
+                    .to_string())
+            }
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    let params = CalibrationParams {
+        phones,
+        campaign_days: days,
+        ..CalibrationParams::default()
+    };
+    let config = AnalysisConfig {
+        uptime_gap: SimDuration::from_secs(params.heartbeat_period_secs * 3 + 60),
+        ..AnalysisConfig::default()
+    };
+    let campaign = FleetCampaign::new(seed, params)
+        .with_corruption(corruption)
+        .with_fleet(fleet.clone());
+    let sigs = match &from_checkpoint {
+        Some(path) => {
+            let registry = PassRegistry::select(&analyses)?;
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let (names, panics) = checkpoint_coalesced(
+                &registry,
+                config,
+                campaign.fingerprint(),
+                &fleet.spec_string(),
+                &bytes,
+            )
+            .map_err(|e| format!("cannot extract from {path}: {e}"))?;
+            distinct_signatures(&panics, &names, |id| campaign.device_labels(id))
+        }
+        None => extract_fleet_signatures(&campaign, &config),
+    };
+    let total: u64 = sigs.iter().map(|(_, n)| n).sum();
+    let json = signatures_to_json(&sigs);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "{} distinct signatures ({total} coalesced panics) written to {path}",
+                sigs.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// `repro minimize` — picks one signature out of an
+/// `extract-signatures` catalog and emits the minimal single-phone
+/// repro campaign, replay-verified before it is written.
+fn minimize_cmd(argv: &[String]) -> Result<(), String> {
+    let mut sig_path: Option<String> = None;
+    let mut index: usize = 0;
+    let mut opts = MinimizeOptions {
+        config: AnalysisConfig {
+            uptime_gap: SimDuration::from_secs(
+                CalibrationParams::default().heartbeat_period_secs * 3 + 60,
+            ),
+            ..AnalysisConfig::default()
+        },
+        ..MinimizeOptions::default()
+    };
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--signature-json" => {
+                sig_path = Some(
+                    it.next()
+                        .ok_or("--signature-json needs a path")?
+                        .to_string(),
+                )
+            }
+            "--signature-index" => {
+                index = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--signature-index needs an integer")?
+            }
+            "--max-days" => {
+                opts.max_days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-days needs a positive day count")?
+            }
+            "--max-seeds" => {
+                opts.max_seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-seeds needs a positive seed count")?
+            }
+            "--match" => {
+                let name = it.next().ok_or("--match needs core|strict")?;
+                opts.mode = MatchMode::parse(name).ok_or(format!("unknown match mode {name}"))?
+            }
+            "--start-corruption" => {
+                let profile = it.next().ok_or("--start-corruption needs a profile name")?;
+                opts.corruption = CorruptionProfile::parse(profile).ok_or(format!(
+                    "unknown corruption profile {profile} (try none|light|moderate|worst)"
+                ))?
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.to_string()),
+            "--help" | "-h" => {
+                return Err("usage: repro minimize --signature-json PATH \
+                            [--signature-index I] [--max-days N] [--max-seeds N] \
+                            [--match core|strict] [--start-corruption PROFILE] \
+                            [--out PATH]"
+                    .to_string())
+            }
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    let sig_path = sig_path.ok_or("minimize needs --signature-json PATH")?;
+    let text =
+        std::fs::read_to_string(&sig_path).map_err(|e| format!("cannot read {sig_path}: {e}"))?;
+    let sigs = signatures_from_json(&text).map_err(|e| format!("{sig_path}: {e}"))?;
+    let sig = sigs.get(index).ok_or(format!(
+        "--signature-index {index} out of range: {sig_path} holds {} signatures",
+        sigs.len()
+    ))?;
+    eprintln!("minimizing signature {index}: {}", sig.key());
+    let min = minimize(sig, &opts).map_err(|e| e.to_string())?;
+    if !min.config.replay(&opts.config).map_err(|e| e.to_string())? {
+        return Err("internal error: minimized config failed replay verification".to_string());
+    }
+    let channels: Vec<&str> = min.config.channels.iter().map(|c| c.as_str()).collect();
+    eprintln!(
+        "minimal repro: seed {} x {} days, channels [{}], corruption {} \
+         ({} probes, {} accepted shrink steps, replay-verified)",
+        min.config.seed,
+        min.config.days,
+        channels.join(", "),
+        min.config.corruption.as_str(),
+        min.probes,
+        min.trail.len()
+    );
+    let json = min.config.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote minimal campaign config to {path}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    for (name, cmd) in [
+        (
+            "extract-signatures",
+            extract_signatures_cmd as fn(&[String]) -> Result<(), String>,
+        ),
+        ("minimize", minimize_cmd),
+    ] {
+        if argv.first().map(String::as_str) == Some(name) {
+            return match cmd(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
     if argv.first().map(String::as_str) == Some("merge-checkpoints") {
         return match merge_checkpoints_cmd(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,

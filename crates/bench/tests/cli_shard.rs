@@ -1,0 +1,98 @@
+//! CLI-level shard/merge contract: a 13-phone fleet split 16 ways
+//! produces empty-interval shard checkpoints (more shards than
+//! phones), and `repro merge-checkpoints` must accept the full set —
+//! empties included — and reassemble the whole-fleet report. This
+//! drives the real binary, not the library: flag parsing, checkpoint
+//! I/O and process exit codes are all under test.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PHONES: u32 = 13;
+const SHARDS: u32 = 16;
+const DAYS: u32 = 30;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn ckpt_path(index: u32) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "symfail-clishard-{}-{index}.bin",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn oversharded_fleet_merges_at_the_cli() {
+    let campaign_flags = |cmd: &mut Command| {
+        cmd.args(["--phones", &PHONES.to_string(), "--days", &DAYS.to_string()]);
+    };
+
+    // Run all 16 shard processes; with 13 phones some intervals are
+    // necessarily empty, and each process must still exit zero and
+    // write a valid checkpoint.
+    let mut paths = Vec::new();
+    for index in 0..SHARDS {
+        let path = ckpt_path(index);
+        let _ = std::fs::remove_file(&path);
+        let mut cmd = repro();
+        campaign_flags(&mut cmd);
+        cmd.args(["--engine", "streaming", "--workers", "2"]);
+        cmd.args(["--shard", &format!("{index}/{SHARDS}")]);
+        cmd.args(["--checkpoint", path.to_str().unwrap()]);
+        let out = cmd.output().expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "shard {index}/{SHARDS} exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(path.exists(), "shard {index}/{SHARDS} wrote no checkpoint");
+        paths.push(path);
+    }
+
+    // The uniform i/N formula over 13 phones x 16 shards leaves shard
+    // 12/16 (among others) with an empty interval — the scenario this
+    // test exists to pin. Empty checkpoints are near-constant-size;
+    // make sure at least one such file really is in the merged set.
+    let sizes: Vec<u64> = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .collect();
+    let min = sizes.iter().min().unwrap();
+    let max = sizes.iter().max().unwrap();
+    assert!(
+        min < max,
+        "expected at least one empty-interval checkpoint smaller than the rest; sizes: {sizes:?}"
+    );
+
+    // Merge all 16 at the CLI. The merged report must cover the whole
+    // fleet and the process must exit zero.
+    let merged = ckpt_path(999);
+    let _ = std::fs::remove_file(&merged);
+    let mut cmd = repro();
+    cmd.arg("merge-checkpoints");
+    cmd.arg(merged.to_str().unwrap());
+    for p in &paths {
+        cmd.arg(p.to_str().unwrap());
+    }
+    campaign_flags(&mut cmd);
+    let out = cmd.output().expect("spawn repro merge-checkpoints");
+    assert!(
+        out.status.success(),
+        "merge-checkpoints exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!(
+            "merged {SHARDS} shard checkpoints ({PHONES} phones)"
+        )),
+        "merge summary missing from stderr:\n{stderr}"
+    );
+    assert!(merged.exists(), "merge wrote no whole-fleet checkpoint");
+
+    for p in paths.iter().chain([&merged]) {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -41,6 +41,7 @@ pub mod report;
 pub mod runapps;
 pub mod severity;
 pub mod shutdown;
+pub mod signature;
 pub mod targets;
 
 /// Candidate coalescence windows (seconds) for the Figure 4/5 sweep

@@ -1245,6 +1245,49 @@ pub fn load_shard_checkpoint(
     Ok((info, shard))
 }
 
+/// Decodes a v5 checkpoint far enough to extract fault signatures
+/// without re-simulating anything: the fleet [`NameTable`] plus the
+/// coalesced-panic stream of the filtered (freeze +
+/// threshold-self-shutdown) coalescence accumulator. The registry the
+/// checkpoint was written under must include the `coalesce` pass.
+/// Mid-run captures work too: any pending out-of-order shards are
+/// absorbed through the same interner-remap discipline the resuming
+/// merger applies, so every returned panic's ids resolve against the
+/// returned table.
+pub fn checkpoint_coalesced(
+    registry: &PassRegistry,
+    config: AnalysisConfig,
+    campaign_fingerprint: u64,
+    composition: &str,
+    bytes: &[u8],
+) -> Result<(NameTable, Vec<CoalescedPanic>), CheckpointError> {
+    let idx = registry
+        .passes()
+        .iter()
+        .position(|p| p.name() == "coalesce")
+        .ok_or(CheckpointError::Corrupt(
+            "signature extraction needs the coalesce pass in the registry",
+        ))?;
+    let parsed = parse_checkpoint(registry, config, campaign_fingerprint, composition, bytes)?;
+    let mut names = parsed.names;
+    let take_panics = |mut accs: Vec<DynAcc>| -> Vec<CoalescedPanic> {
+        accs.swap_remove(idx)
+            .downcast::<CoalesceAcc>()
+            .expect("coalesce accumulator type")
+            .filtered
+            .panics
+    };
+    let mut panics = take_panics(parsed.accs);
+    for shard in parsed.pending.into_values() {
+        let remap = names.absorb(&shard.names);
+        for mut cp in take_panics(shard.accs) {
+            cp.panic.remap(&remap);
+            panics.push(cp);
+        }
+    }
+    Ok((names, panics))
+}
+
 /// Proves a set of shard checkpoints forms one exact cover of the
 /// fleet: consistent `(count, fleet_phones)` topology, no duplicated
 /// shard index, and covered intervals that chain from phone 0 to

@@ -1,0 +1,537 @@
+//! Fault signatures: the reproduction-oriented identity of a panic.
+//!
+//! A fleet report tells you *that* a failure class occurred; a
+//! [`FailureSignature`] captures enough context to hunt for another
+//! instance of the same class in a different campaign — the panic
+//! code, the component that raised it, the user activity at panic
+//! time, the running-application set, the coalesced high-level
+//! outcome, and the device class + firmware line of the phone it hit.
+//!
+//! Two properties make signatures portable across campaigns:
+//!
+//! * **Interner independence.** Every interned id is resolved to its
+//!   string at extraction time and the app set is sorted and deduped,
+//!   so the signature is invariant under any [`NameTable`] remap —
+//!   a signature extracted from a shard before the fleet merge equals
+//!   the one extracted from the merged fleet.
+//! * **Phone independence.** No phone id is stored; matching a
+//!   signature against a phone only reads the phone's own log, so the
+//!   same panic observed as phone 0 or phone 912 yields the same
+//!   signature.
+//!
+//! Matching comes in two strictness levels ([`MatchMode`]): the
+//! *core* identity (code + raiser + activity + device line) that the
+//! minimizer hunts for, and the *strict* identity that additionally
+//! pins the full app set and the coalesced high-level outcome — the
+//! form the remap-invariance proptests exercise.
+
+use super::coalesce::{coalesce_phone, CoalescedPanic, PhoneCoalesce};
+use super::dataset::{HlEvent, HlKind, PanicEvent, PhoneDataset, ShutdownEvent};
+use super::passes::DeviceLabels;
+use super::report::AnalysisConfig;
+use crate::intern::NameTable;
+use symfail_symbian::PanicCode;
+
+/// How strictly [`FailureSignature::matches`] compares two signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Panic code, raising component, activity at panic time, device
+    /// class and firmware. The minimizer's target: everything the
+    /// fault-injection machinery can deterministically steer.
+    #[default]
+    Core,
+    /// [`MatchMode::Core`] plus the exact running-application set and
+    /// the coalesced high-level outcome.
+    Strict,
+}
+
+impl MatchMode {
+    /// The command-line name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchMode::Core => "core",
+            MatchMode::Strict => "strict",
+        }
+    }
+
+    /// Parses a mode name as given on the command line.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "core" => Some(MatchMode::Core),
+            "strict" => Some(MatchMode::Strict),
+            _ => None,
+        }
+    }
+}
+
+/// The reproduction-oriented identity of one observed panic.
+///
+/// All fields are resolved strings — see the module docs for why.
+/// The panic `reason` text is deliberately excluded: it carries
+/// per-execution detail (addresses, indices) that no reproduction is
+/// expected to replay.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailureSignature {
+    /// The panic code, rendered as in the paper (`"KERN-EXEC 3"`).
+    pub code: String,
+    /// The component that raised the panic.
+    pub raised_by: String,
+    /// Running applications at panic time, sorted and deduped.
+    pub apps: Vec<String>,
+    /// Activity at panic time (`ActivityKind::as_str`), if any.
+    pub activity: Option<String>,
+    /// Coalesced high-level outcome (`HlKind::as_str`), if any.
+    pub related: Option<String>,
+    /// Device class of the phone that hit it (`DeviceClass::as_str`).
+    pub device_class: String,
+    /// Firmware line of the phone (`SymbianVersion::as_str`).
+    pub firmware: String,
+}
+
+impl FailureSignature {
+    /// Extracts the signature of one panic, resolving every interned
+    /// id against `names` (the table the event's ids are valid in).
+    pub fn from_panic(
+        panic: &PanicEvent,
+        related: Option<HlKind>,
+        names: &NameTable,
+        device: DeviceLabels,
+    ) -> Self {
+        let mut apps: Vec<String> = panic
+            .apps
+            .iter()
+            .map(|id| names.resolve(id).to_string())
+            .collect();
+        apps.sort();
+        apps.dedup();
+        Self {
+            code: panic.code.to_string(),
+            raised_by: names.resolve(panic.raised_by).to_string(),
+            apps,
+            activity: panic.activity.map(|a| a.as_str().to_string()),
+            related: related.map(|k| k.as_str().to_string()),
+            device_class: device.device_class.to_string(),
+            firmware: device.firmware.to_string(),
+        }
+    }
+
+    /// [`Self::from_panic`] for a coalesced panic (report or
+    /// checkpoint extraction path).
+    pub fn from_coalesced(cp: &CoalescedPanic, names: &NameTable, device: DeviceLabels) -> Self {
+        Self::from_panic(&cp.panic, cp.related, names, device)
+    }
+
+    /// Every signature in one phone's dataset, in panic order: the
+    /// same freeze + filtered-self-shutdown coalescence fold the
+    /// analysis passes compute, then one signature per panic.
+    pub fn from_phone(
+        phone: &PhoneDataset,
+        config: &AnalysisConfig,
+        device: DeviceLabels,
+    ) -> Vec<Self> {
+        phone_coalesce(phone, config)
+            .panics
+            .iter()
+            .map(|cp| Self::from_coalesced(cp, phone.names(), device))
+            .collect()
+    }
+
+    /// The parsed panic code (`None` for a hand-edited signature whose
+    /// code string does not parse).
+    pub fn panic_code(&self) -> Option<PanicCode> {
+        PanicCode::parse(&self.code)
+    }
+
+    /// Whether `other` is the same failure class under `mode`.
+    pub fn matches(&self, other: &FailureSignature, mode: MatchMode) -> bool {
+        let core = self.code == other.code
+            && self.raised_by == other.raised_by
+            && self.activity == other.activity
+            && self.device_class == other.device_class
+            && self.firmware == other.firmware;
+        match mode {
+            MatchMode::Core => core,
+            MatchMode::Strict => core && self.apps == other.apps && self.related == other.related,
+        }
+    }
+
+    /// Whether `phone`'s log contains a panic matching this signature
+    /// under `mode`. Runs the same per-phone coalescence fold the
+    /// passes run, so the `related` outcome is judged exactly as the
+    /// study judges it.
+    pub fn matches_phone(
+        &self,
+        phone: &PhoneDataset,
+        config: &AnalysisConfig,
+        device: DeviceLabels,
+        mode: MatchMode,
+    ) -> bool {
+        if self.device_class != device.device_class || self.firmware != device.firmware {
+            return false;
+        }
+        phone_coalesce(phone, config)
+            .panics
+            .iter()
+            .any(|cp| self.matches(&Self::from_coalesced(cp, phone.names(), device), mode))
+    }
+
+    /// A stable dedup key covering the full (strict) identity.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            self.code,
+            self.raised_by,
+            self.apps.join(","),
+            self.activity.as_deref().unwrap_or("-"),
+            self.related.as_deref().unwrap_or("-"),
+            self.device_class,
+            self.firmware
+        )
+    }
+
+    /// Serializes the signature as a single JSON object with a fixed
+    /// field order (no serializer dependency; deterministic bytes).
+    pub fn to_json(&self) -> String {
+        let apps: Vec<String> = self.apps.iter().map(|a| json_string(a)).collect();
+        format!(
+            "{{\"code\": {}, \"raised_by\": {}, \"apps\": [{}], \
+             \"activity\": {}, \"related\": {}, \"device_class\": {}, \
+             \"firmware\": {}}}",
+            json_string(&self.code),
+            json_string(&self.raised_by),
+            apps.join(", "),
+            json_opt(self.activity.as_deref()),
+            json_opt(self.related.as_deref()),
+            json_string(&self.device_class),
+            json_string(&self.firmware),
+        )
+    }
+
+    /// Parses one signature object as written by [`Self::to_json`].
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        Ok(Self {
+            code: json_str_field(text, "code").ok_or("signature: missing code")?,
+            raised_by: json_str_field(text, "raised_by").ok_or("signature: missing raised_by")?,
+            apps: json_str_array(text, "apps").ok_or("signature: missing apps array")?,
+            activity: json_opt_field(text, "activity")?,
+            related: json_opt_field(text, "related")?,
+            device_class: json_str_field(text, "device_class")
+                .ok_or("signature: missing device_class")?,
+            firmware: json_str_field(text, "firmware").ok_or("signature: missing firmware")?,
+        })
+    }
+}
+
+/// The per-phone coalescence fold the signature layer matches
+/// against: freezes plus threshold-filtered self-shutdowns, stably
+/// time-sorted — byte-for-byte the fold `PhoneLens` feeds the
+/// coalesce pass.
+pub fn phone_coalesce(phone: &PhoneDataset, config: &AnalysisConfig) -> PhoneCoalesce {
+    let shutdown_hl = |e: &ShutdownEvent| HlEvent {
+        phone_id: e.phone_id,
+        at: e.off_at,
+        kind: HlKind::SelfShutdown,
+    };
+    let mut hl: Vec<HlEvent> = phone
+        .freezes()
+        .iter()
+        .copied()
+        .chain(
+            phone
+                .shutdown_events()
+                .iter()
+                .filter(|e| e.duration <= config.self_shutdown_threshold)
+                .map(shutdown_hl),
+        )
+        .collect();
+    hl.sort_by_key(|e| e.at);
+    coalesce_phone(
+        phone.phone_id(),
+        phone.panics(),
+        &hl,
+        config.coalescence_window,
+    )
+}
+
+/// Extracts the distinct signatures of a coalesced-panic stream (the
+/// report or checkpoint extraction path), resolving against the fleet
+/// `names` table and labelling each panic with its phone's device
+/// assignment. Returns `(signature, occurrence count)` pairs sorted
+/// by key — a deterministic catalog for `--signature-json` files.
+pub fn distinct_signatures(
+    panics: &[CoalescedPanic],
+    names: &NameTable,
+    labels: impl Fn(u32) -> DeviceLabels,
+) -> Vec<(FailureSignature, u64)> {
+    let mut out: Vec<(FailureSignature, u64)> = Vec::new();
+    for cp in panics {
+        let sig = FailureSignature::from_coalesced(cp, names, labels(cp.phone_id));
+        match out.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, n)) => *n += 1,
+            None => out.push((sig, 1)),
+        }
+    }
+    out.sort_by_key(|(s, _)| s.key());
+    out
+}
+
+/// Renders a signature catalog as a JSON array (fixed order).
+pub fn signatures_to_json(sigs: &[(FailureSignature, u64)]) -> String {
+    let rows: Vec<String> = sigs
+        .iter()
+        .map(|(s, n)| format!("    {{\"count\": {}, \"signature\": {}}}", n, s.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"symfail-signatures/1\",\n  \"signatures\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Parses every signature object out of a catalog (or any text
+/// holding `to_json` objects), in file order.
+pub fn signatures_from_json(text: &str) -> Result<Vec<FailureSignature>, String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("{\"code\"") {
+        let obj = balanced_object(&rest[at..]).ok_or("unbalanced signature object")?;
+        out.push(FailureSignature::parse_json(obj)?);
+        rest = &rest[at + obj.len()..];
+    }
+    if out.is_empty() {
+        return Err("no signature objects found".to_string());
+    }
+    Ok(out)
+}
+
+/// The balanced `{...}` prefix of `text` (which must start at a brace),
+/// ignoring braces inside JSON strings.
+fn balanced_object(text: &str) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in text.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[..i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(v: Option<&str>) -> String {
+    match v {
+        Some(s) => json_string(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Decodes the JSON string starting at `text` (which must start at a
+/// quote); returns the value and the number of input bytes consumed.
+fn json_unstring(text: &str) -> Option<(String, usize)> {
+    let mut out = String::new();
+    let mut chars = text.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return None,
+    }
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, i + 1)),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4)
+                        .map(|_| chars.next().map(|(_, c)| c))
+                        .collect::<Option<_>>()?;
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// The raw text after `"key":`, trimmed, or `None` if the key is
+/// absent. Only sound for the flat objects this module writes.
+fn json_value_at<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pat = format!("\"{key}\":");
+    Some(text[text.find(&pat)? + pat.len()..].trim_start())
+}
+
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    json_unstring(json_value_at(text, key)?).map(|(s, _)| s)
+}
+
+fn json_opt_field(text: &str, key: &str) -> Result<Option<String>, String> {
+    let rest = json_value_at(text, key).ok_or(format!("signature: missing {key}"))?;
+    if rest.starts_with("null") {
+        return Ok(None);
+    }
+    match json_unstring(rest) {
+        Some((s, _)) => Ok(Some(s)),
+        None => Err(format!("signature: bad {key} value")),
+    }
+}
+
+fn json_str_array(text: &str, key: &str) -> Option<Vec<String>> {
+    let mut rest = json_value_at(text, key)?.strip_prefix('[')?.trim_start();
+    let mut out = Vec::new();
+    loop {
+        if let Some(r) = rest.strip_prefix(']') {
+            let _ = r;
+            return Some(out);
+        }
+        let (s, used) = json_unstring(rest)?;
+        out.push(s);
+        rest = rest[used..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::NameIds;
+    use symfail_sim_core::SimTime;
+    use symfail_symbian::panic::codes;
+    use symfail_symbian::servers::logdb::ActivityKind;
+    use symfail_symbian::PanicCategory;
+
+    fn sample_panic(names: &mut NameTable) -> PanicEvent {
+        let mut apps = NameIds::new();
+        apps.push(names.intern("Camera"));
+        apps.push(names.intern("Telephone"));
+        PanicEvent {
+            at: SimTime::from_millis(1000),
+            code: codes::KERN_EXEC_3,
+            raised_by: names.intern("Telephone"),
+            reason: names.intern("dereferenced null"),
+            apps,
+            activity: Some(ActivityKind::VoiceCall),
+            battery: 80,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut names = NameTable::default();
+        let p = sample_panic(&mut names);
+        let sig =
+            FailureSignature::from_panic(&p, Some(HlKind::Freeze), &names, DeviceLabels::default());
+        let parsed = FailureSignature::parse_json(&sig.to_json()).unwrap();
+        assert_eq!(parsed, sig);
+        // Awkward strings survive the trip too.
+        let ugly = FailureSignature {
+            raised_by: "a\"b\\c\nd".to_string(),
+            activity: None,
+            ..sig
+        };
+        assert_eq!(FailureSignature::parse_json(&ugly.to_json()).unwrap(), ugly);
+    }
+
+    #[test]
+    fn signature_is_interner_order_independent() {
+        let mut a = NameTable::default();
+        let pa = sample_panic(&mut a);
+        // Same panic, different interning order → different ids.
+        let mut b = NameTable::default();
+        b.intern("zzz-pad");
+        b.intern("another");
+        let pb = sample_panic(&mut b);
+        assert_ne!(pa.raised_by, pb.raised_by);
+        let labels = DeviceLabels::default();
+        assert_eq!(
+            FailureSignature::from_panic(&pa, None, &a, labels),
+            FailureSignature::from_panic(&pb, None, &b, labels)
+        );
+    }
+
+    #[test]
+    fn match_modes_differ_on_apps_and_related() {
+        let mut names = NameTable::default();
+        let p = sample_panic(&mut names);
+        let labels = DeviceLabels::default();
+        let a = FailureSignature::from_panic(&p, Some(HlKind::Freeze), &names, labels);
+        let mut b = a.clone();
+        b.apps.pop();
+        b.related = None;
+        assert!(a.matches(&b, MatchMode::Core));
+        assert!(!a.matches(&b, MatchMode::Strict));
+        let mut c = a.clone();
+        c.code = codes::USER_11.to_string();
+        assert!(!a.matches(&c, MatchMode::Core));
+    }
+
+    #[test]
+    fn catalog_round_trips_and_dedups() {
+        let mut names = NameTable::default();
+        let p = sample_panic(&mut names);
+        let cps = vec![
+            CoalescedPanic {
+                phone_id: 3,
+                panic: p.clone(),
+                related: None,
+            },
+            CoalescedPanic {
+                phone_id: 9,
+                panic: p,
+                related: None,
+            },
+        ];
+        let sigs = distinct_signatures(&cps, &names, |_| DeviceLabels::default());
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].1, 2);
+        let json = signatures_to_json(&sigs);
+        let parsed = signatures_from_json(&json).unwrap();
+        assert_eq!(parsed, vec![sigs[0].0.clone()]);
+    }
+
+    #[test]
+    fn panic_code_parses_back() {
+        let mut names = NameTable::default();
+        let p = sample_panic(&mut names);
+        let sig = FailureSignature::from_panic(&p, None, &names, DeviceLabels::default());
+        assert_eq!(
+            sig.panic_code(),
+            Some(PanicCode::new(PanicCategory::KernExec, 3))
+        );
+    }
+}

@@ -598,6 +598,32 @@ impl FleetCampaign {
         }
     }
 
+    /// Runs exactly one phone of this campaign — the single-phone
+    /// scoped entry point the signature-repro machinery uses to
+    /// re-simulate an individual fleet member. Identical to the
+    /// phone's harvest under any engine, worker count or shard layout
+    /// (per-phone RNG forks are independent by construction).
+    pub fn run_single(&self, id: u32) -> PhoneHarvest {
+        assert!(
+            id < self.params.phones,
+            "phone {id} outside the {}-phone fleet",
+            self.params.phones
+        );
+        self.run_phone(id)
+    }
+
+    /// Runs the contiguous `[lo, hi)` slice of the fleet sequentially
+    /// — the same interval a `--shard` process simulates, exposed for
+    /// scoped re-simulation without the streaming driver.
+    pub fn run_interval(&self, lo: u32, hi: u32) -> Vec<PhoneHarvest> {
+        assert!(
+            lo <= hi && hi <= self.params.phones,
+            "interval [{lo}, {hi}) outside the {}-phone fleet",
+            self.params.phones
+        );
+        (lo..hi).map(|id| self.run_phone(id)).collect()
+    }
+
     /// Runs every phone sequentially. Deterministic in the seed.
     pub fn run(&self) -> Vec<PhoneHarvest> {
         (0..self.params.phones)

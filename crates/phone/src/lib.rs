@@ -53,4 +53,5 @@ pub mod firmware;
 pub mod fleet;
 pub mod plan;
 pub mod recovery;
+pub mod repro;
 pub mod user;

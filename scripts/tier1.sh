@@ -10,11 +10,16 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
-# The crash-resume harness and the multi-process merge harness are
-# the tier-1 gates for checkpointed campaigns; run them by name so a
-# test filter or workspace change can never silently drop them.
+# The crash-resume harness, the multi-process merge harness, the
+# golden-report pin and the signature/minimize replay layer are the
+# tier-1 gates; run them by name so a test filter or workspace change
+# can never silently drop them.
 cargo test -q --test checkpoint_resume
 cargo test -q --test merge_checkpoints
+cargo test -q --test golden_report
+cargo test -q --test signature_props
+cargo test -q --test minimize_repro
+cargo test -q -p symfail-bench --test cli_shard
 cargo bench --workspace -- --test
 
 # `--gates` additionally runs the CI byte-identity/throughput/resume

@@ -1,0 +1,152 @@
+//! Golden-report pin for the default paper campaign.
+//!
+//! `tests/golden/report_default.txt` is the committed rendering
+//! (`render_all` + `render_per_phone`) of the default 25-phone /
+//! 425-day campaign. Every engine must match it byte for byte:
+//!
+//! - the batch engine over the materialized fleet dataset,
+//! - the streaming engine with the per-phone serial merge,
+//! - the streaming engine with the sharded merge,
+//! - a multi-process campaign: three `--shard i/3` checkpoint files
+//!   merged with `merge_shard_checkpoints`.
+//!
+//! The fixture turns silent behavior drift into a reviewable diff: a
+//! legitimate analysis change regenerates it (run with
+//! `GOLDEN_REGEN=1`) and the diff shows up in the PR; an accidental
+//! one fails four ways at once.
+
+use std::path::PathBuf;
+
+use symfail::core::analysis::dataset::FleetDataset;
+use symfail::core::analysis::passes::{merge_shard_checkpoints, PassRegistry};
+use symfail::core::analysis::report::{AnalysisConfig, StudyReport};
+use symfail::phone::calibration::CalibrationParams;
+use symfail::phone::fleet::{FleetCampaign, MergeMode, ShardSpec, StreamingOptions};
+use symfail::sim::SimDuration;
+
+fn campaign() -> FleetCampaign {
+    FleetCampaign::new(2005, CalibrationParams::default())
+}
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig {
+        uptime_gap: SimDuration::from_secs(
+            CalibrationParams::default().heartbeat_period_secs * 3 + 60,
+        ),
+        ..AnalysisConfig::default()
+    }
+}
+
+fn render(report: &StudyReport) -> String {
+    report.render_all() + &report.render_per_phone()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("report_default.txt")
+}
+
+fn golden() -> String {
+    let path = fixture_path();
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden fixture {}: {e}", path.display()))
+}
+
+/// Asserts `got` equals the fixture, failing with the first divergent
+/// line instead of two unreadable multi-kilobyte blobs.
+fn assert_matches_golden(engine: &str, got: &str) {
+    let want = golden();
+    if got == want {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "{engine} report diverges from the golden fixture at line {}",
+            i + 1
+        );
+    }
+    panic!(
+        "{engine} report diverges from the golden fixture in length: \
+         {} vs {} lines (regenerate with GOLDEN_REGEN=1 if intended)",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+#[test]
+fn batch_engine_matches_golden_report() {
+    let harvest = campaign().run();
+    let fleet = FleetDataset::from_flash(harvest.iter().map(|h| (h.phone_id, &h.flashfs)));
+    let report = StudyReport::analyze(&fleet, config());
+    let rendered = render(&report);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = fixture_path();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    assert_matches_golden("batch", &rendered);
+}
+
+#[test]
+fn streaming_serial_merge_matches_golden_report() {
+    let opts = StreamingOptions {
+        merge: MergeMode::Serial,
+        ..StreamingOptions::default()
+    };
+    let run = campaign()
+        .run_streaming_opts(2, config(), &PassRegistry::all(), &opts)
+        .expect("streaming serial run");
+    assert_matches_golden("streaming-serial", &render(&run.report));
+}
+
+#[test]
+fn streaming_shard_merge_matches_golden_report() {
+    let opts = StreamingOptions {
+        merge: MergeMode::Sharded,
+        ..StreamingOptions::default()
+    };
+    let run = campaign()
+        .run_streaming_opts(3, config(), &PassRegistry::all(), &opts)
+        .expect("streaming sharded run");
+    assert_matches_golden("streaming-sharded", &render(&run.report));
+}
+
+#[test]
+fn merged_shard_checkpoints_match_golden_report() {
+    let registry = PassRegistry::all();
+    let ckpts: Vec<Vec<u8>> = (0..3)
+        .map(|index| {
+            let path = std::env::temp_dir()
+                .join(format!("symfail-golden-{}-{index}.bin", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let opts = StreamingOptions {
+                checkpoint: Some(path.clone()),
+                shard: Some(ShardSpec { index, count: 3 }),
+                ..StreamingOptions::default()
+            };
+            campaign()
+                .run_streaming_opts(2, config(), &registry, &opts)
+                .unwrap_or_else(|e| panic!("shard {index}/3 run failed: {e}"));
+            let bytes =
+                std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let _ = std::fs::remove_file(&path);
+            bytes
+        })
+        .collect();
+    let merger = merge_shard_checkpoints(
+        &registry,
+        config(),
+        campaign().fingerprint(),
+        "default",
+        &ckpts,
+    )
+    .expect("merge of a full 3-shard cover");
+    assert_matches_golden("shard-merge", &render(&merger.finish()));
+}
